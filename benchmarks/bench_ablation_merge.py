@@ -1,0 +1,58 @@
+"""Ablation — what the haft Merge step buys (DESIGN.md design-choice ablation).
+
+Compares the full Forgiving Graph against the ``unmerged_rt`` ablation, which
+builds a fresh balanced tree per deletion and never merges reconstruction
+trees.  Under a sustained max-degree attack the ablation's degree factor
+grows with the length of the attack while the Forgiving Graph's stays pinned
+at its constant — isolating the contribution of the Strip/Merge machinery.
+"""
+
+import pytest
+
+from repro.experiments.config import AttackConfig, ExperimentConfig
+from repro.experiments.runner import run_attack
+from repro.generators import GraphSpec
+
+from conftest import run_once
+
+
+def _config(n: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        name="ablation-merge",
+        graph=GraphSpec(topology="power_law", n=n),
+        attack=AttackConfig(strategy="max_degree", delete_fraction=0.6),
+        healers=("forgiving_graph", "unmerged_rt"),
+        seed=21,
+        stretch_sources=24,
+    )
+
+
+@pytest.mark.parametrize("healer_name", ["forgiving_graph", "unmerged_rt"])
+@pytest.mark.parametrize("n", [150, 300])
+def test_merge_ablation_degree_growth(benchmark, healer_name, n):
+    config = _config(n)
+    graph = config.graph.build(seed=config.seed)
+    outcome = run_once(benchmark, run_attack, config, healer_name, graph)
+    benchmark.extra_info["healer"] = healer_name
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["degree_factor"] = round(outcome.peak_degree_factor, 3)
+    benchmark.extra_info["stretch"] = round(outcome.peak_stretch, 3)
+    if healer_name == "forgiving_graph":
+        assert outcome.peak_degree_factor <= 4.0 + 1e-9
+
+
+def test_merge_ablation_gap(benchmark):
+    """The headline ablation number: the degree-factor gap on the same attack."""
+
+    def workload():
+        config = _config(300)
+        graph = config.graph.build(seed=config.seed)
+        with_merge = run_attack(config, "forgiving_graph", graph=graph)
+        without_merge = run_attack(config, "unmerged_rt", graph=graph)
+        return with_merge, without_merge
+
+    with_merge, without_merge = run_once(benchmark, workload)
+    benchmark.extra_info["forgiving_graph_degree_factor"] = round(with_merge.peak_degree_factor, 3)
+    benchmark.extra_info["unmerged_rt_degree_factor"] = round(without_merge.peak_degree_factor, 3)
+    # Removing the merge step must cost a strictly larger degree blow-up.
+    assert without_merge.peak_degree_factor > with_merge.peak_degree_factor

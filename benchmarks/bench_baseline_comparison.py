@@ -1,0 +1,43 @@
+"""E9 — Forgiving Graph vs Forgiving Tree vs naive healers under targeted attack.
+
+Benchmarks every healer on the identical initial graph and max-degree attack
+and records the (degree factor, stretch) point each one lands on: the shape
+to reproduce is that only the Forgiving Graph keeps both coordinates small.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.config import AttackConfig, ExperimentConfig
+from repro.experiments.runner import run_attack
+from repro.generators import GraphSpec
+
+from conftest import run_once
+
+HEALERS = ["forgiving_graph", "forgiving_tree", "cycle_heal", "clique_heal", "surrogate_heal", "no_heal"]
+
+
+@pytest.mark.parametrize("healer_name", HEALERS)
+def test_healer_comparison_power_law(benchmark, healer_name):
+    config = ExperimentConfig(
+        name="E9",
+        graph=GraphSpec(topology="power_law", n=200),
+        attack=AttackConfig(strategy="max_degree", delete_fraction=0.5),
+        healers=tuple(HEALERS),
+        seed=9,
+        stretch_sources=24,
+    )
+    graph = config.graph.build(seed=config.seed)
+    outcome = run_once(benchmark, run_attack, config, healer_name, graph)
+    benchmark.extra_info["healer"] = healer_name
+    benchmark.extra_info["degree_factor"] = round(outcome.peak_degree_factor, 3)
+    benchmark.extra_info["stretch"] = (
+        round(outcome.peak_stretch, 3) if math.isfinite(outcome.peak_stretch) else "inf"
+    )
+    benchmark.extra_info["connected"] = outcome.final_report.connected
+
+    if healer_name == "forgiving_graph":
+        assert outcome.peak_degree_factor <= 4.0 + 1e-9
+        assert outcome.peak_stretch <= outcome.final_report.stretch_bound + 1e-9
+        assert outcome.final_report.connected

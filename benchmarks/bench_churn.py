@@ -1,0 +1,46 @@
+"""E10 — mixed insertion/deletion churn (the model of Figure 1).
+
+Benchmarks long churn runs at several insert/delete mixes and records that
+the guarantees keep holding; also times the pure-insertion path (which must
+be repair-free and therefore much cheaper per move).
+"""
+
+import pytest
+
+from repro import ForgivingGraph
+from repro.adversary import churn_schedule, insertion_burst_schedule
+from repro.analysis import guarantee_report
+from repro.generators import make_graph
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("delete_probability", [0.3, 0.5, 0.7])
+def test_churn_guarantees(benchmark, delete_probability):
+    def workload():
+        fg = ForgivingGraph.from_graph(make_graph("power_law", 100, seed=10))
+        churn_schedule(steps=250, delete_probability=delete_probability, seed=10).run(fg)
+        return fg
+
+    fg = run_once(benchmark, workload)
+    report = guarantee_report(fg, max_sources=24, seed=0, healer_name="forgiving_graph")
+    benchmark.extra_info["delete_probability"] = delete_probability
+    benchmark.extra_info["nodes_ever"] = report.n_ever
+    benchmark.extra_info["degree_factor"] = round(report.degree_factor, 3)
+    benchmark.extra_info["stretch"] = round(report.stretch, 3)
+    benchmark.extra_info["stretch_bound"] = round(report.stretch_bound, 3)
+    assert report.connected
+    assert report.degree_factor <= 4.0 + 1e-9
+    assert report.stretch <= report.stretch_bound + 1e-9
+
+
+def test_pure_insertion_is_repair_free(benchmark):
+    def workload():
+        fg = ForgivingGraph.from_graph(make_graph("erdos_renyi", 50, seed=11))
+        insertion_burst_schedule(steps=400, seed=11).run(fg)
+        return fg
+
+    fg = run_once(benchmark, workload)
+    benchmark.extra_info["nodes_ever"] = fg.nodes_ever
+    assert fg.reconstruction_trees() == []
+    assert fg.degree_increase_factor() <= 1.0 + 1e-9

@@ -1,0 +1,54 @@
+"""E1 / E2 — half-full tree benchmarks (Lemmas 1-2, Figures 3 and 5).
+
+Times haft construction, Strip and Merge at increasing sizes and records the
+structural facts of Lemma 1 (depth = ceil(log2 l), primary roots = popcount)
+in the benchmark metadata.
+"""
+
+import math
+
+import pytest
+
+from repro.core.haft import build_haft, depth, is_haft, merge, primary_roots, strip
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("size", [64, 1024, 4096, 16384])
+def test_build_haft_scales(benchmark, size):
+    root = benchmark(build_haft, list(range(size)))
+    benchmark.extra_info["leaves"] = size
+    benchmark.extra_info["depth"] = depth(root)
+    benchmark.extra_info["depth_bound"] = math.ceil(math.log2(size))
+    assert depth(root) == math.ceil(math.log2(size))
+
+
+@pytest.mark.parametrize("size", [1023, 4095, 16383])
+def test_strip_returns_popcount_pieces(benchmark, size):
+    def workload():
+        return strip(build_haft(list(range(size))))
+
+    pieces = run_once(benchmark, workload)
+    benchmark.extra_info["pieces"] = len(pieces)
+    benchmark.extra_info["popcount"] = bin(size).count("1")
+    assert len(pieces) == bin(size).count("1")
+
+
+@pytest.mark.parametrize("sizes", [(100, 28), (513, 511), (1000, 1000, 1000)])
+def test_merge_is_binary_addition(benchmark, sizes):
+    def workload():
+        offset = 0
+        hafts = []
+        for size in sizes:
+            hafts.append(build_haft(list(range(offset, offset + size))))
+            offset += size
+        return merge(hafts)
+
+    merged = run_once(benchmark, workload)
+    total = sum(sizes)
+    benchmark.extra_info["total_leaves"] = total
+    benchmark.extra_info["primary_roots"] = len(primary_roots(merged))
+    benchmark.extra_info["popcount"] = bin(total).count("1")
+    assert is_haft(merged)
+    assert merged.num_leaves == total
+    assert len(primary_roots(merged)) == bin(total).count("1")

@@ -1,0 +1,52 @@
+"""E6 — Lemma 3 / structural invariants: cost of self-checking under churn.
+
+Benchmarks a churn run with the full invariant suite re-verified after every
+move (the invariant checker is the executable statement of Lemma 3 and the
+representative mechanism), and a plain run for comparison.
+"""
+
+import pytest
+
+from repro import ForgivingGraph
+from repro.adversary import churn_schedule
+from repro.generators import make_graph
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("checked", [True, False], ids=["checked", "unchecked"])
+def test_churn_with_and_without_invariant_checking(benchmark, checked):
+    def workload():
+        fg = ForgivingGraph.from_graph(
+            make_graph("erdos_renyi", 60, seed=6),
+            check_invariants=checked,
+            invariant_check_limit=10_000,
+        )
+        churn_schedule(steps=80, delete_probability=0.6, seed=6).run(fg)
+        return fg
+
+    fg = run_once(benchmark, workload)
+    fg.check_invariants()  # final explicit verification either way
+    benchmark.extra_info["checked_every_step"] = checked
+    benchmark.extra_info["nodes_ever"] = fg.nodes_ever
+    benchmark.extra_info["rts"] = len(fg.reconstruction_trees())
+    for rt in fg.reconstruction_trees():
+        assert len(rt.helpers) == max(rt.size - 1, 0)
+
+
+def test_helper_per_edge_invariant_over_long_run(benchmark):
+    """Lemma 3: never more than one helper per G' edge, even after 300 moves."""
+
+    def workload():
+        fg = ForgivingGraph.from_graph(make_graph("power_law", 120, seed=7))
+        churn_schedule(steps=300, delete_probability=0.55, seed=7).run(fg)
+        return fg
+
+    fg = run_once(benchmark, workload)
+    seen_ports = set()
+    for rt in fg.reconstruction_trees():
+        for port in rt.helpers:
+            assert port not in seen_ports
+            seen_ports.add(port)
+    benchmark.extra_info["helpers_total"] = len(seen_ports)
+    benchmark.extra_info["alive"] = fg.num_alive

@@ -1,0 +1,40 @@
+"""E7 — Theorem 2: the degree/stretch trade-off lower bound on the star.
+
+Benchmarks the hub-deletion repair on stars of growing size and records, for
+the Forgiving Graph and the naive healers, where they sit relative to the
+(1/2) log_{alpha-1}(n-1) floor and the log2(n) ceiling.
+"""
+
+import pytest
+
+from repro.analysis import guarantee_report, lower_bound_stretch, stretch_bound
+from repro.baselines import make_healer
+from repro.generators import make_graph
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("n", [64, 256, 1024])
+@pytest.mark.parametrize("healer_name", ["forgiving_graph", "cycle_heal", "surrogate_heal"])
+def test_star_tradeoff_against_lower_bound(benchmark, n, healer_name):
+    def workload():
+        healer = make_healer(healer_name, make_graph("star", n))
+        healer.delete(0)
+        return guarantee_report(healer, max_sources=48, seed=0, healer_name=healer_name)
+
+    report = run_once(benchmark, workload)
+    alpha = max(report.degree_factor, 3.0)
+    floor = lower_bound_stretch(n, alpha)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["healer"] = healer_name
+    benchmark.extra_info["degree_factor"] = round(report.degree_factor, 3)
+    benchmark.extra_info["stretch"] = round(report.stretch, 3)
+    benchmark.extra_info["theorem2_floor"] = round(floor, 3)
+    benchmark.extra_info["theorem1_ceiling"] = round(stretch_bound(n), 3)
+    # Nobody with a bounded degree factor may beat the floor.
+    if report.degree_factor <= 3.0:
+        assert report.stretch >= floor - 1e-9
+    # The Forgiving Graph additionally respects the Theorem 1 ceiling.
+    if healer_name == "forgiving_graph":
+        assert report.stretch <= stretch_bound(n) + 1e-9
+        assert report.degree_factor <= 4.0 + 1e-9

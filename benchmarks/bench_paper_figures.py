@@ -1,0 +1,49 @@
+"""E8 — the worked examples of Figures 2 and 6-8 as micro-benchmarks.
+
+Times the single-deletion repair of the Figure 2 star scenario and the
+RT-merging cascade of Figures 7-8, asserting the structural outcomes the
+figures illustrate.
+"""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro import ForgivingGraph
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("neighbors", [8, 64, 512])
+def test_figure2_star_replacement(benchmark, neighbors):
+    def workload():
+        fg = ForgivingGraph.from_edges([(0, i) for i in range(1, neighbors + 1)])
+        fg.delete(0)
+        return fg
+
+    fg = run_once(benchmark, workload)
+    (rt,) = fg.reconstruction_trees()
+    benchmark.extra_info["neighbors"] = neighbors
+    benchmark.extra_info["rt_depth"] = rt.depth
+    benchmark.extra_info["expected_depth"] = math.ceil(math.log2(neighbors))
+    assert rt.size == neighbors
+    assert rt.depth == math.ceil(math.log2(neighbors))
+
+
+@pytest.mark.parametrize("length", [32, 128, 512])
+def test_figures7_8_merge_cascade(benchmark, length):
+    """Delete every interior node of a path: each repair merges the two flanking RTs."""
+
+    def workload():
+        fg = ForgivingGraph.from_edges([(i, i + 1) for i in range(length)])
+        for victim in range(1, length):
+            fg.delete(victim)
+        return fg
+
+    fg = run_once(benchmark, workload)
+    healed = fg.actual_graph()
+    benchmark.extra_info["path_length"] = length
+    benchmark.extra_info["final_rts"] = len(fg.reconstruction_trees())
+    assert nx.is_connected(healed)
+    assert fg.num_alive == 2

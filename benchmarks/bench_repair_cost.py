@@ -1,0 +1,78 @@
+"""E5 — Lemma 4 / Theorem 1.3: repair cost on the message-passing substrate.
+
+Benchmarks the distributed simulator under attack and records message /
+round / message-size statistics against the explicit O(d log n) and
+O(log d log n) budgets.
+"""
+
+import math
+
+import pytest
+
+from repro.adversary import MaxDegreeDeletion, RandomDeletion
+from repro.analysis.stats import summarize
+from repro.distributed import DistributedForgivingGraph
+from repro.generators import make_graph
+
+from conftest import run_once
+
+
+def attack(healer, strategy, deletions):
+    for _ in range(deletions):
+        victim = strategy.choose_victim(healer)
+        if victim is None or healer.num_alive <= 3:
+            break
+        healer.delete(victim)
+    return healer
+
+
+@pytest.mark.parametrize("n,deletions", [(100, 60), (200, 120)])
+def test_repair_messages_within_budget(benchmark, n, deletions):
+    def workload():
+        healer = DistributedForgivingGraph.from_graph(make_graph("power_law", n, seed=5))
+        return attack(healer, MaxDegreeDeletion(), deletions)
+
+    healer = run_once(benchmark, workload)
+    healer.verify_consistency()
+    messages = summarize([r.messages for r in healer.cost_reports])
+    rounds = summarize([r.rounds for r in healer.cost_reports])
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["deletions"] = len(healer.cost_reports)
+    benchmark.extra_info["messages_mean"] = round(messages.mean, 1)
+    benchmark.extra_info["messages_max"] = messages.maximum
+    benchmark.extra_info["rounds_mean"] = round(rounds.mean, 1)
+    benchmark.extra_info["rounds_max"] = rounds.maximum
+    assert all(r.within_message_budget for r in healer.cost_reports)
+    assert all(r.within_round_budget for r in healer.cost_reports)
+
+
+@pytest.mark.parametrize("degree", [15, 63, 255])
+def test_hub_repair_cost_scales_linearly_in_degree(benchmark, degree):
+    """Messages for deleting a degree-d hub grow like d log n (not d^2)."""
+
+    def workload():
+        healer = DistributedForgivingGraph.from_edges([(0, i) for i in range(1, degree + 1)])
+        return healer.delete(0)
+
+    report = run_once(benchmark, workload)
+    benchmark.extra_info["degree"] = degree
+    benchmark.extra_info["messages"] = report.messages
+    benchmark.extra_info["budget"] = round(report.message_budget, 1)
+    benchmark.extra_info["messages_per_d_log_n"] = round(
+        report.messages / (degree * math.log2(degree + 1)), 3
+    )
+    assert report.within_message_budget
+    assert report.within_round_budget
+
+
+@pytest.mark.parametrize("n", [100, 200])
+def test_max_message_size_is_logarithmic(benchmark, n):
+    def workload():
+        healer = DistributedForgivingGraph.from_graph(make_graph("erdos_renyi", n, seed=6))
+        return attack(healer, RandomDeletion(seed=0), n // 2)
+
+    healer = run_once(benchmark, workload)
+    word_bits = math.ceil(math.log2(healer.nodes_ever))
+    benchmark.extra_info["max_message_bits"] = healer.network.metrics.max_message_bits
+    benchmark.extra_info["word_bits"] = word_bits
+    assert healer.network.metrics.max_message_bits <= 70 * word_bits

@@ -1,0 +1,56 @@
+"""E4 — Theorem 1.2: stretch stays below log2(n) while n grows.
+
+Benchmarks the attack + stretch measurement pipeline and records the worst
+observed stretch against the log2(n) ceiling for growing graphs: the shape to
+reproduce is "stretch tracks log n, not n".
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.config import AttackConfig, ExperimentConfig
+from repro.experiments.runner import run_attack
+from repro.generators import GraphSpec
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("n", [100, 200, 400])
+@pytest.mark.parametrize("strategy", ["max_degree", "cut"])
+def test_stretch_under_attack(benchmark, n, strategy):
+    config = ExperimentConfig(
+        name="E4",
+        graph=GraphSpec(topology="erdos_renyi", n=n),
+        attack=AttackConfig(strategy=strategy, delete_fraction=0.5),
+        healers=("forgiving_graph",),
+        seed=4,
+        stretch_sources=24,
+    )
+    outcome = run_once(benchmark, run_attack, config, "forgiving_graph")
+    bound = math.log2(outcome.final_report.n_ever)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["strategy"] = strategy
+    benchmark.extra_info["stretch"] = round(outcome.peak_stretch, 3)
+    benchmark.extra_info["log2_n_bound"] = round(bound, 3)
+    assert outcome.peak_stretch <= bound + 1e-9
+
+
+@pytest.mark.parametrize("n", [64, 256, 1024])
+def test_star_hub_deletion_stretch_scaling(benchmark, n):
+    """The adversary's best case (Theorem 2 topology): stretch grows like log n / 2."""
+    from repro import ForgivingGraph
+    from repro.analysis import stretch_report
+    from repro.generators import make_graph
+
+    def workload():
+        fg = ForgivingGraph.from_graph(make_graph("star", n))
+        fg.delete(0)
+        return stretch_report(fg, max_sources=32, seed=0)
+
+    report = run_once(benchmark, workload)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["stretch"] = round(report.max_stretch, 3)
+    benchmark.extra_info["log2_n"] = round(math.log2(n), 3)
+    assert report.max_stretch <= math.log2(n) + 1e-9
+    assert report.max_stretch >= 0.4 * math.log2(n)  # genuinely Theta(log n), not O(1)

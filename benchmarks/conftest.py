@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*.py`` module regenerates one experiment of DESIGN.md's index
+(E1–E10) under ``pytest-benchmark``: the benchmarked callable is the
+experiment's core workload, and the experiment's headline numbers are
+attached to ``benchmark.extra_info`` so that the saved benchmark JSON doubles
+as the raw data behind EXPERIMENTS.md.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark ``func`` with a single round/iteration (workloads are macro-level)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Measure the distributed repair costs of Lemma 4 on the message-passing simulator.
+
+Every deletion is replayed as explicit protocol messages (failure notices,
+``BT_v`` anchor links, ``FindPrRoots`` probes, primary-root lists, helper
+assignments) over a synchronous round-based network.  The example attacks a
+power-law overlay and prints, per victim-degree bucket, the measured message
+and round counts next to the explicit ``O(d log n)`` / ``O(log d log n)``
+budgets from Lemma 4 — the shape to observe is that the measured costs track
+``d`` linearly and stay far below the budgets.
+
+Run with::
+
+    python examples/distributed_repair_costs.py
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+from repro.adversary import MaxDegreeDeletion
+from repro.analysis.stats import summarize
+from repro.distributed import DistributedForgivingGraph
+from repro.experiments import format_table
+from repro.generators import make_graph
+
+
+def main() -> None:
+    n = 250
+    deletions = 150
+
+    overlay = DistributedForgivingGraph.from_graph(make_graph("power_law", n, seed=3))
+    adversary = MaxDegreeDeletion()
+
+    for _ in range(deletions):
+        victim = adversary.choose_victim(overlay)
+        if victim is None or overlay.num_alive <= 3:
+            break
+        overlay.delete(victim)
+
+    overlay.verify_consistency()  # the distributed Table-1 records match the engine
+    metrics = overlay.network.metrics
+    print(f"attack finished: {len(overlay.cost_reports)} repairs, "
+          f"{metrics.total_messages} protocol messages, {metrics.total_bits} bits total\n")
+
+    buckets = defaultdict(list)
+    for report in overlay.cost_reports:
+        buckets[min(report.degree, 32) if report.degree <= 32 else 33].append(report)
+
+    rows = []
+    for degree in sorted(buckets):
+        reports = buckets[degree]
+        label = f"{degree}" if degree <= 32 else ">32"
+        messages = summarize([r.messages for r in reports])
+        rounds = summarize([r.rounds for r in reports])
+        rows.append(
+            {
+                "victim_degree": label,
+                "repairs": len(reports),
+                "messages(mean)": round(messages.mean, 1),
+                "messages(max)": int(messages.maximum),
+                "budget O(d log n)": round(max(r.message_budget for r in reports), 0),
+                "rounds(mean)": round(rounds.mean, 1),
+                "budget O(log d log n)": round(max(r.round_budget for r in reports), 0),
+                "largest message (bits)": max(r.max_message_bits for r in reports),
+            }
+        )
+    print(format_table(rows, title="repair cost by victim degree (Lemma 4)"))
+    word = math.ceil(math.log2(overlay.nodes_ever))
+    print(f"identifier word size for n={overlay.nodes_ever}: {word} bits — "
+          "every message stays within a small constant number of O(log n)-bit words.")
+
+
+if __name__ == "__main__":
+    main()

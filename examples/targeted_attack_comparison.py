@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Compare self-healing strategies under an omniscient targeted attack.
+
+An infrastructure network (power-law, like an airline or AS-level topology)
+is attacked by an adversary that always deletes the node currently carrying
+the highest degree.  Every healer faces the *same* initial network and the
+same attack; the table shows the degree/stretch trade-off point each one
+lands on — the executable version of the comparison the paper's introduction
+makes against the Forgiving Tree and naive healing rules, and of the Theorem 2
+statement that the trade-off cannot be escaped.
+
+Run with::
+
+    python examples/targeted_attack_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import lower_bound_stretch
+from repro.baselines import available_healers
+from repro.experiments import AttackConfig, ExperimentConfig, format_table, run_healer_comparison
+from repro.generators import GraphSpec
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        name="targeted-attack",
+        graph=GraphSpec(topology="power_law", n=250),
+        attack=AttackConfig(strategy="max_degree", delete_fraction=0.5),
+        healers=tuple(available_healers()),
+        seed=1,
+        stretch_sources=32,
+    )
+
+    print(f"attacking {config.graph.label()} — deleting the current max-degree node "
+          f"{config.attack.steps_for(config.graph.n)} times\n")
+
+    outcomes = run_healer_comparison(config)
+    rows = []
+    for outcome in outcomes:
+        row = outcome.as_row()
+        rows.append(
+            {
+                "healer": row["healer"],
+                "degree_factor": row["degree_factor"],
+                "stretch": row["stretch"],
+                "stretch_bound(log2 n)": row["stretch_bound"],
+                "connected": row["connected"],
+                "seconds": row["seconds"],
+            }
+        )
+    print(format_table(rows, title="degree/stretch trade-off under targeted attack"))
+
+    floor = lower_bound_stretch(config.graph.n, 3.0)
+    print(f"Theorem 2 floor for degree factor 3 on n={config.graph.n}: stretch >= {floor:.2f}")
+    print("Reading the table: clique/surrogate healing keeps distances tiny by blowing up")
+    print("degrees; cycle healing and the Forgiving Tree keep degrees small but let distances")
+    print("grow; no-healing disconnects.  Only the Forgiving Graph keeps both small, which is")
+    print("what Theorems 1 and 2 together say is the best possible, up to constants.")
+
+
+if __name__ == "__main__":
+    main()

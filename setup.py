@@ -1,0 +1,6 @@
+"""Setup shim so that legacy installs (``pip install -e . --no-use-pep517`` or
+``python setup.py develop``) work in offline environments without the
+``wheel`` package; all metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""repro — a reproduction of "The Forgiving Graph" (Hayes, Saia, Trehan, PODC 2009).
+
+The Forgiving Graph is a distributed, self-healing data structure for
+peer-to-peer networks under adversarial attack.  After every adversarial node
+deletion it adds a small number of edges so that, at all times,
+
+* every surviving node's degree is within a small constant factor of its
+  degree in ``G'`` (the graph of insertions only, ignoring deletions), and
+* the distance between any two surviving nodes is within a ``log n`` factor
+  of their distance in ``G'``,
+
+while each repair costs only ``O(d log n)`` messages and ``O(log d log n)``
+time, for ``d`` the degree of the deleted node.
+
+Package layout
+--------------
+
+``repro.core``
+    half-full trees, reconstruction trees and the :class:`ForgivingGraph`
+    engine (the paper's primary contribution).
+``repro.distributed``
+    a round-based message-passing simulator running the repair protocol with
+    explicit messages, used for the communication-cost experiments.
+``repro.baselines``
+    alternative self-healing strategies (Forgiving Tree, cycle/clique/
+    surrogate healing, no healing) for the trade-off comparisons.
+``repro.adversary`` / ``repro.generators``
+    attack strategies, churn schedules and initial-topology generators.
+``repro.analysis``
+    degree / stretch / connectivity metrics and the Theorem 2 lower bound.
+``repro.experiments``
+    the experiment harness that regenerates every item in EXPERIMENTS.md.
+
+Quickstart
+----------
+>>> from repro import ForgivingGraph
+>>> fg = ForgivingGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+>>> _ = fg.delete(1)
+>>> sorted(fg.actual_graph().nodes)
+[0, 2, 3]
+"""
+
+from .core import (
+    ForgivingGraph,
+    ForgivingGraphError,
+    HealingEvent,
+    InvariantViolationError,
+    NodeId,
+    Port,
+    ReconstructionTree,
+    RepairReport,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ForgivingGraph",
+    "ForgivingGraphError",
+    "InvariantViolationError",
+    "HealingEvent",
+    "RepairReport",
+    "ReconstructionTree",
+    "NodeId",
+    "Port",
+    "__version__",
+]

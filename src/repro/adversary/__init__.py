@@ -1,0 +1,51 @@
+"""Adversaries: attack strategies and churn schedules.
+
+The paper's adversary is omniscient — it sees the whole topology (including
+the healing edges) and the algorithm, and in every round either deletes an
+arbitrary node or inserts a node with arbitrary connections (Section 2).
+This package provides concrete instantiations of that adversary used by the
+experiments: targeted deletion strategies, insertion strategies, and mixed
+insert/delete schedules.
+"""
+
+from .strategies import (
+    Adversary,
+    CutAdversary,
+    DeletionStrategy,
+    HighBetweennessDeletion,
+    InsertionStrategy,
+    MaxDegreeDeletion,
+    MinDegreeDeletion,
+    PreferentialInsertion,
+    RandomDeletion,
+    RandomInsertion,
+    ScriptedDeletion,
+    SingleLinkInsertion,
+    StarInsertion,
+    available_deletion_strategies,
+    make_deletion_strategy,
+)
+from .schedule import AttackEvent, AttackSchedule, churn_schedule, deletion_only_schedule, insertion_burst_schedule
+
+__all__ = [
+    "Adversary",
+    "DeletionStrategy",
+    "InsertionStrategy",
+    "RandomDeletion",
+    "MaxDegreeDeletion",
+    "MinDegreeDeletion",
+    "HighBetweennessDeletion",
+    "CutAdversary",
+    "ScriptedDeletion",
+    "RandomInsertion",
+    "PreferentialInsertion",
+    "SingleLinkInsertion",
+    "StarInsertion",
+    "available_deletion_strategies",
+    "make_deletion_strategy",
+    "AttackEvent",
+    "AttackSchedule",
+    "churn_schedule",
+    "deletion_only_schedule",
+    "insertion_burst_schedule",
+]

@@ -1,0 +1,196 @@
+"""Attack schedules: sequences of insert/delete events.
+
+The model of Figure 1 interleaves arbitrary insertions and deletions, one per
+round.  An :class:`AttackSchedule` is a reusable description of such a
+sequence; :meth:`AttackSchedule.run` drives any healer (the Forgiving Graph
+or a baseline) through it and returns per-step bookkeeping that the analysis
+layer turns into the numbers reported in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from ..core.ports import NodeId
+from .strategies import (
+    DeletionStrategy,
+    InsertionStrategy,
+    RandomDeletion,
+    RandomInsertion,
+)
+
+__all__ = [
+    "AttackEvent",
+    "AttackSchedule",
+    "deletion_only_schedule",
+    "churn_schedule",
+    "insertion_burst_schedule",
+]
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def _rng(seed: SeedLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+@dataclass
+class AttackEvent:
+    """One adversarial move, after it has been applied to a healer."""
+
+    step: int
+    kind: str  # "insert" | "delete"
+    node: NodeId
+    #: Attachment points for insertions, empty for deletions.
+    attached_to: tuple = ()
+    #: Degree of the victim in ``G'`` at deletion time (deletions only).
+    victim_degree: int = 0
+
+
+@dataclass
+class AttackSchedule:
+    """A bounded sequence of adversarial moves.
+
+    Parameters
+    ----------
+    steps:
+        Maximum number of moves to play.
+    deletion_strategy / insertion_strategy:
+        How victims and attachment points are chosen.
+    delete_probability:
+        Probability that a given step is a deletion (the rest are
+        insertions).  ``1.0`` gives a pure deletion attack.
+    min_survivors:
+        The adversary stops deleting once this few nodes remain, so
+        experiments never run the graph down to nothing.
+    seed:
+        Seed controlling the insert/delete coin flips (strategies hold their
+        own generators).
+    """
+
+    steps: int
+    deletion_strategy: DeletionStrategy = field(default_factory=RandomDeletion)
+    insertion_strategy: InsertionStrategy = field(default_factory=RandomInsertion)
+    delete_probability: float = 1.0
+    min_survivors: int = 2
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        if self.steps < 0:
+            raise ConfigurationError("steps must be non-negative")
+        if not 0.0 <= self.delete_probability <= 1.0:
+            raise ConfigurationError("delete_probability must lie in [0, 1]")
+        if self.min_survivors < 0:
+            raise ConfigurationError("min_survivors must be non-negative")
+
+    def run(
+        self,
+        healer,
+        on_event: Optional[Callable[[AttackEvent, object], None]] = None,
+    ) -> List[AttackEvent]:
+        """Play the schedule against ``healer`` and return the applied events.
+
+        ``on_event(event, healer)`` is invoked after every move; the
+        experiment runner uses it to snapshot metrics without this module
+        needing to know what is being measured.
+        """
+        rng = _rng(self.seed)
+        events: List[AttackEvent] = []
+        fresh_ids = self._fresh_id_source(healer)
+        for step in range(1, self.steps + 1):
+            do_delete = rng.random() < self.delete_probability
+            event: Optional[AttackEvent] = None
+            if do_delete and len(healer.alive_nodes) > self.min_survivors:
+                event = self._play_deletion(step, healer)
+            if event is None and len(healer.alive_nodes) >= 1:
+                event = self._play_insertion(step, healer, fresh_ids)
+            if event is None:
+                break
+            events.append(event)
+            if on_event is not None:
+                on_event(event, healer)
+        return events
+
+    # ------------------------------------------------------------------ #
+    def _play_deletion(self, step: int, healer) -> Optional[AttackEvent]:
+        victim = self.deletion_strategy.choose_victim(healer)
+        if victim is None:
+            return None
+        victim_degree = healer.g_prime_view().degree[victim]
+        healer.delete(victim)
+        return AttackEvent(step=step, kind="delete", node=victim, victim_degree=victim_degree)
+
+    def _play_insertion(self, step: int, healer, fresh_ids: Iterator[NodeId]) -> Optional[AttackEvent]:
+        attachments = self.insertion_strategy.choose_attachments(healer)
+        if not attachments:
+            return None
+        node = next(fresh_ids)
+        healer.insert(node, attach_to=attachments)
+        return AttackEvent(step=step, kind="insert", node=node, attached_to=tuple(attachments))
+
+    @staticmethod
+    def _fresh_id_source(healer) -> Iterator[NodeId]:
+        """Yield integer identifiers guaranteed not to collide with existing nodes."""
+        existing = healer.g_prime_view().nodes
+        numeric = [n for n in existing if isinstance(n, int)]
+        start = (max(numeric) + 1) if numeric else 0
+        return itertools.count(start)
+
+
+# --------------------------------------------------------------------------- #
+# convenience constructors
+# --------------------------------------------------------------------------- #
+def deletion_only_schedule(
+    steps: int,
+    strategy: Optional[DeletionStrategy] = None,
+    min_survivors: int = 2,
+    seed: SeedLike = None,
+) -> AttackSchedule:
+    """A pure deletion attack (the regime of Theorems 1 and 2)."""
+    return AttackSchedule(
+        steps=steps,
+        deletion_strategy=strategy if strategy is not None else RandomDeletion(seed=seed),
+        delete_probability=1.0,
+        min_survivors=min_survivors,
+        seed=seed,
+    )
+
+
+def churn_schedule(
+    steps: int,
+    delete_probability: float = 0.5,
+    deletion_strategy: Optional[DeletionStrategy] = None,
+    insertion_strategy: Optional[InsertionStrategy] = None,
+    min_survivors: int = 2,
+    seed: SeedLike = None,
+) -> AttackSchedule:
+    """Mixed insertions and deletions — the peer-to-peer churn workload (E10)."""
+    return AttackSchedule(
+        steps=steps,
+        deletion_strategy=deletion_strategy if deletion_strategy is not None else RandomDeletion(seed=seed),
+        insertion_strategy=insertion_strategy if insertion_strategy is not None else RandomInsertion(seed=seed),
+        delete_probability=delete_probability,
+        min_survivors=min_survivors,
+        seed=seed,
+    )
+
+
+def insertion_burst_schedule(
+    steps: int,
+    insertion_strategy: Optional[InsertionStrategy] = None,
+    seed: SeedLike = None,
+) -> AttackSchedule:
+    """Pure growth: only insertions (no healing work should ever be triggered)."""
+    return AttackSchedule(
+        steps=steps,
+        insertion_strategy=insertion_strategy if insertion_strategy is not None else RandomInsertion(seed=seed),
+        delete_probability=0.0,
+        seed=seed,
+    )

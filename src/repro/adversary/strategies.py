@@ -1,0 +1,302 @@
+"""Concrete adversary strategies.
+
+An adversary decides *which* node to delete or *where* to attach a freshly
+inserted node.  Strategies only rely on the duck-typed "healer" interface
+shared by :class:`repro.core.ForgivingGraph` and every baseline in
+:mod:`repro.baselines`:
+
+* ``alive_nodes`` — the set of surviving node identifiers,
+* ``actual_graph()`` — the current healed graph (a networkx graph),
+* ``g_prime_view()`` — the insertion-only graph ``G'``.
+
+Because the paper's adversary is omniscient, strategies are free to inspect
+the healed graph (including the edges the algorithm added) when picking
+their next victim — e.g. :class:`MaxDegreeDeletion` keeps hammering whichever
+node currently carries the most healing load.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import networkx as nx
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from ..core.ports import NodeId
+
+__all__ = [
+    "Adversary",
+    "DeletionStrategy",
+    "RandomDeletion",
+    "MaxDegreeDeletion",
+    "MinDegreeDeletion",
+    "HighBetweennessDeletion",
+    "CutAdversary",
+    "ScriptedDeletion",
+    "InsertionStrategy",
+    "RandomInsertion",
+    "PreferentialInsertion",
+    "SingleLinkInsertion",
+    "StarInsertion",
+    "available_deletion_strategies",
+    "make_deletion_strategy",
+]
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def _rng(seed: SeedLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _sorted_nodes(nodes: Iterable[NodeId]) -> List[NodeId]:
+    """Deterministic ordering of possibly mixed-type node identifiers."""
+    return sorted(nodes, key=lambda n: (type(n).__name__, repr(n)))
+
+
+class Adversary(abc.ABC):
+    """Base class for anything that picks attack moves against a healer."""
+
+
+# --------------------------------------------------------------------------- #
+# deletion strategies
+# --------------------------------------------------------------------------- #
+class DeletionStrategy(Adversary):
+    """Chooses the next node to delete; returns ``None`` when it gives up."""
+
+    @abc.abstractmethod
+    def choose_victim(self, healer) -> Optional[NodeId]:
+        """Return the next node to delete, or ``None`` if no node qualifies."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class RandomDeletion(DeletionStrategy):
+    """Delete a node chosen uniformly at random among the survivors."""
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._rng = _rng(seed)
+
+    def choose_victim(self, healer) -> Optional[NodeId]:
+        alive = _sorted_nodes(healer.alive_nodes)
+        if not alive:
+            return None
+        return alive[int(self._rng.integers(0, len(alive)))]
+
+
+class MaxDegreeDeletion(DeletionStrategy):
+    """Always delete the node with the highest degree in the *healed* graph.
+
+    This is the canonical omniscient attack: it concentrates damage on the
+    nodes that are currently carrying the most healing structure, which is
+    exactly the attack the degree guarantee of Theorem 1.1 defends against.
+    Ties are broken deterministically by node identifier.
+    """
+
+    def choose_victim(self, healer) -> Optional[NodeId]:
+        graph = healer.actual_graph()
+        alive = _sorted_nodes(healer.alive_nodes)
+        if not alive:
+            return None
+        return max(alive, key=lambda v: (graph.degree[v] if v in graph else 0, -alive.index(v)))
+
+
+class MinDegreeDeletion(DeletionStrategy):
+    """Delete the lowest-degree survivor (peels leaves; stresses RT merging breadth)."""
+
+    def choose_victim(self, healer) -> Optional[NodeId]:
+        graph = healer.actual_graph()
+        alive = _sorted_nodes(healer.alive_nodes)
+        if not alive:
+            return None
+        return min(alive, key=lambda v: (graph.degree[v] if v in graph else 0, alive.index(v)))
+
+
+class HighBetweennessDeletion(DeletionStrategy):
+    """Delete the node with the highest (approximate) betweenness centrality.
+
+    Betweenness targets the nodes that carry the most shortest paths, i.e.
+    the attack that maximally threatens the *stretch* guarantee.  For graphs
+    larger than ``exact_limit`` nodes a sampled approximation is used so the
+    strategy stays usable inside large sweeps.
+    """
+
+    def __init__(self, seed: SeedLike = None, exact_limit: int = 400, samples: int = 64) -> None:
+        self._rng = _rng(seed)
+        self._exact_limit = exact_limit
+        self._samples = samples
+
+    def choose_victim(self, healer) -> Optional[NodeId]:
+        graph = healer.actual_graph()
+        alive = _sorted_nodes(healer.alive_nodes)
+        if not alive:
+            return None
+        if graph.number_of_nodes() <= 2:
+            return alive[0]
+        if graph.number_of_nodes() <= self._exact_limit:
+            centrality = nx.betweenness_centrality(graph)
+        else:
+            k = min(self._samples, graph.number_of_nodes())
+            centrality = nx.betweenness_centrality(
+                graph, k=k, seed=int(self._rng.integers(0, 2**31 - 1))
+            )
+        return max(alive, key=lambda v: (centrality.get(v, 0.0), repr(v)))
+
+
+class CutAdversary(DeletionStrategy):
+    """Delete articulation points first, falling back to max degree.
+
+    Articulation points are the nodes whose removal would disconnect the
+    graph if no healing happened; attacking them stresses the connectivity
+    and stretch guarantees the hardest.
+    """
+
+    def choose_victim(self, healer) -> Optional[NodeId]:
+        graph = healer.actual_graph()
+        alive = _sorted_nodes(healer.alive_nodes)
+        if not alive:
+            return None
+        cut_nodes = [v for v in nx.articulation_points(graph) if v in healer.alive_nodes]
+        if cut_nodes:
+            return max(
+                _sorted_nodes(cut_nodes),
+                key=lambda v: (graph.degree[v] if v in graph else 0, repr(v)),
+            )
+        return MaxDegreeDeletion().choose_victim(healer)
+
+
+class ScriptedDeletion(DeletionStrategy):
+    """Delete nodes in a pre-specified order (skipping any that are already gone)."""
+
+    def __init__(self, victims: Sequence[NodeId]) -> None:
+        self._victims = list(victims)
+        self._index = 0
+
+    def choose_victim(self, healer) -> Optional[NodeId]:
+        alive = healer.alive_nodes
+        while self._index < len(self._victims):
+            victim = self._victims[self._index]
+            self._index += 1
+            if victim in alive:
+                return victim
+        return None
+
+
+_DELETION_STRATEGIES = {
+    "random": RandomDeletion,
+    "max_degree": MaxDegreeDeletion,
+    "min_degree": MinDegreeDeletion,
+    "betweenness": HighBetweennessDeletion,
+    "cut": CutAdversary,
+}
+
+
+def available_deletion_strategies() -> List[str]:
+    """Names accepted by :func:`make_deletion_strategy`."""
+    return sorted(_DELETION_STRATEGIES)
+
+
+def make_deletion_strategy(name: str, seed: SeedLike = None) -> DeletionStrategy:
+    """Instantiate a deletion strategy by name (used by the experiment configs)."""
+    try:
+        cls = _DELETION_STRATEGIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown deletion strategy {name!r}; "
+            f"available: {', '.join(available_deletion_strategies())}"
+        ) from None
+    if cls in (RandomDeletion, HighBetweennessDeletion):
+        return cls(seed=seed)
+    return cls()
+
+
+# --------------------------------------------------------------------------- #
+# insertion strategies
+# --------------------------------------------------------------------------- #
+class InsertionStrategy(Adversary):
+    """Chooses the attachment points for a freshly inserted node."""
+
+    @abc.abstractmethod
+    def choose_attachments(self, healer) -> List[NodeId]:
+        """Return the alive nodes the new node should connect to (possibly empty)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class RandomInsertion(InsertionStrategy):
+    """Attach the new node to ``k`` survivors chosen uniformly at random."""
+
+    def __init__(self, k: int = 3, seed: SeedLike = None) -> None:
+        if k < 1:
+            raise ConfigurationError("an inserted node needs at least one attachment")
+        self.k = k
+        self._rng = _rng(seed)
+
+    def choose_attachments(self, healer) -> List[NodeId]:
+        alive = _sorted_nodes(healer.alive_nodes)
+        if not alive:
+            return []
+        count = min(self.k, len(alive))
+        picks = self._rng.choice(len(alive), size=count, replace=False)
+        return [alive[int(i)] for i in picks]
+
+
+class PreferentialInsertion(InsertionStrategy):
+    """Attach to survivors with probability proportional to their healed degree.
+
+    Mimics preferential attachment so that long churn runs keep a power-law
+    flavour, which is the regime where targeted attacks hurt the most.
+    """
+
+    def __init__(self, k: int = 3, seed: SeedLike = None) -> None:
+        if k < 1:
+            raise ConfigurationError("an inserted node needs at least one attachment")
+        self.k = k
+        self._rng = _rng(seed)
+
+    def choose_attachments(self, healer) -> List[NodeId]:
+        graph = healer.actual_graph()
+        alive = _sorted_nodes(healer.alive_nodes)
+        if not alive:
+            return []
+        weights = np.array([graph.degree[v] + 1.0 if v in graph else 1.0 for v in alive])
+        weights = weights / weights.sum()
+        count = min(self.k, len(alive))
+        picks = self._rng.choice(len(alive), size=count, replace=False, p=weights)
+        return [alive[int(i)] for i in picks]
+
+
+class SingleLinkInsertion(InsertionStrategy):
+    """Attach the new node to exactly one random survivor (grows tree-like fringes)."""
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._rng = _rng(seed)
+
+    def choose_attachments(self, healer) -> List[NodeId]:
+        alive = _sorted_nodes(healer.alive_nodes)
+        if not alive:
+            return []
+        return [alive[int(self._rng.integers(0, len(alive)))]]
+
+
+class StarInsertion(InsertionStrategy):
+    """Adversarial insertion: always attach to the current maximum-degree survivor.
+
+    Combined with a later deletion of that hub, this is how an omniscient
+    adversary manufactures the Theorem 2 star scenario inside an arbitrary
+    topology.
+    """
+
+    def choose_attachments(self, healer) -> List[NodeId]:
+        graph = healer.actual_graph()
+        alive = _sorted_nodes(healer.alive_nodes)
+        if not alive:
+            return []
+        hub = max(alive, key=lambda v: (graph.degree[v] if v in graph else 0, repr(v)))
+        return [hub]

@@ -1,0 +1,45 @@
+"""Measurement and verification tools for the success metrics of Figure 1.
+
+* :mod:`repro.analysis.degrees` — degree-increase factors (Theorem 1.1),
+* :mod:`repro.analysis.stretch` — exact and sampled stretch (Theorem 1.2),
+* :mod:`repro.analysis.bounds` — the theoretical upper bounds of Theorem 1
+  and the Theorem 2 lower bound,
+* :mod:`repro.analysis.invariants` — healer-agnostic health checks
+  (connectivity, guarantee compliance),
+* :mod:`repro.analysis.stats` — small summary-statistics helpers used by the
+  experiment reports.
+"""
+
+from .bounds import (
+    degree_bound,
+    lower_bound_stretch,
+    repair_message_bound,
+    repair_time_bound,
+    stretch_bound,
+    verify_tradeoff_against_lower_bound,
+)
+from .degrees import DegreeReport, degree_increase_factor, degree_report, per_node_degree_factors
+from .invariants import GuaranteeReport, check_connectivity_preserved, guarantee_report
+from .stats import Summary, summarize
+from .stretch import StretchReport, pairwise_stretch, stretch_report
+
+__all__ = [
+    "degree_increase_factor",
+    "per_node_degree_factors",
+    "degree_report",
+    "DegreeReport",
+    "pairwise_stretch",
+    "stretch_report",
+    "StretchReport",
+    "degree_bound",
+    "stretch_bound",
+    "lower_bound_stretch",
+    "repair_message_bound",
+    "repair_time_bound",
+    "verify_tradeoff_against_lower_bound",
+    "check_connectivity_preserved",
+    "guarantee_report",
+    "GuaranteeReport",
+    "Summary",
+    "summarize",
+]

@@ -1,0 +1,64 @@
+"""Small summary-statistics helpers used by experiment reports.
+
+Kept deliberately tiny: the experiments only need robust summaries (mean,
+median, percentiles, max) of short series such as "messages per deletion" or
+"stretch after each step", and keeping this in one place makes the reported
+tables uniform.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["Summary", "summarize"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary statistics of a numeric series."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    maximum: float
+    minimum: float
+
+    def as_row(self, prefix: str = "") -> Dict[str, float]:
+        """Flatten to a dict; keys optionally get a ``prefix``."""
+        row = {
+            "count": self.count,
+            "mean": round(self.mean, 4),
+            "median": round(self.median, 4),
+            "p95": round(self.p95, 4),
+            "max": round(self.maximum, 4),
+            "min": round(self.minimum, 4),
+        }
+        if prefix:
+            row = {f"{prefix}_{key}": value for key, value in row.items()}
+        return row
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Summarise a series, ignoring NaNs; an empty series summarises to zeros."""
+    data: List[float] = [v for v in values if not (isinstance(v, float) and math.isnan(v))]
+    if not data:
+        return Summary(count=0, mean=0.0, median=0.0, p95=0.0, maximum=0.0, minimum=0.0)
+    finite = [v for v in data if math.isfinite(v)]
+    if not finite:
+        inf = float("inf")
+        return Summary(count=len(data), mean=inf, median=inf, p95=inf, maximum=inf, minimum=inf)
+    array = np.asarray(finite, dtype=float)
+    has_inf = len(finite) != len(data)
+    return Summary(
+        count=len(data),
+        mean=float("inf") if has_inf else float(array.mean()),
+        median=float(np.median(array)),
+        p95=float(np.percentile(array, 95)),
+        maximum=float("inf") if has_inf else float(array.max()),
+        minimum=float(array.min()),
+    )

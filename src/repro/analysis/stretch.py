@@ -1,0 +1,167 @@
+"""Stretch measurements (Theorem 1.2 / success metric 2 of Figure 1).
+
+The stretch of a healed graph ``G_T`` relative to ``G'_T`` is::
+
+    max over alive pairs x, y of   dist(x, y, G_T) / dist(x, y, G'_T)
+
+Distances in ``G'`` may route through *deleted* nodes — that is what makes
+the guarantee strong: the healed graph competes against a graph that never
+lost anything.  Pairs disconnected in ``G'`` are ignored (their ratio is
+undefined); pairs connected in ``G'`` but disconnected in the healed graph
+give infinite stretch (only the no-healing baseline ever does this).
+
+Exact stretch needs all-pairs shortest paths and is quadratic; for sweeps on
+larger graphs :func:`stretch_report` samples source nodes (BFS from each
+sampled source still gives the exact worst ratio over the sampled rows).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import networkx as nx
+import numpy as np
+
+from ..core.ports import NodeId
+
+__all__ = ["pairwise_stretch", "stretch_report", "StretchReport"]
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def _rng(seed: SeedLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def pairwise_stretch(healer, x: NodeId, y: NodeId) -> float:
+    """Stretch of the single pair ``(x, y)``.
+
+    Returns ``inf`` if the pair is connected in ``G'`` but not in the healed
+    graph and ``nan`` if it is disconnected even in ``G'``.
+    """
+    actual = healer.actual_graph()
+    g_prime = healer.g_prime_view()
+    try:
+        base = nx.shortest_path_length(g_prime, x, y)
+    except nx.NetworkXNoPath:
+        return float("nan")
+    if base == 0:
+        return 1.0
+    try:
+        healed = nx.shortest_path_length(actual, x, y)
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        return float("inf")
+    return healed / base
+
+
+@dataclass
+class StretchReport:
+    """Aggregate stretch statistics for one healer state."""
+
+    max_stretch: float
+    mean_stretch: float
+    pairs_measured: int
+    disconnected_pairs: int
+    #: The ``log2(n)`` bound of Theorem 1.2 for the current ``n`` (nodes ever seen).
+    log_n_bound: float
+    sampled: bool
+
+    @property
+    def within_bound(self) -> bool:
+        """True when the measured worst stretch satisfies the Theorem 1.2 bound."""
+        if math.isinf(self.max_stretch):
+            return False
+        return self.max_stretch <= max(self.log_n_bound, 1.0) + 1e-9
+
+    def as_row(self) -> Dict[str, float]:
+        """Flatten to a dict for the table reporters."""
+        return {
+            "stretch_max": round(self.max_stretch, 4) if math.isfinite(self.max_stretch) else float("inf"),
+            "stretch_mean": round(self.mean_stretch, 4) if math.isfinite(self.mean_stretch) else float("inf"),
+            "pairs": self.pairs_measured,
+            "disconnected_pairs": self.disconnected_pairs,
+            "log_n_bound": round(self.log_n_bound, 4),
+            "within_bound": self.within_bound,
+        }
+
+
+def stretch_report(
+    healer,
+    max_sources: Optional[int] = None,
+    seed: SeedLike = None,
+) -> StretchReport:
+    """Measure the stretch of the healer's current state.
+
+    Parameters
+    ----------
+    healer:
+        Any object with ``actual_graph`` / ``g_prime_view`` / ``alive_nodes``
+        and ``nodes_ever``.
+    max_sources:
+        When given and smaller than the number of alive nodes, BFS is run
+        only from this many sampled sources; the reported maximum is then a
+        lower bound on the true maximum (adequate for sweeps, exact for
+        tests that omit the parameter).
+    seed:
+        Seed for the source sampling.
+    """
+    actual = healer.actual_graph()
+    g_prime = healer.g_prime_view()
+    alive: List[NodeId] = sorted(healer.alive_nodes, key=lambda n: (type(n).__name__, repr(n)))
+    n_ever = healer.nodes_ever
+    log_n_bound = math.log2(n_ever) if n_ever > 1 else 1.0
+
+    if len(alive) < 2:
+        return StretchReport(
+            max_stretch=1.0,
+            mean_stretch=1.0,
+            pairs_measured=0,
+            disconnected_pairs=0,
+            log_n_bound=log_n_bound,
+            sampled=False,
+        )
+
+    sampled = max_sources is not None and max_sources < len(alive)
+    if sampled:
+        rng = _rng(seed)
+        picks = rng.choice(len(alive), size=max_sources, replace=False)
+        sources = [alive[int(i)] for i in picks]
+    else:
+        sources = alive
+
+    alive_set = set(alive)
+    worst = 0.0
+    total = 0.0
+    pairs = 0
+    disconnected = 0
+    for source in sources:
+        base_dist = nx.single_source_shortest_path_length(g_prime, source)
+        healed_dist = (
+            nx.single_source_shortest_path_length(actual, source) if source in actual else {}
+        )
+        for target, base in base_dist.items():
+            if target == source or target not in alive_set or base == 0:
+                continue
+            healed = healed_dist.get(target)
+            pairs += 1
+            if healed is None:
+                disconnected += 1
+                worst = float("inf")
+                continue
+            ratio = healed / base
+            worst = max(worst, ratio)
+            total += ratio
+    finite_pairs = pairs - disconnected
+    mean = (total / finite_pairs) if finite_pairs else (float("inf") if disconnected else 1.0)
+    return StretchReport(
+        max_stretch=worst if pairs else 1.0,
+        mean_stretch=mean,
+        pairs_measured=pairs,
+        disconnected_pairs=disconnected,
+        log_n_bound=log_n_bound,
+        sampled=sampled,
+    )

@@ -1,0 +1,201 @@
+"""Shared machinery for baseline healers.
+
+:class:`SelfHealer` implements the insert/delete bookkeeping that every
+baseline needs — maintaining ``G'`` (insertions only) and the healed graph —
+and leaves a single hook, :meth:`SelfHealer._heal`, for the strategy-specific
+repair.  The public surface mirrors :class:`repro.core.ForgivingGraph`, so
+adversaries, schedules and the experiment runner treat the Forgiving Graph
+and every baseline interchangeably.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..core.errors import (
+    DeletedNodeError,
+    DuplicateNodeError,
+    InvalidEdgeError,
+    UnknownNodeError,
+)
+from ..core.ports import NodeId
+
+__all__ = ["SelfHealer"]
+
+
+class SelfHealer(abc.ABC):
+    """Base class for baseline self-healing strategies.
+
+    Subclasses implement :meth:`_heal`, which receives the just-deleted node
+    and the neighbours it had *in the healed graph* at deletion time, and
+    may add edges between surviving nodes (never new nodes — the model of
+    Figure 1 only allows edge additions during recovery).
+    """
+
+    #: Short machine-readable name used in experiment tables.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._g_prime = nx.Graph()
+        self._actual = nx.Graph()
+        self._alive: Set[NodeId] = set()
+        self._deleted: Set[NodeId] = set()
+
+    # ------------------------------------------------------------------ #
+    # constructors (mirroring ForgivingGraph)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_graph(cls, graph: nx.Graph, **kwargs) -> "SelfHealer":
+        """Build a healer whose initial network is ``graph``."""
+        healer = cls(**kwargs)
+        for node in graph.nodes:
+            healer._add_initial_node(node)
+        for u, v in graph.edges:
+            healer._add_initial_edge(u, v)
+        return healer
+
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Tuple[NodeId, NodeId]], nodes: Iterable[NodeId] = (), **kwargs
+    ) -> "SelfHealer":
+        """Build a healer whose initial network has the given edges."""
+        healer = cls(**kwargs)
+        for node in nodes:
+            healer._add_initial_node(node)
+        for u, v in edges:
+            healer._add_initial_node(u)
+            healer._add_initial_node(v)
+            healer._add_initial_edge(u, v)
+        return healer
+
+    def _add_initial_node(self, node: NodeId) -> None:
+        if node in self._g_prime:
+            return
+        self._g_prime.add_node(node)
+        self._actual.add_node(node)
+        self._alive.add(node)
+
+    def _add_initial_edge(self, u: NodeId, v: NodeId) -> None:
+        if u == v:
+            raise InvalidEdgeError(f"self-loop ({u!r}, {v!r}) not allowed")
+        self._g_prime.add_edge(u, v)
+        self._actual.add_edge(u, v)
+
+    # ------------------------------------------------------------------ #
+    # healer protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def alive_nodes(self) -> Set[NodeId]:
+        """A copy of the set of surviving node identifiers."""
+        return set(self._alive)
+
+    @property
+    def deleted_nodes(self) -> Set[NodeId]:
+        """A copy of the set of deleted node identifiers."""
+        return set(self._deleted)
+
+    @property
+    def num_alive(self) -> int:
+        """Number of surviving nodes."""
+        return len(self._alive)
+
+    @property
+    def nodes_ever(self) -> int:
+        """Total number of nodes ever seen (the ``n`` of the theorems)."""
+        return self._g_prime.number_of_nodes()
+
+    def is_alive(self, node: NodeId) -> bool:
+        """True when ``node`` is currently alive."""
+        return node in self._alive
+
+    def g_prime_view(self) -> nx.Graph:
+        """Return a copy of ``G'`` (insertions only, ignoring deletions)."""
+        return self._g_prime.copy()
+
+    def g_prime_degree(self, node: NodeId) -> int:
+        """Degree of ``node`` in ``G'``."""
+        if node not in self._g_prime:
+            raise UnknownNodeError(node, "g_prime_degree")
+        return self._g_prime.degree[node]
+
+    def actual_graph(self) -> nx.Graph:
+        """Return a copy of the healed graph maintained by this strategy."""
+        return self._actual.copy()
+
+    def actual_degree(self, node: NodeId) -> int:
+        """Degree of ``node`` in the healed graph."""
+        if node not in self._alive:
+            raise UnknownNodeError(node, "actual_degree")
+        return self._actual.degree[node]
+
+    def insert(self, node: NodeId, attach_to: Sequence[NodeId] = ()) -> None:
+        """Adversarial insertion: add ``node`` with edges to alive ``attach_to`` nodes."""
+        if node in self._g_prime:
+            if node in self._deleted:
+                raise DeletedNodeError(node, "node identifiers cannot be reused")
+            raise DuplicateNodeError(node)
+        neighbors = list(dict.fromkeys(attach_to))
+        for neighbor in neighbors:
+            if neighbor == node:
+                raise InvalidEdgeError(f"cannot attach {node!r} to itself")
+            if neighbor not in self._alive:
+                raise UnknownNodeError(neighbor, "insertion must attach to alive nodes")
+        self._g_prime.add_node(node)
+        self._actual.add_node(node)
+        self._alive.add(node)
+        for neighbor in neighbors:
+            self._g_prime.add_edge(node, neighbor)
+            self._actual.add_edge(node, neighbor)
+
+    def delete(self, node: NodeId) -> None:
+        """Adversarial deletion followed by this strategy's repair."""
+        if node not in self._g_prime:
+            raise UnknownNodeError(node, "delete")
+        if node not in self._alive:
+            raise DeletedNodeError(node, "delete")
+        neighbors = sorted(self._actual.neighbors(node), key=lambda n: (type(n).__name__, repr(n)))
+        self._actual.remove_node(node)
+        self._alive.discard(node)
+        self._deleted.add(node)
+        self._heal(node, neighbors)
+
+    # ------------------------------------------------------------------ #
+    # strategy hook
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _heal(self, deleted: NodeId, neighbors: List[NodeId]) -> None:
+        """Repair the healed graph after ``deleted`` vanished.
+
+        ``neighbors`` lists the nodes that were adjacent to ``deleted`` in
+        the healed graph (all of them are still alive).  Implementations may
+        only add edges between alive nodes via :meth:`_add_healing_edge`.
+        """
+
+    def _add_healing_edge(self, u: NodeId, v: NodeId) -> None:
+        """Add a repair edge to the healed graph (ignored for self-loops/duplicates)."""
+        if u == v:
+            return
+        if u not in self._alive or v not in self._alive:
+            raise UnknownNodeError(u if u not in self._alive else v, "healing edge endpoint")
+        self._actual.add_edge(u, v)
+
+    # ------------------------------------------------------------------ #
+    # shared metrics
+    # ------------------------------------------------------------------ #
+    def degree_increase_factor(self, node: Optional[NodeId] = None) -> float:
+        """Maximum ``deg(v, healed) / deg(v, G')`` over alive nodes (or one node)."""
+        nodes = [node] if node is not None else list(self._alive)
+        worst = 0.0
+        for v in nodes:
+            d_prime = self._g_prime.degree[v] if v in self._g_prime else 0
+            if d_prime == 0:
+                continue
+            d_actual = self._actual.degree[v] if v in self._actual else 0
+            worst = max(worst, d_actual / d_prime)
+        return worst
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(alive={self.num_alive}, ever={self.nodes_ever})"

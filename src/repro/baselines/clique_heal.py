@@ -1,0 +1,27 @@
+"""Clique healing: wire all of the victim's neighbours pairwise.
+
+Distances barely grow (two former neighbours of the victim stay at distance
+one), but each repair can add ``d - 1`` edges to every neighbour of a
+degree-``d`` victim, so degrees explode under targeted attack — the expensive
+end of the degree/stretch trade-off of Theorem 2.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List
+
+from ..core.ports import NodeId
+from .base import SelfHealer
+
+__all__ = ["CliqueHealing"]
+
+
+class CliqueHealing(SelfHealer):
+    """Connect every pair of the deleted node's neighbours."""
+
+    name = "clique_heal"
+
+    def _heal(self, deleted: NodeId, neighbors: List[NodeId]) -> None:
+        for u, v in combinations(neighbors, 2):
+            self._add_healing_edge(u, v)

@@ -1,0 +1,32 @@
+"""Cycle healing: wire the victim's neighbours into a ring.
+
+Each repair adds at most two edges per surviving neighbour, so the degree
+increase is bounded (additively by 2), but a path between two former
+neighbours of the victim can now have to walk half-way around the ring —
+repeated deletions compound and the stretch can grow polynomially.  This is
+the classic cheap-but-stretchy end of the trade-off that Theorem 2 formalises.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.ports import NodeId
+from .base import SelfHealer
+
+__all__ = ["CycleHealing"]
+
+
+class CycleHealing(SelfHealer):
+    """Connect the deleted node's neighbours in a cycle (deterministic order)."""
+
+    name = "cycle_heal"
+
+    def _heal(self, deleted: NodeId, neighbors: List[NodeId]) -> None:
+        if len(neighbors) < 2:
+            return
+        for i, current in enumerate(neighbors):
+            nxt = neighbors[(i + 1) % len(neighbors)]
+            if len(neighbors) == 2 and i == 1:
+                break  # avoid adding the same edge twice for a 2-cycle
+            self._add_healing_edge(current, nxt)

@@ -1,0 +1,26 @@
+"""The no-healing baseline: delete the node, add nothing.
+
+This is the "do nothing" comparator: degrees never increase (factor 1), but
+connectivity and stretch have no guarantee at all — deleting a cut vertex
+disconnects the survivors, which the experiments report as infinite stretch.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.ports import NodeId
+from .base import SelfHealer
+
+__all__ = ["NoHealing"]
+
+
+class NoHealing(SelfHealer):
+    """Perform no repair after deletions."""
+
+    name = "no_heal"
+
+    def _heal(self, deleted: NodeId, neighbors: List[NodeId]) -> None:
+        # Intentionally empty: the whole point of this baseline is that the
+        # adversary's damage is left in place.
+        return

@@ -1,0 +1,55 @@
+"""Healer registry: build any healer (Forgiving Graph or baseline) by name.
+
+The experiment harness describes runs as data; this registry is the single
+place that maps the string names used in experiment configurations and
+benchmark tables onto healer classes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import networkx as nx
+
+from ..core.errors import ConfigurationError
+from ..core.forgiving_graph import ForgivingGraph
+from .clique_heal import CliqueHealing
+from .cycle_heal import CycleHealing
+from .forgiving_tree import ForgivingTreeHealing
+from .no_heal import NoHealing
+from .surrogate_heal import SurrogateHealing
+from .unmerged_rt import UnmergedRTHealing
+
+__all__ = ["available_healers", "make_healer"]
+
+
+_HEALERS: Dict[str, Callable[[nx.Graph], object]] = {
+    "forgiving_graph": lambda graph: ForgivingGraph.from_graph(graph),
+    "forgiving_tree": lambda graph: ForgivingTreeHealing.from_graph(graph),
+    "no_heal": lambda graph: NoHealing.from_graph(graph),
+    "cycle_heal": lambda graph: CycleHealing.from_graph(graph),
+    "clique_heal": lambda graph: CliqueHealing.from_graph(graph),
+    "surrogate_heal": lambda graph: SurrogateHealing.from_graph(graph),
+    "unmerged_rt": lambda graph: UnmergedRTHealing.from_graph(graph),
+}
+
+
+def available_healers() -> List[str]:
+    """Names accepted by :func:`make_healer`."""
+    return sorted(_HEALERS)
+
+
+def make_healer(name: str, graph: nx.Graph):
+    """Instantiate the named healer on a copy of ``graph``.
+
+    ``"forgiving_graph"`` builds the paper's algorithm
+    (:class:`repro.core.ForgivingGraph`); every other name builds the
+    corresponding baseline from :mod:`repro.baselines`.
+    """
+    try:
+        factory = _HEALERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown healer {name!r}; available: {', '.join(available_healers())}"
+        ) from None
+    return factory(graph.copy())

@@ -1,0 +1,35 @@
+"""Surrogate (star) healing: one neighbour absorbs all of the victim's edges.
+
+The lowest-degree surviving neighbour is chosen as the surrogate and every
+other neighbour is connected to it.  Distances stay within a small constant
+of the pre-deletion distances, but the surrogate's degree grows by the
+victim's degree; an omniscient adversary that keeps deleting the current
+surrogate drives some node's degree towards ``n`` — this is exactly the
+behaviour the Forgiving Graph's 3x degree bound rules out.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.ports import NodeId
+from .base import SelfHealer
+
+__all__ = ["SurrogateHealing"]
+
+
+class SurrogateHealing(SelfHealer):
+    """Reconnect all neighbours of the victim through a single surrogate neighbour."""
+
+    name = "surrogate_heal"
+
+    def _heal(self, deleted: NodeId, neighbors: List[NodeId]) -> None:
+        if len(neighbors) < 2:
+            return
+        surrogate = min(
+            neighbors,
+            key=lambda v: (self._actual.degree[v] if v in self._actual else 0, repr(v)),
+        )
+        for neighbor in neighbors:
+            if neighbor != surrogate:
+                self._add_healing_edge(surrogate, neighbor)

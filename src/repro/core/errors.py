@@ -1,0 +1,68 @@
+"""Exception hierarchy for the Forgiving Graph reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ForgivingGraphError`
+so callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the common failure modes (unknown node,
+duplicate node, structural invariant violations, ...).
+"""
+
+from __future__ import annotations
+
+
+class ForgivingGraphError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class UnknownNodeError(ForgivingGraphError, KeyError):
+    """An operation referenced a node that is not present (or not alive)."""
+
+    def __init__(self, node: object, context: str = "") -> None:
+        detail = f"unknown node {node!r}"
+        if context:
+            detail = f"{detail} ({context})"
+        super().__init__(detail)
+        self.node = node
+
+
+class DuplicateNodeError(ForgivingGraphError, ValueError):
+    """A node was inserted with an identifier that already exists."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} already exists in the graph")
+        self.node = node
+
+
+class DeletedNodeError(ForgivingGraphError, ValueError):
+    """An operation referenced a node that has already been deleted."""
+
+    def __init__(self, node: object, context: str = "") -> None:
+        detail = f"node {node!r} has been deleted"
+        if context:
+            detail = f"{detail} ({context})"
+        super().__init__(detail)
+        self.node = node
+
+
+class InvalidEdgeError(ForgivingGraphError, ValueError):
+    """An edge was specified with invalid endpoints (self-loop, dead node...)."""
+
+
+class HaftStructureError(ForgivingGraphError, AssertionError):
+    """A tree violated the half-full-tree structural definition."""
+
+
+class InvariantViolationError(ForgivingGraphError, AssertionError):
+    """A run-time invariant of the Forgiving Graph data structure failed.
+
+    These are raised by the self-checking machinery
+    (:meth:`repro.core.forgiving_graph.ForgivingGraph.check_invariants`) and
+    indicate a bug in the library rather than misuse by the caller.
+    """
+
+
+class ProtocolError(ForgivingGraphError, RuntimeError):
+    """The distributed protocol reached a state it should never reach."""
+
+
+class ConfigurationError(ForgivingGraphError, ValueError):
+    """An experiment or simulation was configured inconsistently."""

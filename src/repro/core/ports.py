@@ -1,0 +1,59 @@
+"""Identifiers used throughout the Forgiving Graph data structure.
+
+The paper (Table 1 and Figure 6) attaches state to *edges* of ``G'`` rather
+than to processors: for an edge ``(v, x)`` of ``G'`` the processor ``v`` owns
+
+* exactly one *real node* (we call it a **port**) which appears as a leaf of
+  a reconstruction tree once ``x`` has been deleted, and
+* at most one *helper node*, simulated by ``v``, which appears as an internal
+  node of a reconstruction tree.
+
+Modelling ports explicitly keeps Lemma 3 ("at most one helper node per edge")
+checkable as a run-time invariant and makes the homomorphism from the virtual
+graph onto the real network a one-liner (a port or helper maps to its owning
+processor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+#: Type alias for processor identifiers.  Anything hashable works (ints,
+#: strings, tuples); experiments in this repository use ints and strings.
+NodeId = Hashable
+
+
+@dataclass(frozen=True, order=True)
+class Port:
+    """The *real node* owned by ``processor`` for the ``G'`` edge to ``neighbor``.
+
+    A port is a stable name: it refers to the same conceptual object for the
+    whole lifetime of the edge ``(processor, neighbor)`` in ``G'``, regardless
+    of whether ``neighbor`` is still alive.  Ports of dead processors are
+    discarded together with the processor.
+    """
+
+    processor: NodeId
+    neighbor: NodeId
+
+    def reversed(self) -> "Port":
+        """Return the port at the other end of the same ``G'`` edge."""
+        return Port(self.neighbor, self.processor)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"port({self.processor}|{self.neighbor})"
+
+
+def edge_key(u: NodeId, v: NodeId) -> tuple[NodeId, NodeId]:
+    """Return a canonical, order-independent key for the undirected edge ``{u, v}``.
+
+    ``G'`` is an undirected graph; both ``(u, v)`` and ``(v, u)`` must map to
+    the same record.  Node identifiers of mixed types are compared by
+    ``(type name, repr)`` so the ordering is total even for heterogeneous ids.
+    """
+    if u == v:
+        raise ValueError(f"self-loop edge ({u!r}, {v!r}) is not allowed")
+    ku = (type(u).__name__, repr(u))
+    kv = (type(v).__name__, repr(v))
+    return (u, v) if ku <= kv else (v, u)

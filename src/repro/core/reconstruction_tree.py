@@ -1,0 +1,579 @@
+"""Reconstruction trees (RTs) — Sections 3 and 4.2 of the paper.
+
+When the adversary deletes a node ``v``, the Forgiving Graph conceptually
+replaces ``v`` by a *Reconstruction Tree* ``RT(v)``: a half-full tree whose
+leaves are the **ports** of the surviving neighbours (one leaf per ``G'``
+edge incident to a deleted node) and whose internal nodes are **helper**
+(virtual) nodes, each simulated by a real processor.  After many deletions
+the RTs of different deleted nodes merge, so the data structure maintains a
+forest of RTs covering all "holes" the adversary has punched into the graph.
+
+The crucial bookkeeping device is the **representative mechanism**
+(Section 4.2): every subtree of an RT with ``L`` leaves contains exactly
+``L - 1`` helper nodes, each simulated by the processor owning a *distinct*
+leaf of that subtree; the one leaf that is not simulating a helper inside the
+subtree is the subtree's *representative*, and it is the processor that will
+simulate the next helper created on top of the subtree.  This is what keeps
+the per-node degree increase bounded (Lemma 3 / Theorem 1.1).
+
+This module provides:
+
+* :class:`RTLeaf` / :class:`RTHelper` — the node types,
+* :class:`ReconstructionTree` — a single RT with port-indexed lookups,
+* :func:`extract_surviving_complete_trees` — the fragment-strip step run when
+  a processor dies (the distributed analogue is ``FindPrRoots`` /
+  Algorithm A.5),
+* :func:`compute_haft` — the merge of complete trees with the representative
+  mechanism (``ComputeHaft`` / Algorithm A.9).
+
+The engine in :mod:`repro.core.forgiving_graph` wires these pieces together.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from .errors import HaftStructureError, InvariantViolationError
+from .haft import is_complete, validate_haft
+from .ports import NodeId, Port
+
+__all__ = [
+    "RTLeaf",
+    "RTHelper",
+    "RTNode",
+    "ReconstructionTree",
+    "extract_surviving_complete_trees",
+    "compute_haft",
+    "representative_of",
+]
+
+
+class RTLeaf:
+    """A *real node* of the virtual graph: the port of a ``G'`` edge.
+
+    The leaf for port ``(v, x)`` exists exactly while ``v`` is alive and
+    ``x`` has been deleted; it is owned (simulated) by processor ``v``.
+    """
+
+    __slots__ = ("port", "parent")
+
+    def __init__(self, port: Port) -> None:
+        self.port = port
+        self.parent: Optional["RTHelper"] = None
+
+    # --- haft-node protocol -------------------------------------------------
+    left = None
+    right = None
+    height = 0
+    num_leaves = 1
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    @property
+    def processor(self) -> NodeId:
+        """The real processor that owns (simulates) this leaf."""
+        return self.port.processor
+
+    def detach(self) -> None:
+        """Disconnect this leaf from its parent helper, if any."""
+        parent = self.parent
+        if parent is None:
+            return
+        if parent.left is self:
+            parent.left = None
+        if parent.right is self:
+            parent.right = None
+        self.parent = None
+
+    def root(self) -> "RTNode":
+        node: RTNode = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RTLeaf({self.port.processor!r}|{self.port.neighbor!r})"
+
+
+class RTHelper:
+    """A *helper node*: a virtual internal node of an RT.
+
+    ``helper(v, x)`` is simulated by processor ``v`` (the owner of port
+    ``(v, x)``) and, by construction, is always an ancestor of the leaf of
+    the same port.  A helper has at most three incident virtual edges
+    (parent, left child, right child), which is what bounds the degree
+    increase of the simulating processor.
+    """
+
+    __slots__ = ("simulated_by", "parent", "left", "right", "height", "num_leaves", "representative")
+
+    def __init__(self, simulated_by: Port) -> None:
+        self.simulated_by = simulated_by
+        self.parent: Optional["RTHelper"] = None
+        self.left: Optional[RTNode] = None
+        self.right: Optional[RTNode] = None
+        self.height = 1
+        self.num_leaves = 0
+        #: The unique leaf of this helper's subtree whose processor is not
+        #: simulating any helper inside the subtree.
+        self.representative: Optional[RTLeaf] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    @property
+    def processor(self) -> NodeId:
+        """The real processor simulating this helper node."""
+        return self.simulated_by.processor
+
+    def attach_children(self, left: "RTNode", right: "RTNode") -> None:
+        """Set both children and refresh the cached height / leaf count."""
+        self.left = left
+        self.right = right
+        left.parent = self
+        right.parent = self
+        self.height = 1 + max(left.height, right.height)
+        self.num_leaves = left.num_leaves + right.num_leaves
+
+    def detach(self) -> None:
+        """Disconnect this helper from its parent, if any."""
+        parent = self.parent
+        if parent is None:
+            return
+        if parent.left is self:
+            parent.left = None
+        if parent.right is self:
+            parent.right = None
+        self.parent = None
+
+    def root(self) -> "RTNode":
+        node: RTNode = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RTHelper(sim={self.simulated_by.processor!r}|{self.simulated_by.neighbor!r}, "
+            f"leaves={self.num_leaves}, h={self.height})"
+        )
+
+
+RTNode = Union[RTLeaf, RTHelper]
+
+_rt_id_counter = itertools.count(1)
+
+
+def representative_of(node: RTNode) -> RTLeaf:
+    """Return the representative leaf of ``node`` (the node itself for a leaf)."""
+    if isinstance(node, RTLeaf):
+        return node
+    if node.representative is None:
+        raise InvariantViolationError(f"helper {node!r} has no representative")
+    return node.representative
+
+
+class ReconstructionTree:
+    """A single reconstruction tree with port-indexed lookup tables.
+
+    Attributes
+    ----------
+    rt_id:
+        A process-unique integer identifier (useful for debugging and for
+        grouping nodes of the virtual graph by RT).
+    root:
+        The root node; an :class:`RTLeaf` for a trivial single-leaf RT,
+        otherwise an :class:`RTHelper`.
+    leaves:
+        Mapping from port to its leaf node.
+    helpers:
+        Mapping from port to the helper node simulated by that port's
+        processor inside this RT (Lemma 3: at most one per port).
+    """
+
+    def __init__(self, root: RTNode, leaves: Dict[Port, RTLeaf], helpers: Dict[Port, RTHelper]) -> None:
+        self.rt_id = next(_rt_id_counter)
+        self.root = root
+        self.leaves = leaves
+        self.helpers = helpers
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def trivial(cls, port: Port) -> "ReconstructionTree":
+        """Create a single-leaf RT for ``port`` (a neighbour that just lost its edge)."""
+        leaf = RTLeaf(port)
+        return cls(root=leaf, leaves={port: leaf}, helpers={})
+
+    @classmethod
+    def from_merge(cls, root: RTNode) -> "ReconstructionTree":
+        """Wrap an already-merged tree, rebuilding the lookup tables by traversal."""
+        leaves: Dict[Port, RTLeaf] = {}
+        helpers: Dict[Port, RTHelper] = {}
+        for node in iter_rt_nodes(root):
+            if isinstance(node, RTLeaf):
+                if node.port in leaves:
+                    raise InvariantViolationError(f"port {node.port} appears twice as a leaf")
+                leaves[node.port] = node
+            else:
+                if node.simulated_by in helpers:
+                    raise InvariantViolationError(
+                        f"port {node.simulated_by} simulates two helpers in one RT"
+                    )
+                helpers[node.simulated_by] = node
+        return cls(root=root, leaves=leaves, helpers=helpers)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of leaves of this RT."""
+        return len(self.leaves)
+
+    @property
+    def depth(self) -> int:
+        """Height of the RT (0 for a trivial RT)."""
+        return self.root.height
+
+    def ports(self) -> Iterable[Port]:
+        """Iterate over the leaf ports of this RT."""
+        return self.leaves.keys()
+
+    def processors(self) -> Set[NodeId]:
+        """Set of real processors owning at least one leaf of this RT."""
+        return {port.processor for port in self.leaves}
+
+    def virtual_edges(self) -> Iterator[Tuple[RTNode, RTNode]]:
+        """Yield the parent-child edges of this RT (virtual-graph edges)."""
+        stack: List[RTNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, RTHelper):
+                for child in (node.left, node.right):
+                    if child is not None:
+                        yield (node, child)
+                        stack.append(child)
+
+    def leaf_distance(self, a: Port, b: Port) -> int:
+        """Tree distance (number of virtual hops) between two leaf ports."""
+        if a not in self.leaves or b not in self.leaves:
+            raise KeyError(f"ports {a} / {b} are not both leaves of this RT")
+        path_a = self._path_to_root(self.leaves[a])
+        path_b = self._path_to_root(self.leaves[b])
+        ancestors_a = {id(n): i for i, n in enumerate(path_a)}
+        for j, node in enumerate(path_b):
+            if id(node) in ancestors_a:
+                return ancestors_a[id(node)] + j
+        raise InvariantViolationError("leaves of the same RT share no common ancestor")
+
+    @staticmethod
+    def _path_to_root(node: RTNode) -> List[RTNode]:
+        path: List[RTNode] = [node]
+        while path[-1].parent is not None:
+            path.append(path[-1].parent)
+        return path
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check every structural invariant of this RT.
+
+        Raises :class:`InvariantViolationError` (or
+        :class:`HaftStructureError`) on any inconsistency.  Checked:
+
+        * the tree is a valid haft;
+        * the lookup tables match the tree contents exactly;
+        * every helper is simulated by the processor of a leaf of this RT
+          and is an ancestor of that processor's leaf for the same port;
+        * every subtree with ``L`` leaves contains exactly ``L - 1``
+          helpers, and the cached representative is the unique leaf of the
+          subtree whose port simulates no helper inside the subtree.
+        """
+        if self.size == 0:
+            raise InvariantViolationError("an RT must have at least one leaf")
+        if self.size > 1:
+            try:
+                validate_haft(self.root)  # duck-typed: RT nodes expose the haft protocol
+            except HaftStructureError as exc:
+                raise InvariantViolationError(f"RT {self.rt_id} is not a valid haft: {exc}") from exc
+        seen_leaves: Dict[Port, RTLeaf] = {}
+        seen_helpers: Dict[Port, RTHelper] = {}
+        for node in iter_rt_nodes(self.root):
+            if isinstance(node, RTLeaf):
+                if node.port in seen_leaves:
+                    raise InvariantViolationError(f"port {node.port} appears twice as a leaf")
+                seen_leaves[node.port] = node
+            else:
+                if node.simulated_by in seen_helpers:
+                    raise InvariantViolationError(
+                        f"port {node.simulated_by} simulates two helpers in RT {self.rt_id}"
+                    )
+                seen_helpers[node.simulated_by] = node
+        if seen_leaves != self.leaves or seen_helpers != self.helpers:
+            raise InvariantViolationError(f"lookup tables of RT {self.rt_id} are stale")
+        # helper <-> leaf pairing (Lemma 3 and the ancestor property)
+        for port, helper in self.helpers.items():
+            if port not in self.leaves:
+                raise InvariantViolationError(
+                    f"helper for port {port} exists but the port is not a leaf of RT {self.rt_id}"
+                )
+            leaf = self.leaves[port]
+            if not _is_ancestor(helper, leaf):
+                raise InvariantViolationError(
+                    f"helper for port {port} is not an ancestor of its own leaf"
+                )
+        # representative mechanism
+        for node in iter_rt_nodes(self.root):
+            if isinstance(node, RTHelper):
+                self._validate_representative(node)
+
+    def _validate_representative(self, helper: RTHelper) -> None:
+        subtree_leaves = [n for n in iter_rt_nodes(helper) if isinstance(n, RTLeaf)]
+        subtree_helpers = [n for n in iter_rt_nodes(helper) if isinstance(n, RTHelper)]
+        if len(subtree_helpers) != len(subtree_leaves) - 1:
+            raise InvariantViolationError(
+                f"subtree of {helper!r} has {len(subtree_helpers)} helpers "
+                f"for {len(subtree_leaves)} leaves"
+            )
+        simulating_ports = {h.simulated_by for h in subtree_helpers}
+        free_leaves = [leaf for leaf in subtree_leaves if leaf.port not in simulating_ports]
+        if len(free_leaves) != 1:
+            raise InvariantViolationError(
+                f"subtree of {helper!r} has {len(free_leaves)} representative candidates"
+            )
+        if helper.representative is not free_leaves[0]:
+            raise InvariantViolationError(
+                f"cached representative of {helper!r} is not the free leaf of its subtree"
+            )
+
+
+# ---------------------------------------------------------------------- #
+# traversal / utilities
+# ---------------------------------------------------------------------- #
+def iter_rt_nodes(root: RTNode) -> Iterator[RTNode]:
+    """Yield every node of the subtree rooted at ``root`` in pre-order."""
+    stack: List[RTNode] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, RTHelper):
+            if node.right is not None:
+                stack.append(node.right)
+            if node.left is not None:
+                stack.append(node.left)
+
+
+def _is_ancestor(ancestor: RTNode, node: RTNode) -> bool:
+    current: Optional[RTNode] = node
+    while current is not None:
+        if current is ancestor:
+            return True
+        current = current.parent
+    return False
+
+
+# ---------------------------------------------------------------------- #
+# fragment stripping after a deletion (distributed analogue: FindPrRoots)
+# ---------------------------------------------------------------------- #
+def extract_surviving_complete_trees(
+    rt: ReconstructionTree,
+    dead_processor: NodeId,
+) -> Tuple[List[RTNode], List[Port]]:
+    """Break an RT touched by the deletion of ``dead_processor`` into complete trees.
+
+    All leaves owned by ``dead_processor`` and all helpers simulated by it
+    vanish with the processor; the RT falls apart into fragments.  Following
+    the paper's repair (Figures 7–8), only the *complete* subtrees that
+    survive fully intact are kept — every other surviving helper is "marked
+    red" and released (its simulating port becomes free again), while every
+    surviving leaf is kept (at worst as a trivial complete tree of one leaf).
+
+    Parameters
+    ----------
+    rt:
+        The reconstruction tree to dismantle.  It is consumed by this call:
+        afterwards its lookup tables must no longer be used.
+    dead_processor:
+        The processor the adversary just deleted.
+
+    Returns
+    -------
+    (complete_roots, released_helper_ports):
+        ``complete_roots`` are detached roots of fully-alive complete
+        subtrees (largest first), ready to be merged by :func:`compute_haft`.
+        ``released_helper_ports`` lists the ports whose helper node was
+        discarded (so the engine can clear its helper registry).
+    """
+    complete_roots: List[RTNode] = []
+    released: List[Port] = []
+
+    def is_dead(node: RTNode) -> bool:
+        if isinstance(node, RTLeaf):
+            return node.port.processor == dead_processor
+        return node.simulated_by.processor == dead_processor
+
+    def collect_strip(node: RTNode) -> None:
+        """Strip a fully-alive subtree into complete pieces (primary roots).
+
+        Every subtree of an RT is itself a haft, so this is exactly the
+        Strip operation: complete subtrees are kept whole, alive glue nodes
+        on the right spine are released.
+        """
+        if is_complete(node):
+            complete_roots.append(node)
+            return
+        assert isinstance(node, RTHelper)
+        released.append(node.simulated_by)
+        if node.left is not None:
+            complete_roots.append(node.left)
+        if node.right is not None:
+            collect_strip(node.right)
+
+    def visit(node: RTNode) -> bool:
+        """Post-order walk; returns True when the subtree of ``node`` is fully alive.
+
+        Fully-alive subtrees are left untouched here (the maximal ones are
+        stripped by their broken ancestor, or by the top-level call for the
+        root).  Broken subtrees have their alive pieces salvaged immediately
+        and their surviving glue helpers released.
+        """
+        if isinstance(node, RTLeaf):
+            return not is_dead(node)
+        left_alive = visit(node.left) if node.left is not None else False
+        right_alive = visit(node.right) if node.right is not None else False
+        node_alive = not is_dead(node)
+        if left_alive and right_alive and node_alive:
+            return True
+        # The subtree is broken: salvage each fully-alive child subtree and
+        # release this helper if it survived the deletion itself.
+        if left_alive and node.left is not None:
+            collect_strip(node.left)
+        if right_alive and node.right is not None:
+            collect_strip(node.right)
+        if node_alive:
+            released.append(node.simulated_by)
+        return False
+
+    root = rt.root
+    if isinstance(root, RTLeaf):
+        if not is_dead(root):
+            complete_roots.append(root)
+        return complete_roots, released
+
+    if visit(root):
+        # The whole RT survived intact (possible only when the dead
+        # processor never actually appeared in it) — strip it as-is.
+        collect_strip(root)
+
+    for node in complete_roots:
+        node.detach()
+    complete_roots.sort(key=lambda n: -n.num_leaves)
+    return complete_roots, released
+
+
+# ---------------------------------------------------------------------- #
+# ComputeHaft (Algorithm A.9) — merge with the representative mechanism
+# ---------------------------------------------------------------------- #
+def compute_haft(
+    complete_roots: Sequence[RTNode],
+    busy_ports: Optional[Set[Port]] = None,
+) -> Tuple[RTNode, List[RTHelper]]:
+    """Merge complete trees into a single haft using representative helpers.
+
+    This is the centralized equivalent of ``ComputeHaft`` (Algorithm A.9):
+    the forest of complete trees (all of different provenance — surviving
+    pieces of broken RTs plus trivial leaves of the deleted node's
+    neighbours) is combined exactly like binary addition, and every new
+    internal node is a fresh :class:`RTHelper` simulated by the
+    representative of one of the two trees it joins, inheriting the
+    representative of the other.
+
+    Parameters
+    ----------
+    complete_roots:
+        Detached roots of complete trees (leaves are :class:`RTLeaf`,
+        internal nodes :class:`RTHelper`).  Must be non-empty.
+    busy_ports:
+        Ports that are already simulating a helper node elsewhere.  Used as
+        a safety net: the representative mechanism guarantees the ports it
+        picks are free, and this function raises
+        :class:`InvariantViolationError` if that guarantee is ever violated.
+
+    Returns
+    -------
+    (root, new_helpers):
+        The root of the merged haft and the list of helper nodes created.
+    """
+    if not complete_roots:
+        raise ValueError("compute_haft() requires at least one complete tree")
+    busy = set(busy_ports) if busy_ports is not None else set()
+    new_helpers: List[RTHelper] = []
+
+    def sort_key(node: RTNode) -> Tuple[int, str]:
+        return (node.num_leaves, repr(representative_of(node).port))
+
+    def make_helper(simulating_rep: RTLeaf, inherited_rep: RTLeaf, left: RTNode, right: RTNode) -> RTHelper:
+        port = simulating_rep.port
+        if port in busy:
+            raise InvariantViolationError(
+                f"representative mechanism picked busy port {port} to simulate a helper"
+            )
+        helper = RTHelper(simulated_by=port)
+        helper.attach_children(left, right)
+        helper.representative = inherited_rep
+        busy.add(port)
+        new_helpers.append(helper)
+        return helper
+
+    forest: List[RTNode] = sorted(complete_roots, key=sort_key)
+    if len(forest) == 1:
+        return forest[0], new_helpers
+
+    # Phase 1 — combine equal-sized complete trees (binary-addition carries).
+    i = 0
+    while i < len(forest) - 1:
+        a, b = forest[i], forest[i + 1]
+        if a.num_leaves == b.num_leaves:
+            helper = make_helper(
+                simulating_rep=representative_of(a),
+                inherited_rep=representative_of(b),
+                left=a,
+                right=b,
+            )
+            del forest[i : i + 2]
+            _insert_sorted_rt(forest, helper, sort_key)
+            i = max(i - 1, 0)
+        else:
+            i += 1
+
+    # Phase 2 — chain the distinct-sized complete trees smallest-first; the
+    # larger tree is always the left child so every prefix is a haft.
+    root = forest[0]
+    for tree in forest[1:]:
+        helper = make_helper(
+            simulating_rep=representative_of(tree),
+            inherited_rep=representative_of(root),
+            left=tree,
+            right=root,
+        )
+        root = helper
+    return root, new_helpers
+
+
+def _insert_sorted_rt(forest: List[RTNode], node: RTNode, sort_key) -> None:
+    key = sort_key(node)
+    lo, hi = 0, len(forest)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if sort_key(forest[mid]) < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    forest.insert(lo, node)

@@ -1,0 +1,58 @@
+"""Distributed execution substrate for the Forgiving Graph.
+
+The paper's algorithm is a distributed protocol: processors only know their
+neighbours, react to deletions by exchanging messages, and the costs that
+matter are the number of messages, their sizes and the number of parallel
+communication rounds (Figure 1's success metrics 3 and 4, bounded by
+Lemma 4).  This package provides
+
+* :mod:`repro.distributed.messages` — the message vocabulary of the protocol,
+* :mod:`repro.distributed.network` — a synchronous round-based
+  message-passing simulator with per-processor counters,
+* :mod:`repro.distributed.processor` — per-processor state: one
+  :class:`EdgeRecord` per ``G'`` edge with exactly the fields of Table 1,
+* :mod:`repro.distributed.protocol` — the repair protocol driving the
+  message exchanges (notification, BT_v formation, probing for primary
+  roots, bottom-up merging),
+* :mod:`repro.distributed.simulator` — :class:`DistributedForgivingGraph`,
+  a drop-in healer that runs every repair through the message-passing
+  substrate and reports per-deletion communication costs.
+
+The structural outcome of each repair is cross-checkable against the
+centralized reference engine (:class:`repro.core.ForgivingGraph`); the tests
+in ``tests/test_distributed_*`` do exactly that.
+"""
+
+from .messages import (
+    AnchorLink,
+    DeletionNotice,
+    HelperAssignment,
+    InsertionNotice,
+    Message,
+    ParentUpdate,
+    PrimaryRootList,
+    PrimaryRootReport,
+    Probe,
+)
+from .metrics import DeletionCostReport, NetworkMetrics
+from .network import Network
+from .processor import EdgeRecord, Processor
+from .simulator import DistributedForgivingGraph
+
+__all__ = [
+    "Message",
+    "DeletionNotice",
+    "InsertionNotice",
+    "AnchorLink",
+    "Probe",
+    "PrimaryRootReport",
+    "PrimaryRootList",
+    "ParentUpdate",
+    "HelperAssignment",
+    "Network",
+    "Processor",
+    "EdgeRecord",
+    "NetworkMetrics",
+    "DeletionCostReport",
+    "DistributedForgivingGraph",
+]

@@ -1,0 +1,172 @@
+"""Message vocabulary of the distributed repair protocol.
+
+Each message type corresponds to one of the exchanges described in
+Section 4.2 and the pseudocode of Appendix A:
+
+* :class:`DeletionNotice` / :class:`InsertionNotice` — the model-level
+  notifications of Figure 1 ("all neighbours of ``v_t`` are informed"),
+* :class:`AnchorLink` — phase 1 of the repair: the anchors of the affected
+  reconstruction-tree fragments link up into the binary tree ``BT_v``,
+* :class:`Probe` / :class:`PrimaryRootReport` — ``FindPrRoots``
+  (Algorithm A.5): walking the right spine of a fragment to locate primary
+  roots and reporting them back to the anchor,
+* :class:`PrimaryRootList` — anchors exchanging their primary-root lists
+  with their ``BT_v`` parent/children (Algorithm A.7),
+* :class:`HelperAssignment` — the merge instruction telling a processor to
+  instantiate (or drop) a helper node with given parent/children
+  (Algorithms A.8/A.9).
+
+Message sizes are measured in *words* of ``O(log n)`` bits: a node or port
+identifier costs one word, so Lemma 4's "messages of size ``O(log n)``"
+corresponds to a constant number of words per message, except for
+:class:`PrimaryRootList`, whose payload is one word per primary root (at most
+``O(log n)`` of them).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..core.ports import NodeId, Port
+
+__all__ = [
+    "Message",
+    "DeletionNotice",
+    "InsertionNotice",
+    "AnchorLink",
+    "Probe",
+    "PrimaryRootReport",
+    "PrimaryRootList",
+    "ParentUpdate",
+    "HelperAssignment",
+    "words_to_bits",
+]
+
+_message_counter = itertools.count(1)
+
+
+def words_to_bits(words: int, n_ever: int) -> int:
+    """Convert a payload measured in identifier words into bits for ``n`` nodes."""
+    word_bits = max(int(math.ceil(math.log2(max(n_ever, 2)))), 1)
+    return words * word_bits
+
+
+@dataclass
+class Message:
+    """Base class for protocol messages travelling between processors."""
+
+    sender: NodeId
+    receiver: NodeId
+
+    #: Payload size in identifier words (subclasses override as needed).
+    payload_words: int = field(default=2, init=False)
+
+    def __post_init__(self) -> None:
+        self.message_id = next(_message_counter)
+
+    @property
+    def kind(self) -> str:
+        """Short name of the message type (used in traces and metrics)."""
+        return type(self).__name__
+
+    def size_bits(self, n_ever: int) -> int:
+        """Size of this message in bits when identifiers need ``log2 n`` bits."""
+        return words_to_bits(self.payload_words, n_ever)
+
+
+@dataclass
+class DeletionNotice(Message):
+    """Failure notification: ``deleted`` has vanished (delivered to each neighbour)."""
+
+    deleted: NodeId = None
+
+
+@dataclass
+class InsertionNotice(Message):
+    """A freshly inserted node announces itself to one of its chosen neighbours."""
+
+    inserted: NodeId = None
+
+
+@dataclass
+class AnchorLink(Message):
+    """Anchors of affected fragments link into the binary tree ``BT_v``."""
+
+    deleted: NodeId = None
+    #: Port identifying the fragment this anchor speaks for.
+    anchor_port: Optional[Port] = None
+
+
+@dataclass
+class Probe(Message):
+    """``FindPrRoots`` probe walking down the right spine of a fragment."""
+
+    deleted: NodeId = None
+    #: Port of the virtual node currently being probed.
+    target_port: Optional[Port] = None
+    #: Hop count so far (for tracing; the paper's probes carry child counts).
+    hops: int = 0
+
+
+@dataclass
+class PrimaryRootReport(Message):
+    """A primary root confirms its identity (and subtree size) back to the anchor."""
+
+    deleted: NodeId = None
+    root_port: Optional[Port] = None
+    subtree_leaves: int = 0
+
+
+@dataclass
+class PrimaryRootList(Message):
+    """An anchor ships its list of primary roots to its ``BT_v`` parent (or child)."""
+
+    deleted: NodeId = None
+    roots: Tuple[Port, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        # One word per primary root plus a couple of words of header.
+        self.payload_words = 2 + len(self.roots)
+
+
+@dataclass
+class ParentUpdate(Message):
+    """Tell a processor the new RT parent of one of its real or helper nodes."""
+
+    deleted: NodeId = None
+    #: Port of the node (leaf or helper) whose parent changed.
+    child_port: Optional[Port] = None
+    #: Port of the new parent helper node.
+    parent_port: Optional[Port] = None
+    #: True when the update concerns the processor's helper node rather than its leaf.
+    child_is_helper: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.payload_words = 4
+
+
+@dataclass
+class HelperAssignment(Message):
+    """Instruct a processor to instantiate / rewire the helper node of one of its ports.
+
+    ``helper_port`` identifies the helper (the processor owning that port
+    simulates it); parent and children are given as ports of the virtual
+    nodes they refer to, or ``None``.
+    """
+
+    deleted: NodeId = None
+    helper_port: Optional[Port] = None
+    parent_port: Optional[Port] = None
+    left_port: Optional[Port] = None
+    right_port: Optional[Port] = None
+    #: False when the helper should be dropped ("marked red") instead of created.
+    create: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.payload_words = 6

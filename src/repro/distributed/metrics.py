@@ -1,0 +1,125 @@
+"""Communication-cost accounting for the distributed protocol.
+
+Lemma 4 bounds, per deletion of a degree-``d`` node in a network of ``n``
+nodes seen so far:
+
+* total messages: ``O(d log n)``,
+* message size:   ``O(log n)`` bits,
+* recovery time:  ``O(log d log n)`` rounds.
+
+:class:`NetworkMetrics` accumulates the raw counts while the simulator runs;
+:class:`DeletionCostReport` is the per-deletion snapshot the experiments and
+benchmarks consume (experiment E5 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis.bounds import repair_message_bound, repair_time_bound
+from ..core.ports import NodeId
+
+__all__ = ["NetworkMetrics", "DeletionCostReport"]
+
+
+@dataclass
+class NetworkMetrics:
+    """Running totals of the message-passing simulator."""
+
+    total_messages: int = 0
+    total_bits: int = 0
+    total_rounds: int = 0
+    max_message_bits: int = 0
+    messages_by_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    messages_sent_by_node: Dict[NodeId, int] = field(default_factory=lambda: defaultdict(int))
+    bits_sent_by_node: Dict[NodeId, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record_message(self, sender: NodeId, kind: str, bits: int) -> None:
+        """Account for one sent message."""
+        self.total_messages += 1
+        self.total_bits += bits
+        self.max_message_bits = max(self.max_message_bits, bits)
+        self.messages_by_kind[kind] += 1
+        self.messages_sent_by_node[sender] += 1
+        self.bits_sent_by_node[sender] += bits
+
+    def record_rounds(self, rounds: int) -> None:
+        """Account for ``rounds`` parallel communication rounds."""
+        self.total_rounds += rounds
+
+    def max_messages_per_node(self) -> int:
+        """The busiest single node's message count (success metric 3 of Figure 1)."""
+        return max(self.messages_sent_by_node.values(), default=0)
+
+    def max_bits_per_node(self) -> int:
+        """The busiest single node's bits sent."""
+        return max(self.bits_sent_by_node.values(), default=0)
+
+    def snapshot(self) -> "NetworkMetrics":
+        """Deep-ish copy used to compute per-deletion deltas."""
+        clone = NetworkMetrics(
+            total_messages=self.total_messages,
+            total_bits=self.total_bits,
+            total_rounds=self.total_rounds,
+            max_message_bits=self.max_message_bits,
+        )
+        clone.messages_by_kind = defaultdict(int, self.messages_by_kind)
+        clone.messages_sent_by_node = defaultdict(int, self.messages_sent_by_node)
+        clone.bits_sent_by_node = defaultdict(int, self.bits_sent_by_node)
+        return clone
+
+
+@dataclass
+class DeletionCostReport:
+    """Communication cost of a single deletion repair."""
+
+    deleted_node: NodeId
+    #: Degree of the deleted node in ``G'`` (the ``d`` of Lemma 4).
+    degree: int
+    #: Number of nodes seen so far (the ``n`` of Lemma 4).
+    n_ever: int
+    messages: int
+    bits: int
+    rounds: int
+    max_message_bits: int
+    max_messages_per_node: int
+    helpers_created: int
+    helpers_released: int
+
+    @property
+    def message_budget(self) -> float:
+        """The explicit ``O(d log n)`` message budget this repair is checked against."""
+        return repair_message_bound(self.degree, self.n_ever)
+
+    @property
+    def round_budget(self) -> float:
+        """The explicit ``O(log d log n)`` round budget this repair is checked against."""
+        return repair_time_bound(self.degree, self.n_ever)
+
+    @property
+    def within_message_budget(self) -> bool:
+        """True when the measured message count is within the Lemma 4 budget."""
+        return self.messages <= self.message_budget + 1e-9
+
+    @property
+    def within_round_budget(self) -> bool:
+        """True when the measured round count is within the Lemma 4 budget."""
+        return self.rounds <= self.round_budget + 1e-9
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten to a dict for the table reporters."""
+        return {
+            "deleted": self.deleted_node,
+            "degree": self.degree,
+            "n_ever": self.n_ever,
+            "messages": self.messages,
+            "message_budget": round(self.message_budget, 1),
+            "rounds": self.rounds,
+            "round_budget": round(self.round_budget, 1),
+            "max_message_bits": self.max_message_bits,
+            "max_messages_per_node": self.max_messages_per_node,
+            "helpers_created": self.helpers_created,
+            "helpers_released": self.helpers_released,
+        }

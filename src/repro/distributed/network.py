@@ -1,0 +1,150 @@
+"""Synchronous round-based message-passing network.
+
+This is the substrate replacing the paper's physical peer-to-peer network
+(documented substitution in DESIGN.md): processors are Python objects, links
+are entries of an adjacency structure, and time advances in synchronous
+rounds — every message sent in round ``r`` is delivered at the start of round
+``r + 1``, matching the paper's cost model where a message takes at most one
+time unit to traverse an edge and local computation is free.
+
+The network enforces that messages only travel along existing links (or
+links being created by the repair itself, which the protocol registers
+before use), and keeps the per-node and global counters that Lemma 4 bounds.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.errors import ProtocolError, UnknownNodeError
+from ..core.ports import NodeId
+from .messages import Message
+from .metrics import NetworkMetrics
+from .processor import Processor
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A synchronous message-passing network of :class:`Processor` objects."""
+
+    def __init__(self, strict_links: bool = True) -> None:
+        self.processors: Dict[NodeId, Processor] = {}
+        self._links: Set[frozenset] = set()
+        self._outbox: List[Message] = []
+        self._inbox: Deque[Message] = deque()
+        self.metrics = NetworkMetrics()
+        #: When True, sending a message between unlinked processors raises.
+        self.strict_links = strict_links
+        #: Number of nodes ever seen, kept by the simulator for message sizing.
+        self.n_ever = 0
+
+    # ------------------------------------------------------------------ #
+    # topology management
+    # ------------------------------------------------------------------ #
+    def add_processor(self, node: NodeId) -> Processor:
+        """Create (or return) the processor with identifier ``node``."""
+        if node not in self.processors:
+            self.processors[node] = Processor(node)
+            self.n_ever = max(self.n_ever, len(self.processors))
+        return self.processors[node]
+
+    def remove_processor(self, node: NodeId) -> None:
+        """Remove a processor and all its links (the adversary's deletion)."""
+        if node not in self.processors:
+            raise UnknownNodeError(node, "remove_processor")
+        del self.processors[node]
+        self._links = {link for link in self._links if node not in link}
+
+    def has_processor(self, node: NodeId) -> bool:
+        """True when ``node`` currently has a processor."""
+        return node in self.processors
+
+    def connect(self, u: NodeId, v: NodeId) -> None:
+        """Create a bidirectional link between two existing processors."""
+        if u == v:
+            return
+        if u not in self.processors or v not in self.processors:
+            raise UnknownNodeError(u if u not in self.processors else v, "connect")
+        self._links.add(frozenset((u, v)))
+
+    def disconnect(self, u: NodeId, v: NodeId) -> None:
+        """Drop the link between ``u`` and ``v`` if it exists."""
+        self._links.discard(frozenset((u, v)))
+
+    def are_linked(self, u: NodeId, v: NodeId) -> bool:
+        """True when a link currently exists between ``u`` and ``v``."""
+        return frozenset((u, v)) in self._links
+
+    def links(self) -> Set[Tuple[NodeId, NodeId]]:
+        """Return the current link set as ordered tuples (for inspection)."""
+        return {tuple(sorted(link, key=lambda n: (type(n).__name__, repr(n)))) for link in self._links}
+
+    def neighbors(self, node: NodeId) -> List[NodeId]:
+        """Current link neighbours of ``node``."""
+        result = []
+        for link in self._links:
+            if node in link:
+                (other,) = set(link) - {node}
+                result.append(other)
+        return sorted(result, key=lambda n: (type(n).__name__, repr(n)))
+
+    # ------------------------------------------------------------------ #
+    # message passing
+    # ------------------------------------------------------------------ #
+    def send(self, message: Message) -> None:
+        """Queue a message for delivery in the next round.
+
+        In strict mode the sender and receiver must currently be linked —
+        the paper's model only lets processors talk to their immediate
+        neighbours (names of other vertices may be *carried* in messages,
+        but not used as direct destinations).
+        """
+        if message.sender not in self.processors:
+            raise ProtocolError(f"sender {message.sender!r} does not exist")
+        if message.receiver not in self.processors:
+            raise ProtocolError(f"receiver {message.receiver!r} does not exist")
+        if (
+            self.strict_links
+            and message.sender != message.receiver
+            and not self.are_linked(message.sender, message.receiver)
+        ):
+            raise ProtocolError(
+                f"{message.kind} from {message.sender!r} to {message.receiver!r} "
+                "would travel between unlinked processors"
+            )
+        self._outbox.append(message)
+        self.metrics.record_message(
+            sender=message.sender,
+            kind=message.kind,
+            bits=message.size_bits(max(self.n_ever, 2)),
+        )
+
+    def deliver_round(self) -> int:
+        """Deliver every queued message to its receiver; returns how many were delivered."""
+        delivered = 0
+        batch, self._outbox = self._outbox, []
+        self.metrics.record_rounds(1)
+        for message in batch:
+            processor = self.processors.get(message.receiver)
+            if processor is None:
+                continue  # receiver died mid-round; the paper assumes one attack per round
+            processor.receive(message)
+            delivered += 1
+        return delivered
+
+    def run_until_quiet(self, max_rounds: int = 10_000) -> int:
+        """Deliver rounds until no messages remain in flight; returns rounds used."""
+        rounds = 0
+        while self._outbox:
+            if rounds >= max_rounds:
+                raise ProtocolError(f"protocol did not quiesce within {max_rounds} rounds")
+            self.deliver_round()
+            rounds += 1
+        return rounds
+
+    @property
+    def pending_messages(self) -> int:
+        """Messages queued for the next round."""
+        return len(self._outbox)

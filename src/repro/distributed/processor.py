@@ -1,0 +1,184 @@
+"""Per-processor state: the fields of Table 1.
+
+Each processor keeps one :class:`EdgeRecord` per ``G'`` edge it participates
+in.  The record has exactly the fields the paper lists in Table 1: the real
+node's current endpoint, whether the processor is simulating a helper node
+for this edge, the real node's RT parent and representative, plus the helper
+node's parent / children / height / children-count / representative.
+
+All state changes are driven by received messages (plus the local knowledge
+of the processor's own insertions), so the collection of edge records across
+processors *is* the distributed representation of the virtual graph.  The
+test-suite reconstructs the virtual graph from these records and compares it
+with the centralized engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.ports import NodeId, Port
+from .messages import (
+    AnchorLink,
+    DeletionNotice,
+    HelperAssignment,
+    InsertionNotice,
+    Message,
+    PrimaryRootList,
+    PrimaryRootReport,
+    Probe,
+)
+
+__all__ = ["EdgeRecord", "Processor"]
+
+
+@dataclass
+class EdgeRecord:
+    """State kept by processor ``v`` for the ``G'`` edge ``(v, x)`` (Table 1)."""
+
+    #: The other endpoint ``x`` of the edge in ``G'``.
+    neighbor: NodeId
+
+    # --- real-node fields ------------------------------------------------
+    #: Current endpoint of the edge: ``x`` while ``x`` is alive, otherwise the
+    #: port identifying the real node's parent in its RT.
+    endpoint: Optional[Port] = None
+    #: Whether ``x`` is known to be alive (endpoint is the real node itself).
+    neighbor_alive: bool = True
+    #: True when this processor currently simulates a helper node for this edge.
+    has_helper: bool = False
+    #: Port identifying the real node's parent in its RT (None while ``x`` is alive).
+    rt_parent: Optional[Port] = None
+    #: Representative used while merging; for a real node this is itself.
+    representative: Optional[Port] = None
+
+    # --- helper-node fields (meaningful only when ``has_helper``) ---------
+    helper_parent: Optional[Port] = None
+    helper_left: Optional[Port] = None
+    helper_right: Optional[Port] = None
+    helper_height: int = 0
+    helper_children_count: int = 0
+    helper_representative: Optional[Port] = None
+
+    def clear_helper(self) -> None:
+        """Drop the helper node simulated for this edge (it was 'marked red')."""
+        self.has_helper = False
+        self.helper_parent = None
+        self.helper_left = None
+        self.helper_right = None
+        self.helper_height = 0
+        self.helper_children_count = 0
+        self.helper_representative = None
+
+
+class Processor:
+    """A network processor: identifier, per-edge records, and a message log.
+
+    The processor is deliberately passive: message handlers update the edge
+    records and append to the local log; the orchestration of the repair
+    (who probes, who merges with whom) is carried out by the protocol driver
+    in :mod:`repro.distributed.protocol`, faithful to the phases of the
+    paper, with every state change arriving through :meth:`receive`.
+    """
+
+    def __init__(self, node_id: NodeId) -> None:
+        self.node_id = node_id
+        #: One record per ``G'`` edge, keyed by the neighbour's identifier.
+        self.edges: Dict[NodeId, EdgeRecord] = {}
+        #: All messages received, in arrival order (useful for tests/tracing).
+        self.received: List[Message] = []
+        #: Messages received per kind (cheap counters for assertions).
+        self.received_by_kind: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # local knowledge
+    # ------------------------------------------------------------------ #
+    def ensure_edge(self, neighbor: NodeId) -> EdgeRecord:
+        """Create (or return) the edge record for the ``G'`` edge to ``neighbor``.
+
+        Mirrors ``Init(v)`` (Algorithm A.2): the representative starts as the
+        processor's own port and every other field is empty.
+        """
+        if neighbor not in self.edges:
+            record = EdgeRecord(neighbor=neighbor)
+            record.representative = Port(self.node_id, neighbor)
+            self.edges[neighbor] = record
+        return self.edges[neighbor]
+
+    def port(self, neighbor: NodeId) -> Port:
+        """The port this processor owns for the edge to ``neighbor``."""
+        return Port(self.node_id, neighbor)
+
+    def helper_ports(self) -> List[Port]:
+        """Ports for which this processor currently simulates a helper node."""
+        return [Port(self.node_id, nbr) for nbr, rec in self.edges.items() if rec.has_helper]
+
+    def degree_in_edges(self) -> int:
+        """Number of ``G'`` edges this processor participates in."""
+        return len(self.edges)
+
+    # ------------------------------------------------------------------ #
+    # message handling
+    # ------------------------------------------------------------------ #
+    def receive(self, message: Message) -> None:
+        """Dispatch an incoming message to its handler."""
+        self.received.append(message)
+        self.received_by_kind[message.kind] = self.received_by_kind.get(message.kind, 0) + 1
+        handler = getattr(self, f"_on_{message.kind}", None)
+        if handler is not None:
+            handler(message)
+
+    # -- handlers ----------------------------------------------------------
+    def _on_InsertionNotice(self, message: InsertionNotice) -> None:
+        self.ensure_edge(message.inserted)
+
+    def _on_DeletionNotice(self, message: DeletionNotice) -> None:
+        record = self.edges.get(message.deleted)
+        if record is not None:
+            record.neighbor_alive = False
+            record.endpoint = None
+
+    def _on_AnchorLink(self, message: AnchorLink) -> None:
+        # BT_v formation is tracked by the protocol driver; the processor
+        # only needs to remember it took part (for the message accounting
+        # and for tests asserting who participated).
+        return
+
+    def _on_Probe(self, message: Probe) -> None:
+        return
+
+    def _on_PrimaryRootReport(self, message: PrimaryRootReport) -> None:
+        return
+
+    def _on_PrimaryRootList(self, message: PrimaryRootList) -> None:
+        return
+
+    def _on_ParentUpdate(self, message) -> None:
+        port = message.child_port
+        if port is None or port.processor != self.node_id:
+            return
+        record = self.ensure_edge(port.neighbor)
+        if message.child_is_helper:
+            record.helper_parent = message.parent_port
+        else:
+            record.rt_parent = message.parent_port
+            record.endpoint = message.parent_port
+            record.neighbor_alive = False
+
+    def _on_HelperAssignment(self, message: HelperAssignment) -> None:
+        port = message.helper_port
+        if port is None or port.processor != self.node_id:
+            return
+        record = self.ensure_edge(port.neighbor)
+        if not message.create:
+            record.clear_helper()
+            return
+        record.has_helper = True
+        record.helper_parent = message.parent_port
+        record.helper_left = message.left_port
+        record.helper_right = message.right_port
+
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Processor({self.node_id!r}, edges={len(self.edges)})"

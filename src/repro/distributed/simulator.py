@@ -1,0 +1,248 @@
+"""The distributed Forgiving Graph: the healer API on a message-passing substrate.
+
+:class:`DistributedForgivingGraph` exposes the same healer protocol as
+:class:`repro.core.ForgivingGraph` (``insert`` / ``delete`` /
+``actual_graph`` / ``g_prime_view`` / ``alive_nodes`` ...), but every repair
+is replayed as explicit messages over a synchronous round-based network of
+:class:`~repro.distributed.processor.Processor` objects, each holding the
+Table 1 per-edge state.  ``delete`` therefore returns a
+:class:`~repro.distributed.metrics.DeletionCostReport` with the quantities
+Lemma 4 bounds: total messages, bits, rounds, the largest message and the
+busiest processor.
+
+The structural repair decisions are made by an embedded reference engine
+(see the faithfulness note in :mod:`repro.distributed.protocol`), so the
+distributed state provably converges to the same reconstruction trees; the
+added value of this class is the cost accounting and the per-processor view,
+both of which the tests cross-check against the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..core.errors import InvariantViolationError
+from ..core.forgiving_graph import ForgivingGraph
+from ..core.ports import NodeId, Port
+from ..core.reconstruction_tree import RTHelper, RTLeaf
+from .messages import InsertionNotice
+from .metrics import DeletionCostReport
+from .network import Network
+from .protocol import execute_repair, plan_repair
+
+__all__ = ["DistributedForgivingGraph"]
+
+
+class DistributedForgivingGraph:
+    """Forgiving Graph healer running on the message-passing substrate."""
+
+    name = "distributed_forgiving_graph"
+
+    def __init__(self, check_invariants: bool = False) -> None:
+        self._engine = ForgivingGraph(check_invariants=check_invariants)
+        self.network = Network(strict_links=True)
+        #: One cost report per deletion, in order.
+        self.cost_reports: List[DeletionCostReport] = []
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_graph(cls, graph: nx.Graph, **kwargs) -> "DistributedForgivingGraph":
+        """Build the distributed healer from an initial networkx graph ``G_0``."""
+        healer = cls(**kwargs)
+        for node in graph.nodes:
+            healer._bootstrap_node(node)
+        for u, v in graph.edges:
+            healer._bootstrap_edge(u, v)
+        return healer
+
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Tuple[NodeId, NodeId]], nodes: Iterable[NodeId] = (), **kwargs
+    ) -> "DistributedForgivingGraph":
+        """Build the distributed healer from an initial edge list."""
+        graph = nx.Graph()
+        graph.add_nodes_from(nodes)
+        graph.add_edges_from(edges)
+        return cls.from_graph(graph, **kwargs)
+
+    def _bootstrap_node(self, node: NodeId) -> None:
+        self._engine._add_initial_node(node)
+        self.network.add_processor(node)
+        self.network.n_ever = self._engine.nodes_ever
+
+    def _bootstrap_edge(self, u: NodeId, v: NodeId) -> None:
+        self._engine._add_initial_edge(u, v)
+        self.network.connect(u, v)
+        # Pre-processing (Figure 1): each endpoint starts knowing its G_0
+        # neighbours, i.e. runs Init(v) locally — no messages needed.
+        self.network.processors[u].ensure_edge(v)
+        self.network.processors[v].ensure_edge(u)
+
+    # ------------------------------------------------------------------ #
+    # healer protocol (delegated views)
+    # ------------------------------------------------------------------ #
+    @property
+    def alive_nodes(self) -> Set[NodeId]:
+        """Surviving node identifiers."""
+        return self._engine.alive_nodes
+
+    @property
+    def deleted_nodes(self) -> Set[NodeId]:
+        """Deleted node identifiers."""
+        return self._engine.deleted_nodes
+
+    @property
+    def num_alive(self) -> int:
+        """Number of surviving nodes."""
+        return self._engine.num_alive
+
+    @property
+    def nodes_ever(self) -> int:
+        """Number of nodes ever seen (the ``n`` of the theorems)."""
+        return self._engine.nodes_ever
+
+    @property
+    def engine(self) -> ForgivingGraph:
+        """The embedded reference engine (shares all structural state)."""
+        return self._engine
+
+    def is_alive(self, node: NodeId) -> bool:
+        """True when ``node`` is currently alive."""
+        return self._engine.is_alive(node)
+
+    def actual_graph(self) -> nx.Graph:
+        """The healed graph ``G`` (identical to the engine's view)."""
+        return self._engine.actual_graph()
+
+    def g_prime_view(self) -> nx.Graph:
+        """The insertion-only graph ``G'``."""
+        return self._engine.g_prime_view()
+
+    def g_prime_degree(self, node: NodeId) -> int:
+        """Degree of ``node`` in ``G'``."""
+        return self._engine.g_prime_degree(node)
+
+    def degree_increase_factor(self, node: Optional[NodeId] = None) -> float:
+        """Worst ``deg(v, G) / deg(v, G')`` ratio (Theorem 1.1's metric)."""
+        return self._engine.degree_increase_factor(node)
+
+    # ------------------------------------------------------------------ #
+    # adversarial operations
+    # ------------------------------------------------------------------ #
+    def insert(self, node: NodeId, attach_to: Sequence[NodeId] = ()) -> None:
+        """Adversarial insertion: join the network with edges to ``attach_to``.
+
+        The inserted processor knows its chosen neighbours locally and sends
+        each of them one :class:`InsertionNotice` so they can create their
+        Table 1 edge record — the only communication insertions need.
+        """
+        self._engine.insert(node, attach_to=attach_to)
+        processor = self.network.add_processor(node)
+        self.network.n_ever = self._engine.nodes_ever
+        for neighbor in dict.fromkeys(attach_to):
+            self.network.connect(node, neighbor)
+            processor.ensure_edge(neighbor)
+            self.network.send(
+                InsertionNotice(sender=node, receiver=neighbor, inserted=node)
+            )
+        if attach_to:
+            self.network.deliver_round()
+
+    def delete(self, node: NodeId) -> DeletionCostReport:
+        """Adversarial deletion: heal the network and account for every message."""
+        degree = self._engine.g_prime_degree(node)
+        plan = plan_repair(self._engine, node)
+        before = self.network.metrics.snapshot()
+
+        engine_report = self._engine.delete(node)
+
+        # The processor is gone; the surviving links must match the healed graph.
+        if self.network.has_processor(node):
+            self.network.remove_processor(node)
+        self._sync_links()
+
+        rounds = execute_repair(self.network, self._engine, plan, engine_report)
+
+        after = self.network.metrics
+        per_node_delta = {
+            proc: after.messages_sent_by_node.get(proc, 0) - before.messages_sent_by_node.get(proc, 0)
+            for proc in after.messages_sent_by_node
+        }
+        report = DeletionCostReport(
+            deleted_node=node,
+            degree=degree,
+            n_ever=self._engine.nodes_ever,
+            messages=after.total_messages - before.total_messages,
+            bits=after.total_bits - before.total_bits,
+            rounds=rounds,
+            max_message_bits=after.max_message_bits,
+            max_messages_per_node=max(per_node_delta.values(), default=0),
+            helpers_created=engine_report.helpers_created,
+            helpers_released=engine_report.helpers_released,
+        )
+        self.cost_reports.append(report)
+        return report
+
+    def _sync_links(self) -> None:
+        """Make the network's link set equal to the healed graph's edge set."""
+        healed_edges = {
+            frozenset(edge) for edge in self._engine.actual_graph().edges
+        }
+        current = {frozenset(link) for link in self.network.links()}
+        for link in current - healed_edges:
+            u, v = tuple(link)
+            self.network.disconnect(u, v)
+        for link in healed_edges - current:
+            u, v = tuple(link)
+            if self.network.has_processor(u) and self.network.has_processor(v):
+                self.network.connect(u, v)
+
+    # ------------------------------------------------------------------ #
+    # consistency between distributed state and the reference engine
+    # ------------------------------------------------------------------ #
+    def verify_consistency(self) -> None:
+        """Check that the processors' Table 1 records match the engine's RTs.
+
+        For every helper node the engine maintains, the simulating processor
+        must have ``has_helper`` set with the matching children pointers; and
+        no processor may claim a helper the engine does not know about.
+        Raises :class:`InvariantViolationError` on any mismatch.
+        """
+        engine_helpers: Dict[Port, RTHelper] = {}
+        for rt in self._engine.reconstruction_trees():
+            engine_helpers.update(rt.helpers)
+
+        recorded: Dict[Port, Tuple[Optional[Port], Optional[Port]]] = {}
+        for node_id, processor in self.network.processors.items():
+            for neighbor, record in processor.edges.items():
+                if record.has_helper:
+                    recorded[Port(node_id, neighbor)] = (record.helper_left, record.helper_right)
+
+        missing = set(engine_helpers) - set(recorded)
+        if missing:
+            raise InvariantViolationError(
+                f"{len(missing)} helper nodes are unknown to their processors: {sorted(map(str, missing))[:5]}"
+            )
+        extra = set(recorded) - set(engine_helpers)
+        if extra:
+            raise InvariantViolationError(
+                f"{len(extra)} processors claim helpers the engine does not have: {sorted(map(str, extra))[:5]}"
+            )
+        for port, helper in engine_helpers.items():
+            left, right = recorded[port]
+            expected_left = helper.left.port if isinstance(helper.left, RTLeaf) else helper.left.simulated_by
+            expected_right = helper.right.port if isinstance(helper.right, RTLeaf) else helper.right.simulated_by
+            if left != expected_left or right != expected_right:
+                raise InvariantViolationError(
+                    f"helper {port} child pointers diverge between processor and engine"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DistributedForgivingGraph(alive={self.num_alive}, ever={self.nodes_ever}, "
+            f"messages={self.network.metrics.total_messages})"
+        )

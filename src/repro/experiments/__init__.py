@@ -1,0 +1,34 @@
+"""Experiment harness: regenerate every item of the paper's evaluation.
+
+The paper is a theory paper, so its "tables and figures" are theorems,
+lemmas and worked examples; DESIGN.md maps each of them (E1–E10) to an
+executable experiment.  This package provides the plumbing:
+
+* :mod:`repro.experiments.config` — declarative experiment descriptions,
+* :mod:`repro.experiments.runner` — run one healer through one attack and
+  measure the Theorem 1 quantities,
+* :mod:`repro.experiments.sweeps` — parameter sweeps (over ``n``, topology,
+  adversary, healer),
+* :mod:`repro.experiments.reporting` — plain-text tables and CSV output,
+* :mod:`repro.experiments.catalog` — one function per experiment id; running
+  ``python -m repro.experiments`` regenerates them all.
+"""
+
+from .config import AttackConfig, ExperimentConfig
+from .reporting import format_table, rows_to_csv, write_report
+from .runner import AttackOutcome, run_attack, run_healer_comparison
+from .sweeps import sweep_graph_sizes, sweep_healers, sweep_strategies
+
+__all__ = [
+    "AttackConfig",
+    "ExperimentConfig",
+    "AttackOutcome",
+    "run_attack",
+    "run_healer_comparison",
+    "sweep_graph_sizes",
+    "sweep_healers",
+    "sweep_strategies",
+    "format_table",
+    "rows_to_csv",
+    "write_report",
+]

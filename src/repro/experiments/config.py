@@ -1,0 +1,87 @@
+"""Declarative experiment configuration.
+
+Experiments are described as data so that every number in EXPERIMENTS.md can
+be traced back to an exact configuration (topology, size, adversary, healer,
+seed) and regenerated with one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..adversary.strategies import available_deletion_strategies
+from ..baselines.registry import available_healers
+from ..core.errors import ConfigurationError
+from ..generators.graphs import GraphSpec, available_topologies
+
+__all__ = ["AttackConfig", "ExperimentConfig"]
+
+
+@dataclass(frozen=True)
+class AttackConfig:
+    """How the adversary behaves during a run.
+
+    ``delete_fraction`` expresses the attack length as a fraction of the
+    initial node count; ``delete_probability`` mixes insertions in
+    (``1.0`` = pure deletion attack).
+    """
+
+    strategy: str = "max_degree"
+    delete_fraction: float = 0.5
+    delete_probability: float = 1.0
+    insertion_degree: int = 3
+    min_survivors: int = 2
+
+    def __post_init__(self) -> None:
+        if self.strategy not in available_deletion_strategies():
+            raise ConfigurationError(
+                f"unknown deletion strategy {self.strategy!r}; "
+                f"available: {available_deletion_strategies()}"
+            )
+        if not 0.0 < self.delete_fraction <= 1.0:
+            raise ConfigurationError("delete_fraction must lie in (0, 1]")
+        if not 0.0 <= self.delete_probability <= 1.0:
+            raise ConfigurationError("delete_probability must lie in [0, 1]")
+        if self.insertion_degree < 1:
+            raise ConfigurationError("insertion_degree must be at least 1")
+
+    def steps_for(self, n: int) -> int:
+        """Number of adversarial moves for an initial graph of ``n`` nodes."""
+        return max(int(round(self.delete_fraction * n)), 1)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """A complete experiment: topology x attack x healers x seed."""
+
+    name: str
+    graph: GraphSpec
+    attack: AttackConfig = field(default_factory=AttackConfig)
+    healers: Sequence[str] = ("forgiving_graph",)
+    seed: int = 0
+    #: Cap on BFS sources for stretch measurement (None = exact).
+    stretch_sources: Optional[int] = 48
+
+    def __post_init__(self) -> None:
+        if self.graph.topology not in available_topologies():
+            raise ConfigurationError(
+                f"unknown topology {self.graph.topology!r}; available: {available_topologies()}"
+            )
+        unknown = [h for h in self.healers if h not in available_healers()]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown healers {unknown}; available: {available_healers()}"
+            )
+
+    def describe(self) -> Dict[str, object]:
+        """Flat description used as the left-hand columns of report tables."""
+        return {
+            "experiment": self.name,
+            "topology": self.graph.topology,
+            "n0": self.graph.n,
+            "attack": self.attack.strategy,
+            "delete_fraction": self.attack.delete_fraction,
+            "delete_probability": self.attack.delete_probability,
+            "seed": self.seed,
+        }

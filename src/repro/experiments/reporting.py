@@ -1,0 +1,102 @@
+"""Plain-text tables and CSV output for experiment results.
+
+There is intentionally no plotting dependency: every experiment reports the
+series/rows the paper's claims are about as aligned text tables (rendered
+into EXPERIMENTS.md) and, optionally, CSV files for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+__all__ = ["format_table", "rows_to_csv", "write_report"]
+
+Row = Dict[str, object]
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        if math.isnan(value):
+            return "nan"
+        return f"{value:.3f}".rstrip("0").rstrip(".") if value != int(value) else str(int(value))
+    return str(value)
+
+
+def format_table(rows: Sequence[Row], columns: Optional[Sequence[str]] = None, title: str = "") -> str:
+    """Render rows as a GitHub-style markdown table.
+
+    ``columns`` fixes the column order (defaulting to the union of keys in
+    first-appearance order); missing cells render as empty strings.
+    """
+    if not rows:
+        return f"### {title}\n\n(no rows)\n" if title else "(no rows)\n"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    table: List[List[str]] = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), max((len(cells[i]) for cells in table), default=0))
+        for i, col in enumerate(columns)
+    ]
+    header = "| " + " | ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns)) + " |"
+    divider = "|" + "|".join("-" * (widths[i] + 2) for i in range(len(columns))) + "|"
+    body = [
+        "| " + " | ".join(cells[i].ljust(widths[i]) for i in range(len(columns))) + " |"
+        for cells in table
+    ]
+    lines = ([f"### {title}", ""] if title else []) + [header, divider] + body + [""]
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Sequence[Row], path: Union[str, Path], columns: Optional[Sequence[str]] = None) -> Path:
+    """Write rows to a CSV file; returns the path written."""
+    path = Path(path)
+    if not rows:
+        path.write_text("")
+        return path
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def write_report(sections: Iterable[tuple], path: Union[str, Path], title: str = "Experiment report") -> Path:
+    """Write a multi-section markdown report.
+
+    ``sections`` is an iterable of ``(section_title, rows)`` or
+    ``(section_title, rows, preamble_text)`` tuples.
+    """
+    path = Path(path)
+    parts: List[str] = [f"# {title}", ""]
+    for section in sections:
+        if len(section) == 3:
+            section_title, rows, preamble = section
+        else:
+            section_title, rows = section
+            preamble = ""
+        parts.append(f"## {section_title}")
+        parts.append("")
+        if preamble:
+            parts.append(preamble)
+            parts.append("")
+        parts.append(format_table(rows))
+    path.write_text("\n".join(parts))
+    return path

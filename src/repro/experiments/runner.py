@@ -1,0 +1,172 @@
+"""Run one healer (or several) through an adversarial attack and measure it.
+
+The runner is the glue between the generators, adversaries, healers and the
+analysis layer: it instantiates everything from an
+:class:`~repro.experiments.config.ExperimentConfig`, plays the attack, and
+returns flat result rows ready for :mod:`repro.experiments.reporting`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import networkx as nx
+
+from ..adversary.schedule import AttackSchedule
+from ..adversary.strategies import RandomInsertion, make_deletion_strategy
+from ..analysis.invariants import GuaranteeReport, guarantee_report
+from ..baselines.registry import make_healer
+from ..core.ports import NodeId
+from .config import AttackConfig, ExperimentConfig
+
+__all__ = ["AttackOutcome", "run_attack", "run_healer_comparison"]
+
+
+@dataclass
+class AttackOutcome:
+    """Result of running one healer through one attack."""
+
+    healer_name: str
+    config: ExperimentConfig
+    #: Theorem 1 compliance snapshot at the end of the attack.
+    final_report: GuaranteeReport
+    #: Worst degree factor and stretch observed at *any* point during the attack
+    #: (the theorems are "at any time" statements, so the peak matters).
+    peak_degree_factor: float
+    peak_stretch: float
+    deletions: int
+    insertions: int
+    wall_clock_seconds: float
+    #: Optional per-step time series (only kept when ``track_series`` was set).
+    series: List[Dict[str, float]] = field(default_factory=list)
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten to a table row (configuration + headline numbers)."""
+        row = dict(self.config.describe())
+        row.update(
+            {
+                "healer": self.healer_name,
+                "deletions": self.deletions,
+                "insertions": self.insertions,
+                "degree_factor": round(self.peak_degree_factor, 3),
+                "degree_bound": self.final_report.degree_bound,
+                "stretch": round(self.peak_stretch, 3) if math.isfinite(self.peak_stretch) else float("inf"),
+                "stretch_bound": round(self.final_report.stretch_bound, 3),
+                "connected": self.final_report.connected,
+                "seconds": round(self.wall_clock_seconds, 3),
+            }
+        )
+        return row
+
+
+def build_schedule(config: ExperimentConfig, n0: int) -> AttackSchedule:
+    """Instantiate the attack schedule described by an experiment config."""
+    attack = config.attack
+    return AttackSchedule(
+        steps=attack.steps_for(n0),
+        deletion_strategy=make_deletion_strategy(attack.strategy, seed=config.seed),
+        insertion_strategy=RandomInsertion(k=attack.insertion_degree, seed=config.seed + 1),
+        delete_probability=attack.delete_probability,
+        min_survivors=attack.min_survivors,
+        seed=config.seed + 2,
+    )
+
+
+def run_attack(
+    config: ExperimentConfig,
+    healer_name: str,
+    graph: Optional[nx.Graph] = None,
+    track_series: bool = False,
+    measure_every: int = 0,
+) -> AttackOutcome:
+    """Run a single healer through the configured attack.
+
+    Parameters
+    ----------
+    config:
+        The experiment description.
+    healer_name:
+        One of :func:`repro.baselines.available_healers`.
+    graph:
+        Reuse an already-built initial topology (so that different healers in
+        one comparison face exactly the same graph); built from the config's
+        :class:`GraphSpec` when omitted.
+    track_series:
+        Record a per-measurement time series (degree factor / stretch after
+        every ``measure_every`` steps) in the outcome.
+    measure_every:
+        How often (in adversarial moves) to take intermediate measurements;
+        ``0`` measures only peaks at a coarse automatic interval.
+    """
+    initial = graph if graph is not None else config.graph.build(seed=config.seed)
+    healer = make_healer(healer_name, initial)
+    schedule = build_schedule(config, initial.number_of_nodes())
+
+    interval = measure_every if measure_every > 0 else max(schedule.steps // 8, 1)
+    peak_degree = 0.0
+    peak_stretch = 0.0
+    series: List[Dict[str, float]] = []
+    counters = {"delete": 0, "insert": 0, "step": 0}
+
+    def snapshot(step: int) -> None:
+        nonlocal peak_degree, peak_stretch
+        report = guarantee_report(
+            healer,
+            max_sources=config.stretch_sources,
+            seed=config.seed,
+            healer_name=healer_name,
+        )
+        peak_degree = max(peak_degree, report.degree_factor)
+        peak_stretch = max(peak_stretch, report.stretch)
+        if track_series:
+            series.append(
+                {
+                    "step": step,
+                    "alive": report.alive,
+                    "degree_factor": report.degree_factor,
+                    "stretch": report.stretch,
+                    "stretch_bound": report.stretch_bound,
+                }
+            )
+
+    def on_event(event, _healer) -> None:
+        counters[event.kind] += 1
+        counters["step"] += 1
+        if counters["step"] % interval == 0:
+            snapshot(counters["step"])
+
+    start = time.perf_counter()
+    schedule.run(healer, on_event=on_event)
+    final = guarantee_report(
+        healer, max_sources=config.stretch_sources, seed=config.seed, healer_name=healer_name
+    )
+    elapsed = time.perf_counter() - start
+    peak_degree = max(peak_degree, final.degree_factor)
+    peak_stretch = max(peak_stretch, final.stretch)
+
+    return AttackOutcome(
+        healer_name=healer_name,
+        config=config,
+        final_report=final,
+        peak_degree_factor=peak_degree,
+        peak_stretch=peak_stretch,
+        deletions=counters["delete"],
+        insertions=counters["insert"],
+        wall_clock_seconds=elapsed,
+        series=series,
+    )
+
+
+def run_healer_comparison(
+    config: ExperimentConfig,
+    track_series: bool = False,
+) -> List[AttackOutcome]:
+    """Run every healer named in the config against the *same* initial graph and attack."""
+    graph = config.graph.build(seed=config.seed)
+    return [
+        run_attack(config, healer_name, graph=graph, track_series=track_series)
+        for healer_name in config.healers
+    ]

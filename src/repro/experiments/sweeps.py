@@ -1,0 +1,96 @@
+"""Parameter sweeps built on top of the single-run runner.
+
+Sweeps are how the benchmarks and EXPERIMENTS.md show the *shape* of the
+paper's claims: e.g. the degree factor staying flat while ``n`` grows, or
+the stretch tracking ``log n`` rather than ``n``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..generators.graphs import GraphSpec
+from .config import AttackConfig, ExperimentConfig
+from .runner import AttackOutcome, run_attack, run_healer_comparison
+
+__all__ = ["sweep_graph_sizes", "sweep_healers", "sweep_strategies"]
+
+Row = Dict[str, object]
+
+
+def sweep_graph_sizes(
+    name: str,
+    topology: str,
+    sizes: Sequence[int],
+    attack: Optional[AttackConfig] = None,
+    healer: str = "forgiving_graph",
+    seed: int = 0,
+    stretch_sources: Optional[int] = 48,
+    graph_params: Optional[Dict[str, float]] = None,
+) -> List[Row]:
+    """Run the same attack on the same topology family at several sizes.
+
+    Returns one row per size; this is the sweep behind the ``log n`` scaling
+    experiments (E3/E4 in DESIGN.md).
+    """
+    attack = attack if attack is not None else AttackConfig()
+    rows: List[Row] = []
+    for n in sizes:
+        config = ExperimentConfig(
+            name=name,
+            graph=GraphSpec(topology=topology, n=n, params=dict(graph_params or {})),
+            attack=attack,
+            healers=(healer,),
+            seed=seed,
+            stretch_sources=stretch_sources,
+        )
+        outcome = run_attack(config, healer)
+        rows.append(outcome.as_row())
+    return rows
+
+
+def sweep_healers(
+    name: str,
+    topology: str,
+    n: int,
+    healers: Sequence[str],
+    attack: Optional[AttackConfig] = None,
+    seed: int = 0,
+    stretch_sources: Optional[int] = 48,
+    graph_params: Optional[Dict[str, float]] = None,
+) -> List[Row]:
+    """Compare several healers on the identical initial graph and attack (E9)."""
+    config = ExperimentConfig(
+        name=name,
+        graph=GraphSpec(topology=topology, n=n, params=dict(graph_params or {})),
+        attack=attack if attack is not None else AttackConfig(),
+        healers=tuple(healers),
+        seed=seed,
+        stretch_sources=stretch_sources,
+    )
+    return [outcome.as_row() for outcome in run_healer_comparison(config)]
+
+
+def sweep_strategies(
+    name: str,
+    topology: str,
+    n: int,
+    strategies: Sequence[str],
+    healer: str = "forgiving_graph",
+    delete_fraction: float = 0.5,
+    seed: int = 0,
+    stretch_sources: Optional[int] = 48,
+) -> List[Row]:
+    """Run one healer against several adversary strategies on the same topology."""
+    rows: List[Row] = []
+    for strategy in strategies:
+        config = ExperimentConfig(
+            name=name,
+            graph=GraphSpec(topology=topology, n=n),
+            attack=AttackConfig(strategy=strategy, delete_fraction=delete_fraction),
+            healers=(healer,),
+            seed=seed,
+            stretch_sources=stretch_sources,
+        )
+        rows.append(run_attack(config, healer).as_row())
+    return rows

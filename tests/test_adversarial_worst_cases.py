@@ -1,0 +1,130 @@
+"""Adversarial corner cases: the situations most likely to break the data structure.
+
+Each test encodes a specific attack pattern chosen to stress one part of the
+mechanism (representative exhaustion, repeated merging, disconnected ``G'``,
+heterogeneous node identifiers, immediate re-attack of freshly healed areas).
+"""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro import ForgivingGraph
+from repro.analysis import check_connectivity_preserved, stretch_report
+from repro.generators import make_graph
+
+
+class TestRepeatedReAttack:
+    def test_delete_every_rt_leaf_owner_in_turn(self):
+        """Keep deleting survivors that own RT leaves: RTs must keep collapsing cleanly."""
+        fg = ForgivingGraph.from_edges([(0, i) for i in range(1, 17)], check_invariants=True)
+        fg.delete(0)
+        # Now repeatedly delete the processor owning the first leaf of the RT.
+        for _ in range(12):
+            rts = fg.reconstruction_trees()
+            if not rts or fg.num_alive <= 2:
+                break
+            victim = sorted(rts[0].processors(), key=repr)[0]
+            fg.delete(victim)
+        assert check_connectivity_preserved(fg)
+
+    def test_alternating_insert_delete_on_same_region(self):
+        """The adversary keeps re-attacking the area it just forced to heal."""
+        fg = ForgivingGraph.from_graph(make_graph("ring", 12), check_invariants=True)
+        fresh = 100
+        for round_number in range(15):
+            victim = sorted(fg.alive_nodes, key=repr)[0]
+            if fg.num_alive > 2:
+                fg.delete(victim)
+            anchors = sorted(fg.alive_nodes, key=repr)[:2]
+            fg.insert(fresh, attach_to=anchors)
+            # Immediately kill the newcomer half of the time.
+            if round_number % 2 == 0:
+                fg.delete(fresh)
+            fresh += 1
+        assert check_connectivity_preserved(fg)
+        assert fg.degree_increase_factor() <= 4.0 + 1e-9
+
+    def test_drain_a_clique_completely(self):
+        """Deleting a clique node by node exercises maximal RT merging."""
+        n = 10
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        fg = ForgivingGraph.from_edges(edges, check_invariants=True)
+        for victim in range(n - 2):
+            fg.delete(victim)
+        healed = fg.actual_graph()
+        assert nx.is_connected(healed)
+        assert fg.degree_increase_factor() <= 4.0 + 1e-9
+
+
+class TestDisconnectedGPrime:
+    def test_two_islands_heal_independently(self):
+        edges = [(0, 1), (1, 2), (2, 0)] + [(10, 11), (11, 12), (12, 10)]
+        fg = ForgivingGraph.from_edges(edges, check_invariants=True)
+        fg.delete(1)
+        fg.delete(11)
+        healed = fg.actual_graph()
+        assert nx.has_path(healed, 0, 2)
+        assert nx.has_path(healed, 10, 12)
+        assert not nx.has_path(healed, 0, 10)  # healing never bridges G' components
+
+    def test_island_reduced_to_single_node(self):
+        edges = [(0, 1)] + [(10, 11), (11, 12)]
+        fg = ForgivingGraph.from_edges(edges, check_invariants=True)
+        fg.delete(1)
+        fg.delete(11)
+        assert check_connectivity_preserved(fg)
+        assert fg.is_alive(0) and fg.is_alive(10) and fg.is_alive(12)
+
+
+class TestHeterogeneousIdentifiers:
+    def test_mixed_node_id_types(self):
+        edges = [("gateway", 1), (1, (2, "rack")), ((2, "rack"), "gateway"), (1, 7)]
+        fg = ForgivingGraph.from_edges(edges, check_invariants=True)
+        fg.delete(1)
+        fg.insert("new-node", attach_to=["gateway", 7])
+        fg.delete("gateway")
+        assert check_connectivity_preserved(fg)
+        assert fg.degree_increase_factor() <= 4.0 + 1e-9
+
+    def test_string_only_network(self):
+        names = [f"peer-{i}" for i in range(12)]
+        edges = [(names[i], names[(i + 1) % 12]) for i in range(12)]
+        fg = ForgivingGraph.from_edges(edges, check_invariants=True)
+        for victim in names[:6]:
+            fg.delete(victim)
+        assert check_connectivity_preserved(fg)
+
+
+class TestWorstCaseStretchPressure:
+    def test_double_star_bridge(self):
+        """Two hubs joined by an edge, both deleted back to back."""
+        edges = [("hub_a", f"a{i}") for i in range(16)]
+        edges += [("hub_b", f"b{i}") for i in range(16)]
+        edges += [("hub_a", "hub_b")]
+        fg = ForgivingGraph.from_edges(edges, check_invariants=True)
+        fg.delete("hub_a")
+        fg.delete("hub_b")
+        report = stretch_report(fg)
+        assert report.max_stretch <= math.log2(fg.nodes_ever) + 1e-9
+        assert check_connectivity_preserved(fg)
+
+    def test_long_path_centre_collapse(self):
+        """Delete the middle half of a long path: distances rely entirely on RTs."""
+        n = 40
+        fg = ForgivingGraph.from_edges([(i, i + 1) for i in range(n - 1)], check_invariants=True)
+        for victim in range(n // 4, 3 * n // 4):
+            fg.delete(victim)
+        report = stretch_report(fg)
+        assert report.max_stretch <= math.log2(fg.nodes_ever) + 1e-9
+
+    def test_binary_tree_root_path_attack(self):
+        """Delete the whole root-to-leaf spine of a binary tree."""
+        fg = ForgivingGraph.from_graph(make_graph("binary_tree", 63), check_invariants=True)
+        victim = 0
+        while victim < 63 and fg.num_alive > 2:
+            fg.delete(victim)
+            victim = 2 * victim + 1
+        assert check_connectivity_preserved(fg)
+        assert stretch_report(fg).max_stretch <= math.log2(fg.nodes_ever) + 1e-9

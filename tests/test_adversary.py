@@ -1,0 +1,164 @@
+"""Unit tests for adversary strategies and attack schedules."""
+
+import pytest
+
+from repro import ForgivingGraph
+from repro.adversary import (
+    AttackSchedule,
+    CutAdversary,
+    HighBetweennessDeletion,
+    MaxDegreeDeletion,
+    MinDegreeDeletion,
+    PreferentialInsertion,
+    RandomDeletion,
+    RandomInsertion,
+    ScriptedDeletion,
+    SingleLinkInsertion,
+    StarInsertion,
+    available_deletion_strategies,
+    churn_schedule,
+    deletion_only_schedule,
+    insertion_burst_schedule,
+    make_deletion_strategy,
+)
+from repro.core.errors import ConfigurationError
+from repro.generators import make_graph
+
+
+@pytest.fixture
+def healer():
+    return ForgivingGraph.from_graph(make_graph("power_law", 40, seed=1))
+
+
+class TestDeletionStrategies:
+    def test_random_deletion_picks_alive_node(self, healer):
+        victim = RandomDeletion(seed=0).choose_victim(healer)
+        assert victim in healer.alive_nodes
+
+    def test_random_deletion_is_deterministic_given_seed(self, healer):
+        assert RandomDeletion(seed=3).choose_victim(healer) == RandomDeletion(seed=3).choose_victim(healer)
+
+    def test_max_degree_targets_the_hub(self):
+        star = make_graph("star", 20)
+        healer = ForgivingGraph.from_graph(star)
+        assert MaxDegreeDeletion().choose_victim(healer) == 0
+
+    def test_min_degree_targets_a_leaf(self):
+        star = make_graph("star", 20)
+        healer = ForgivingGraph.from_graph(star)
+        assert MinDegreeDeletion().choose_victim(healer) != 0
+
+    def test_betweenness_targets_the_bridge(self):
+        # Two cliques joined by node 100: it carries all cross-paths.
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        edges += [(10 + i, 10 + j) for i in range(5) for j in range(i + 1, 5)]
+        edges += [(0, 100), (100, 10)]
+        healer = ForgivingGraph.from_edges(edges)
+        assert HighBetweennessDeletion(seed=0).choose_victim(healer) == 100
+
+    def test_cut_adversary_prefers_articulation_points(self):
+        healer = ForgivingGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        victim = CutAdversary().choose_victim(healer)
+        assert victim in {1, 2}
+
+    def test_cut_adversary_falls_back_to_max_degree(self):
+        healer = ForgivingGraph.from_graph(make_graph("ring", 10))
+        assert CutAdversary().choose_victim(healer) in healer.alive_nodes
+
+    def test_scripted_deletion_follows_script_and_skips_dead(self, healer):
+        strategy = ScriptedDeletion([0, 1, 2])
+        first = strategy.choose_victim(healer)
+        assert first == 0
+        healer.delete(0)
+        healer.delete(1)
+        assert strategy.choose_victim(healer) == 2
+
+    def test_scripted_deletion_exhausts(self, healer):
+        strategy = ScriptedDeletion([0])
+        strategy.choose_victim(healer)
+        assert strategy.choose_victim(healer) is None
+
+    def test_registry(self):
+        for name in available_deletion_strategies():
+            assert make_deletion_strategy(name, seed=0) is not None
+        with pytest.raises(ConfigurationError):
+            make_deletion_strategy("nuke_everything")
+
+
+class TestInsertionStrategies:
+    def test_random_insertion_count(self, healer):
+        picks = RandomInsertion(k=3, seed=0).choose_attachments(healer)
+        assert len(picks) == 3
+        assert len(set(picks)) == 3
+        assert all(p in healer.alive_nodes for p in picks)
+
+    def test_random_insertion_requires_positive_k(self):
+        with pytest.raises(ConfigurationError):
+            RandomInsertion(k=0)
+
+    def test_preferential_insertion_prefers_hubs(self):
+        star = make_graph("star", 50)
+        healer = ForgivingGraph.from_graph(star)
+        hits = sum(
+            1
+            for _ in range(30)
+            if 0 in PreferentialInsertion(k=1, seed=_).choose_attachments(healer)
+        )
+        assert hits > 5  # the hub carries roughly a third of the attachment weight
+
+    def test_single_link_insertion(self, healer):
+        assert len(SingleLinkInsertion(seed=0).choose_attachments(healer)) == 1
+
+    def test_star_insertion_targets_current_hub(self):
+        star = make_graph("star", 30)
+        healer = ForgivingGraph.from_graph(star)
+        assert StarInsertion().choose_attachments(healer) == [0]
+
+
+class TestSchedules:
+    def test_deletion_only_schedule_runs_expected_steps(self, healer):
+        schedule = deletion_only_schedule(steps=10, seed=0)
+        events = schedule.run(healer)
+        assert len(events) == 10
+        assert all(event.kind == "delete" for event in events)
+
+    def test_min_survivors_is_respected(self):
+        healer = ForgivingGraph.from_graph(make_graph("ring", 8))
+        schedule = deletion_only_schedule(steps=50, seed=0, min_survivors=3)
+        schedule.run(healer)
+        assert healer.num_alive >= 3
+
+    def test_churn_schedule_mixes_kinds(self, healer):
+        schedule = churn_schedule(steps=40, delete_probability=0.5, seed=1)
+        events = schedule.run(healer)
+        kinds = {event.kind for event in events}
+        assert kinds == {"insert", "delete"}
+
+    def test_insertion_burst_only_inserts(self, healer):
+        before = healer.num_alive
+        events = insertion_burst_schedule(steps=15, seed=2).run(healer)
+        assert all(event.kind == "insert" for event in events)
+        assert healer.num_alive == before + 15
+
+    def test_on_event_callback_sees_every_move(self, healer):
+        seen = []
+        schedule = churn_schedule(steps=12, delete_probability=0.4, seed=3)
+        schedule.run(healer, on_event=lambda event, h: seen.append(event.step))
+        assert len(seen) == 12
+
+    def test_inserted_ids_do_not_collide(self, healer):
+        events = insertion_burst_schedule(steps=10, seed=4).run(healer)
+        inserted = [event.node for event in events]
+        assert len(inserted) == len(set(inserted))
+
+    def test_victim_degree_recorded(self):
+        healer = ForgivingGraph.from_graph(make_graph("star", 10))
+        schedule = AttackSchedule(steps=1, deletion_strategy=MaxDegreeDeletion(), seed=0)
+        (event,) = schedule.run(healer)
+        assert event.victim_degree == 9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            AttackSchedule(steps=-1)
+        with pytest.raises(ConfigurationError):
+            AttackSchedule(steps=1, delete_probability=1.5)

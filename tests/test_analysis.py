@@ -1,0 +1,190 @@
+"""Unit tests for the analysis layer: degrees, stretch, bounds, invariants, stats."""
+
+import math
+
+import pytest
+
+from repro import ForgivingGraph
+from repro.analysis import (
+    GuaranteeReport,
+    Summary,
+    check_connectivity_preserved,
+    degree_bound,
+    degree_increase_factor,
+    degree_report,
+    guarantee_report,
+    lower_bound_stretch,
+    pairwise_stretch,
+    per_node_degree_factors,
+    stretch_bound,
+    stretch_report,
+    summarize,
+    verify_tradeoff_against_lower_bound,
+)
+from repro.analysis.bounds import repair_message_bound, repair_time_bound
+from repro.baselines import NoHealing
+from repro.generators import make_graph
+
+
+@pytest.fixture
+def healed_star():
+    fg = ForgivingGraph.from_edges([(0, i) for i in range(1, 17)], check_invariants=True)
+    fg.delete(0)
+    return fg
+
+
+class TestDegreeAnalysis:
+    def test_factors_on_untouched_graph_are_one(self):
+        fg = ForgivingGraph.from_graph(make_graph("ring", 10))
+        factors = per_node_degree_factors(fg)
+        assert all(abs(value - 1.0) < 1e-12 for value in factors.values())
+
+    def test_isolated_nodes_are_skipped(self):
+        fg = ForgivingGraph.from_edges([(0, 1)], nodes=[5])
+        assert 5 not in per_node_degree_factors(fg)
+
+    def test_degree_increase_factor_matches_engine(self, healed_star):
+        assert degree_increase_factor(healed_star) == pytest.approx(
+            healed_star.degree_increase_factor()
+        )
+
+    def test_degree_report_fields(self, healed_star):
+        report = degree_report(healed_star)
+        assert report.num_nodes == 16
+        assert report.max_factor >= report.mean_factor > 0
+        row = report.as_row()
+        assert row["alive_nodes"] == 16
+
+    def test_degree_report_empty_graph(self):
+        fg = ForgivingGraph.from_edges([], nodes=[1])
+        report = degree_report(fg)
+        assert report.max_factor == 0.0
+
+
+class TestStretchAnalysis:
+    def test_pairwise_stretch_identity_when_untouched(self):
+        fg = ForgivingGraph.from_graph(make_graph("path", 6))
+        assert pairwise_stretch(fg, 0, 5) == 1.0
+
+    def test_pairwise_stretch_after_healing(self, healed_star):
+        value = pairwise_stretch(healed_star, 1, 2)
+        assert 1.0 <= value <= math.log2(healed_star.nodes_ever)
+
+    def test_pairwise_stretch_infinite_when_disconnected(self):
+        healer = NoHealing.from_edges([(0, 1), (1, 2)])
+        healer.delete(1)
+        assert math.isinf(pairwise_stretch(healer, 0, 2))
+
+    def test_pairwise_stretch_nan_when_never_connected(self):
+        fg = ForgivingGraph.from_edges([(0, 1)], nodes=[9])
+        assert math.isnan(pairwise_stretch(fg, 0, 9))
+
+    def test_stretch_report_exact(self, healed_star):
+        report = stretch_report(healed_star)
+        assert not report.sampled
+        assert report.pairs_measured == 16 * 15
+        assert report.within_bound
+
+    def test_stretch_report_sampled(self, healed_star):
+        report = stretch_report(healed_star, max_sources=4, seed=0)
+        assert report.sampled
+        assert report.max_stretch <= stretch_report(healed_star).max_stretch + 1e-9
+
+    def test_stretch_report_disconnection_detected(self):
+        healer = NoHealing.from_edges([(0, 1), (1, 2), (2, 3)])
+        healer.delete(1)
+        report = stretch_report(healer)
+        assert math.isinf(report.max_stretch)
+        assert report.disconnected_pairs > 0
+        assert not report.within_bound
+
+    def test_stretch_report_single_node(self):
+        fg = ForgivingGraph.from_edges([], nodes=["only"])
+        report = stretch_report(fg)
+        assert report.max_stretch == 1.0
+
+
+class TestBounds:
+    def test_degree_bound_constant(self):
+        assert degree_bound() == 3.0
+
+    def test_stretch_bound_grows_logarithmically(self):
+        assert stretch_bound(2) == 1.0
+        assert stretch_bound(1024) == pytest.approx(10.0)
+        assert stretch_bound(4096) > stretch_bound(1024)
+
+    def test_lower_bound_matches_theorem2_formula(self):
+        n, alpha = 1025, 3.0
+        assert lower_bound_stretch(n, alpha) == pytest.approx(0.5 * math.log2(n - 1))
+
+    def test_lower_bound_decreases_with_alpha(self):
+        assert lower_bound_stretch(1000, 5.0) < lower_bound_stretch(1000, 3.0)
+
+    def test_lower_bound_small_n(self):
+        assert lower_bound_stretch(2, 3.0) == 1.0
+
+    def test_tradeoff_check_consistent_case(self):
+        check = verify_tradeoff_against_lower_bound(n=1000, measured_degree_factor=3.0, measured_stretch=6.0)
+        assert check.consistent
+
+    def test_tradeoff_check_flags_impossible_point(self):
+        # stretch 1.0 with degree factor 3 on 1000 nodes would contradict Theorem 2
+        check = verify_tradeoff_against_lower_bound(n=1000, measured_degree_factor=3.0, measured_stretch=1.0)
+        assert not check.consistent
+
+    def test_repair_budgets_are_monotone(self):
+        assert repair_message_bound(10, 1000) > repair_message_bound(5, 1000)
+        assert repair_message_bound(10, 10_000) > repair_message_bound(10, 100)
+        assert repair_time_bound(32, 1000) > repair_time_bound(2, 1000)
+        assert repair_message_bound(0, 100) == 0.0
+
+
+class TestGuaranteeReport:
+    def test_connectivity_check_positive(self, healed_star):
+        assert check_connectivity_preserved(healed_star)
+
+    def test_connectivity_check_negative(self):
+        healer = NoHealing.from_edges([(0, 1), (1, 2)])
+        healer.delete(1)
+        assert not check_connectivity_preserved(healer)
+
+    def test_guarantee_report_round_trip(self, healed_star):
+        report = guarantee_report(healed_star, healer_name="fg")
+        assert isinstance(report, GuaranteeReport)
+        assert report.healer_name == "fg"
+        assert report.stretch_ok
+        row = report.as_row()
+        assert row["connected"] is True
+        assert row["alive"] == 16
+
+    def test_guarantee_report_detects_degree_violation(self):
+        from repro.baselines import CliqueHealing
+
+        healer = CliqueHealing.from_graph(make_graph("star", 30))
+        healer.delete(0)
+        report = guarantee_report(healer, healer_name="clique")
+        assert not report.degree_ok
+
+
+class TestStats:
+    def test_summarize_basic(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.maximum == 4.0
+        assert summary.minimum == 1.0
+
+    def test_summarize_empty(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_summarize_ignores_nan_but_keeps_inf(self):
+        summary = summarize([1.0, float("nan"), float("inf")])
+        assert summary.count == 2
+        assert math.isinf(summary.maximum)
+
+    def test_summary_as_row_prefix(self):
+        row = Summary(count=1, mean=1, median=1, p95=1, maximum=1, minimum=1).as_row(prefix="msg")
+        assert set(row) == {"msg_count", "msg_mean", "msg_median", "msg_p95", "msg_max", "msg_min"}

@@ -1,0 +1,47 @@
+"""Smoke tests: the example scripts run end-to-end and print what they promise.
+
+The heavier examples (baseline comparison, distributed cost sweep, churn) are
+exercised indirectly through the experiment-catalog tests; here we run the
+two quick ones as real subprocesses so a broken public API or a stray import
+in the examples fails the suite.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 120) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_contents():
+    names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert "quickstart.py" in names
+    assert len(names) >= 3  # the deliverable asks for at least three examples
+
+
+def test_quickstart_example():
+    output = run_example("quickstart.py")
+    assert "Theorem 1 check" in output
+    assert "degree factor" in output
+    assert "reconstruction trees" in output.lower()
+
+
+def test_paper_figures_example():
+    output = run_example("paper_figures.py")
+    assert "Figure 3" in output
+    assert "Figure 5" in output
+    assert "Reconstruction Tree" in output
+    assert "merge into one RT" in output or "they merge into one RT" in output

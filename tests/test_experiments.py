@@ -1,0 +1,148 @@
+"""Unit tests for the experiment harness: configs, runner, sweeps, reporting."""
+
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.experiments import (
+    AttackConfig,
+    ExperimentConfig,
+    format_table,
+    rows_to_csv,
+    run_attack,
+    run_healer_comparison,
+    sweep_graph_sizes,
+    sweep_healers,
+    sweep_strategies,
+    write_report,
+)
+from repro.generators import GraphSpec
+
+
+@pytest.fixture
+def tiny_config():
+    return ExperimentConfig(
+        name="unit",
+        graph=GraphSpec(topology="erdos_renyi", n=24),
+        attack=AttackConfig(strategy="random", delete_fraction=0.4),
+        healers=("forgiving_graph", "no_heal"),
+        seed=1,
+        stretch_sources=12,
+    )
+
+
+class TestConfig:
+    def test_attack_steps_for(self):
+        assert AttackConfig(delete_fraction=0.5).steps_for(100) == 50
+        assert AttackConfig(delete_fraction=0.01).steps_for(10) == 1
+
+    def test_attack_validation(self):
+        with pytest.raises(ConfigurationError):
+            AttackConfig(strategy="nuke")
+        with pytest.raises(ConfigurationError):
+            AttackConfig(delete_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            AttackConfig(delete_probability=2.0)
+        with pytest.raises(ConfigurationError):
+            AttackConfig(insertion_degree=0)
+
+    def test_experiment_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(name="x", graph=GraphSpec("hypercube", 8))
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(name="x", graph=GraphSpec("ring", 8), healers=("quantum_heal",))
+
+    def test_describe_is_flat(self, tiny_config):
+        description = tiny_config.describe()
+        assert description["topology"] == "erdos_renyi"
+        assert description["n0"] == 24
+
+
+class TestRunner:
+    def test_run_attack_outcome_fields(self, tiny_config):
+        outcome = run_attack(tiny_config, "forgiving_graph")
+        assert outcome.healer_name == "forgiving_graph"
+        assert outcome.deletions > 0
+        assert outcome.peak_degree_factor <= 4.0 + 1e-9
+        assert outcome.final_report.connected
+        row = outcome.as_row()
+        assert row["healer"] == "forgiving_graph"
+        assert "stretch" in row
+
+    def test_run_attack_with_series(self, tiny_config):
+        outcome = run_attack(tiny_config, "forgiving_graph", track_series=True, measure_every=2)
+        assert outcome.series
+        assert all("stretch" in point for point in outcome.series)
+
+    def test_comparison_uses_same_graph(self, tiny_config):
+        outcomes = run_healer_comparison(tiny_config)
+        assert [o.healer_name for o in outcomes] == list(tiny_config.healers)
+        # Both healers saw the same number of deletions of the same graph.
+        assert outcomes[0].deletions == outcomes[1].deletions
+
+    def test_forgiving_graph_beats_no_heal_on_connectivity(self, tiny_config):
+        outcomes = {o.healer_name: o for o in run_healer_comparison(tiny_config)}
+        assert outcomes["forgiving_graph"].final_report.connected
+        # no_heal will usually disconnect; at minimum it can never report a
+        # *better* (lower) stretch than a connected healer on the same attack.
+        assert (
+            math.isinf(outcomes["no_heal"].peak_stretch)
+            or outcomes["no_heal"].peak_stretch >= 1.0
+        )
+
+
+class TestSweeps:
+    def test_sweep_graph_sizes_rows(self):
+        rows = sweep_graph_sizes(
+            "unit-sweep", "ring", sizes=[16, 32], healer="forgiving_graph", stretch_sources=8
+        )
+        assert len(rows) == 2
+        assert [row["n0"] for row in rows] == [16, 32]
+
+    def test_sweep_healers_rows(self):
+        rows = sweep_healers(
+            "unit-cmp", "erdos_renyi", n=24, healers=("forgiving_graph", "cycle_heal"), stretch_sources=8
+        )
+        assert {row["healer"] for row in rows} == {"forgiving_graph", "cycle_heal"}
+
+    def test_sweep_strategies_rows(self):
+        rows = sweep_strategies(
+            "unit-strat", "erdos_renyi", n=24, strategies=("random", "max_degree"), stretch_sources=8
+        )
+        assert {row["attack"] for row in rows} == {"random", "max_degree"}
+
+
+class TestReporting:
+    def test_format_table_alignment_and_values(self):
+        rows = [{"a": 1, "b": True}, {"a": 2.5, "b": False}]
+        text = format_table(rows, title="demo")
+        assert "### demo" in text
+        assert "| a " in text and "| b " in text
+        assert "yes" in text and "no" in text
+        assert "2.5" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_table_handles_missing_keys(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        assert "a" in text and "b" in text
+
+    def test_rows_to_csv(self, tmp_path):
+        path = rows_to_csv([{"x": 1, "y": "inf"}], tmp_path / "out.csv")
+        content = Path(path).read_text()
+        assert "x,y" in content
+        assert "1,inf" in content
+
+    def test_write_report_sections(self, tmp_path):
+        path = write_report(
+            [("Section A", [{"k": 1}]), ("Section B", [{"k": 2}], "preamble text")],
+            tmp_path / "report.md",
+            title="Unit report",
+        )
+        content = Path(path).read_text()
+        assert "# Unit report" in content
+        assert "## Section A" in content
+        assert "preamble text" in content

@@ -1,0 +1,103 @@
+"""Property-based tests: random adversarial histories never break the invariants.
+
+These tests generate arbitrary interleavings of insertions and deletions
+(hypothesis chooses both the initial topology seed and the move sequence) and
+assert the full invariant suite plus the externally observable guarantees
+after every history.  ``check_invariants=True`` additionally re-validates the
+internal structure after every single move.
+"""
+
+import math
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ForgivingGraph
+from repro.analysis import check_connectivity_preserved, stretch_report
+from repro.generators import make_graph
+
+# A move is (is_deletion, index) — the index picks the victim / attachment set
+# deterministically from the sorted alive nodes, so shrinking works well.
+moves = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=0, max_value=10_000)),
+    min_size=1,
+    max_size=40,
+)
+
+
+def apply_history(fg: ForgivingGraph, history, min_survivors=2) -> None:
+    fresh = 10_000
+    for is_deletion, index in history:
+        alive = sorted(fg.alive_nodes)
+        if not alive:
+            break
+        if is_deletion and fg.num_alive > min_survivors:
+            fg.delete(alive[index % len(alive)])
+        else:
+            count = 1 + index % 3
+            attach = alive[: min(count, len(alive))]
+            fg.insert(fresh, attach_to=attach)
+            fresh += 1
+
+
+@given(seed=st.integers(min_value=0, max_value=50), history=moves)
+@settings(max_examples=30, deadline=None)
+def test_random_histories_keep_all_invariants(seed, history):
+    graph = make_graph("erdos_renyi", 24, seed=seed)
+    fg = ForgivingGraph.from_graph(graph, check_invariants=True)
+    apply_history(fg, history)
+    fg.check_invariants()  # explicit final check (raises on violation)
+    assert check_connectivity_preserved(fg)
+
+
+@given(seed=st.integers(min_value=0, max_value=50), history=moves)
+@settings(max_examples=25, deadline=None)
+def test_random_histories_keep_degree_bounded(seed, history):
+    graph = make_graph("power_law", 24, seed=seed)
+    fg = ForgivingGraph.from_graph(graph, check_invariants=False)
+    apply_history(fg, history)
+    # Hard structural bound: 1 leaf edge + 3 helper edges per G' edge.
+    assert fg.degree_increase_factor() <= 4.0 + 1e-9
+
+
+@given(seed=st.integers(min_value=0, max_value=50), history=moves)
+@settings(max_examples=20, deadline=None)
+def test_random_histories_keep_stretch_within_log_n(seed, history):
+    graph = make_graph("erdos_renyi", 20, seed=seed)
+    fg = ForgivingGraph.from_graph(graph, check_invariants=False)
+    apply_history(fg, history)
+    report = stretch_report(fg)
+    bound = max(math.log2(fg.nodes_ever), 1.0)
+    assert report.max_stretch <= bound + 1e-9
+
+
+@given(seed=st.integers(min_value=0, max_value=50), history=moves)
+@settings(max_examples=20, deadline=None)
+def test_helper_count_always_leaves_minus_one(seed, history):
+    """Lemma 3 corollary: every RT with L leaves has exactly L-1 helpers."""
+    graph = make_graph("erdos_renyi", 20, seed=seed)
+    fg = ForgivingGraph.from_graph(graph, check_invariants=False)
+    apply_history(fg, history)
+    for rt in fg.reconstruction_trees():
+        assert len(rt.helpers) == max(rt.size - 1, 0)
+        rt.validate()
+
+
+@given(seed=st.integers(min_value=0, max_value=30), history=moves)
+@settings(max_examples=15, deadline=None)
+def test_deleting_everything_leaves_clean_state(seed, history):
+    """Drive the graph down to a single node: no stale RTs or helper records may remain."""
+    graph = make_graph("ring", 12, seed=seed)
+    fg = ForgivingGraph.from_graph(graph, check_invariants=True)
+    apply_history(fg, history, min_survivors=2)
+    # Now deliberately delete everything that is left except one node.
+    while fg.num_alive > 1:
+        fg.delete(sorted(fg.alive_nodes)[0])
+    assert fg.actual_graph().number_of_edges() == 0
+    (survivor,) = fg.alive_nodes
+    for rt in fg.reconstruction_trees():
+        # Whatever RTs remain can only involve the lone survivor's ports, so
+        # their virtual edges all collapse to self-loops in the healed graph.
+        assert rt.processors() == {survivor}
+        rt.validate()

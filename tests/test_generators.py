@@ -1,0 +1,109 @@
+"""Unit tests for the initial-topology generators."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.generators import GraphSpec, available_topologies, make_graph
+from repro.generators.graphs import (
+    binary_tree_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    power_law_graph,
+    random_regular_graph,
+    star_graph,
+)
+
+
+class TestMakeGraph:
+    @pytest.mark.parametrize("topology", sorted(["star", "path", "ring", "grid", "binary_tree", "erdos_renyi", "power_law", "random_regular"]))
+    def test_all_topologies_are_connected(self, topology):
+        graph = make_graph(topology, 50, seed=3)
+        assert nx.is_connected(graph)
+
+    @pytest.mark.parametrize("topology", ["star", "path", "ring", "binary_tree", "power_law"])
+    def test_exact_size(self, topology):
+        assert make_graph(topology, 37, seed=1).number_of_nodes() == 37
+
+    def test_available_topologies_is_sorted_and_complete(self):
+        names = available_topologies()
+        assert names == sorted(names)
+        assert "power_law" in names and "star" in names
+
+    def test_unknown_topology_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_graph("moebius", 10)
+
+    def test_integer_labels(self):
+        graph = make_graph("grid", 25, seed=0)
+        assert all(isinstance(node, int) for node in graph.nodes)
+
+    def test_deterministic_given_seed(self):
+        a = make_graph("erdos_renyi", 40, seed=5)
+        b = make_graph("erdos_renyi", 40, seed=5)
+        assert set(a.edges) == set(b.edges)
+
+    def test_different_seeds_differ(self):
+        a = make_graph("erdos_renyi", 60, seed=1)
+        b = make_graph("erdos_renyi", 60, seed=2)
+        assert set(a.edges) != set(b.edges)
+
+    def test_accepts_numpy_generator(self):
+        rng = np.random.default_rng(7)
+        graph = make_graph("power_law", 30, seed=rng)
+        assert graph.number_of_nodes() == 30
+
+
+class TestSpecificTopologies:
+    def test_star_hub_degree(self):
+        graph = star_graph(20)
+        assert graph.degree[0] == 19
+
+    def test_binary_tree_shape(self):
+        graph = binary_tree_graph(15)
+        degrees = sorted(dict(graph.degree()).values(), reverse=True)
+        assert degrees[0] <= 3
+        assert nx.is_tree(graph)
+
+    def test_grid_is_roughly_square(self):
+        graph = grid_graph(36)
+        assert graph.number_of_nodes() == 36
+
+    def test_erdos_renyi_average_degree(self):
+        graph = erdos_renyi_graph(300, seed=1, avg_degree=8.0)
+        avg = 2 * graph.number_of_edges() / graph.number_of_nodes()
+        assert 5.0 < avg < 11.0
+
+    def test_power_law_has_hubs(self):
+        graph = power_law_graph(200, seed=2, attachment=3)
+        degrees = sorted(dict(graph.degree()).values(), reverse=True)
+        assert degrees[0] > 3 * degrees[len(degrees) // 2]
+
+    def test_random_regular_degree(self):
+        graph = random_regular_graph(50, seed=3, degree=4)
+        assert all(d == 4 for _, d in graph.degree())
+
+    def test_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            star_graph(1)
+
+
+class TestGraphSpec:
+    def test_build(self):
+        spec = GraphSpec(topology="ring", n=12)
+        graph = spec.build(seed=0)
+        assert graph.number_of_nodes() == 12
+
+    def test_build_with_params(self):
+        spec = GraphSpec(topology="erdos_renyi", n=80, params={"avg_degree": 10.0})
+        graph = spec.build(seed=0)
+        avg = 2 * graph.number_of_edges() / graph.number_of_nodes()
+        assert avg > 6.0
+
+    def test_label(self):
+        assert GraphSpec(topology="star", n=8).label() == "star(n=8)"
+
+    def test_equality(self):
+        assert GraphSpec("star", 8) == GraphSpec("star", 8)
+        assert GraphSpec("star", 8) != GraphSpec("star", 9)

@@ -1,0 +1,173 @@
+"""Unit tests for half-full tree construction (Lemma 1)."""
+
+import math
+
+import pytest
+
+from repro.core.haft import (
+    HaftNode,
+    binary_decomposition,
+    build_haft,
+    depth,
+    haft_shape_signature,
+    is_complete,
+    is_haft,
+    leaf_count,
+    leaves,
+    validate_haft,
+)
+from repro.core.errors import HaftStructureError
+
+
+class TestBinaryDecomposition:
+    def test_power_of_two(self):
+        assert binary_decomposition(8) == [8]
+
+    def test_mixed_bits(self):
+        assert binary_decomposition(13) == [8, 4, 1]
+
+    def test_one(self):
+        assert binary_decomposition(1) == [1]
+
+    def test_all_bits_set(self):
+        assert binary_decomposition(7) == [4, 2, 1]
+
+    def test_descending_order(self):
+        for value in (3, 6, 11, 100, 255, 1023):
+            powers = binary_decomposition(value)
+            assert powers == sorted(powers, reverse=True)
+            assert sum(powers) == value
+
+    @pytest.mark.parametrize("bad", [0, -1, -17])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError):
+            binary_decomposition(bad)
+
+
+class TestBuildHaft:
+    def test_single_leaf(self):
+        root = build_haft(["a"])
+        assert root.is_leaf
+        assert root.payload == "a"
+        assert depth(root) == 0
+
+    def test_two_leaves(self):
+        root = build_haft(["a", "b"])
+        assert not root.is_leaf
+        assert root.left.payload == "a"
+        assert root.right.payload == "b"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            build_haft([])
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 7, 8, 12, 13, 31, 32, 33, 100, 255, 256, 257])
+    def test_valid_haft_for_all_sizes(self, size):
+        root = build_haft(list(range(size)))
+        validate_haft(root)
+        assert leaf_count(root) == size
+
+    @pytest.mark.parametrize("size", [2, 3, 5, 9, 17, 33, 100, 513])
+    def test_depth_is_ceil_log2(self, size):
+        root = build_haft(list(range(size)))
+        assert depth(root) == math.ceil(math.log2(size))
+
+    def test_depth_of_single_leaf_is_zero(self):
+        assert depth(build_haft([0])) == 0
+
+    @pytest.mark.parametrize("size", [1, 3, 6, 11, 64, 200])
+    def test_leaves_preserve_order(self, size):
+        payloads = [f"p{i}" for i in range(size)]
+        root = build_haft(payloads)
+        assert [leaf.payload for leaf in leaves(root)] == payloads
+
+    def test_left_subtree_is_largest_complete_tree(self):
+        root = build_haft(list(range(13)))  # 13 = 8 + 4 + 1
+        assert is_complete(root.left)
+        assert root.left.num_leaves == 8
+
+    def test_counters_are_consistent(self):
+        root = build_haft(list(range(21)))
+        for node in [root, root.left, root.right]:
+            assert node.num_leaves == leaf_count(node)
+            assert node.height == depth(node)
+
+    def test_custom_internal_factory(self):
+        created = []
+
+        def factory():
+            node = HaftNode(payload="internal")
+            created.append(node)
+            return node
+
+        root = build_haft(list(range(6)), internal_factory=factory)
+        validate_haft(root)
+        assert len(created) == 5  # internal nodes = leaves - 1
+        assert all(node.payload == "internal" for node in created)
+
+    def test_uniqueness_of_shape(self):
+        """Lemma 1.1: the haft shape depends only on the number of leaves."""
+        for size in (5, 11, 64, 200):
+            sig_a = haft_shape_signature(build_haft(list(range(size))))
+            sig_b = haft_shape_signature(build_haft([chr(65 + (i % 26)) for i in range(size)]))
+            assert sig_a == sig_b
+
+    def test_different_sizes_have_different_shapes(self):
+        signatures = {haft_shape_signature(build_haft(list(range(size)))) for size in range(1, 40)}
+        assert len(signatures) == 39
+
+
+class TestValidation:
+    def test_is_haft_true_for_built_trees(self):
+        assert all(is_haft(build_haft(list(range(size)))) for size in range(1, 30))
+
+    def test_detects_missing_child(self):
+        root = build_haft(list(range(4)))
+        root.right.right = None
+        assert not is_haft(root)
+
+    def test_detects_left_subtree_too_small(self):
+        # Hand-build a tree whose left child holds fewer than half the leaves.
+        small = build_haft(["a"])
+        big = build_haft(["b", "c"])
+        root = HaftNode()
+        root.attach_children(small, big)
+        with pytest.raises(HaftStructureError):
+            validate_haft(root)
+
+    def test_detects_corrupted_counters(self):
+        root = build_haft(list(range(8)))
+        root.num_leaves = 7
+        assert not is_haft(root)
+
+    def test_detects_broken_parent_pointer(self):
+        root = build_haft(list(range(4)))
+        root.left.parent = None
+        assert not is_haft(root)
+
+
+class TestNodeOperations:
+    def test_detach_clears_both_directions(self):
+        root = build_haft(list(range(4)))
+        left = root.left
+        left.detach()
+        assert left.parent is None
+        assert root.left is None
+
+    def test_detach_of_root_is_noop(self):
+        root = build_haft(list(range(4)))
+        root.detach()
+        assert root.parent is None
+
+    def test_root_walks_to_top(self):
+        root = build_haft(list(range(16)))
+        some_leaf = leaves(root)[5]
+        assert some_leaf.root() is root
+
+    def test_recompute_from_children(self):
+        root = build_haft(list(range(4)))
+        root.height = 99
+        root.num_leaves = 99
+        root.recompute_from_children()
+        assert root.height == 2
+        assert root.num_leaves == 4

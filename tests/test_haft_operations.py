@@ -1,0 +1,146 @@
+"""Unit tests for the Strip and Merge operations on hafts (Section 4.1)."""
+
+import math
+
+import pytest
+
+from repro.core.haft import (
+    build_haft,
+    depth,
+    is_complete,
+    is_haft,
+    leaves,
+    merge,
+    primary_roots,
+    strip,
+    validate_haft,
+)
+
+
+class TestPrimaryRoots:
+    def test_complete_tree_has_single_primary_root(self):
+        root = build_haft(list(range(16)))
+        roots = primary_roots(root)
+        assert roots == [root]
+
+    def test_primary_root_count_is_popcount(self):
+        for size in (3, 5, 7, 11, 13, 21, 100, 255):
+            root = build_haft(list(range(size)))
+            assert len(primary_roots(root)) == bin(size).count("1")
+
+    def test_primary_roots_are_complete(self):
+        root = build_haft(list(range(29)))
+        assert all(is_complete(node) for node in primary_roots(root))
+
+    def test_primary_roots_sizes_match_binary_representation(self):
+        root = build_haft(list(range(22)))  # 22 = 16 + 4 + 2
+        sizes = [node.num_leaves for node in primary_roots(root)]
+        assert sizes == [16, 4, 2]
+
+    def test_single_leaf_is_its_own_primary_root(self):
+        root = build_haft(["only"])
+        assert primary_roots(root) == [root]
+
+
+class TestStrip:
+    def test_strip_complete_tree_returns_it(self):
+        root = build_haft(list(range(8)))
+        pieces = strip(root)
+        assert pieces == [root]
+
+    def test_strip_detaches_pieces(self):
+        root = build_haft(list(range(13)))
+        pieces = strip(root)
+        assert all(piece.parent is None for piece in pieces)
+
+    def test_strip_piece_count_and_sizes(self):
+        root = build_haft(list(range(13)))  # 13 = 8 + 4 + 1
+        pieces = strip(root)
+        assert sorted(p.num_leaves for p in pieces) == [1, 4, 8]
+
+    def test_strip_preserves_all_leaves(self):
+        payloads = [f"p{i}" for i in range(27)]
+        root = build_haft(payloads)
+        pieces = strip(root)
+        collected = [leaf.payload for piece in pieces for leaf in leaves(piece)]
+        assert sorted(collected) == sorted(payloads)
+
+    def test_strip_pieces_are_valid_complete_trees(self):
+        root = build_haft(list(range(45)))
+        for piece in strip(root):
+            assert is_complete(piece)
+            validate_haft(piece)
+
+    def test_glue_nodes_are_disconnected_after_strip(self):
+        root = build_haft(list(range(3)))  # root is a glue node here
+        pieces = strip(root)
+        assert root not in pieces
+        assert root.left is None and root.right is None
+
+
+class TestMerge:
+    def test_merge_requires_input(self):
+        with pytest.raises(ValueError):
+            merge([])
+
+    def test_merge_single_haft_is_identity_up_to_strip(self):
+        root = build_haft(list(range(8)))
+        merged = merge([root])
+        assert merged.num_leaves == 8
+        assert is_haft(merged)
+
+    def test_merge_two_hafts_leaf_count(self):
+        a = build_haft(list(range(5)))
+        b = build_haft(list(range(100, 103)))
+        merged = merge([a, b])
+        assert merged.num_leaves == 8
+        validate_haft(merged)
+
+    def test_merge_preserves_all_leaves(self):
+        a = build_haft([f"a{i}" for i in range(6)])
+        b = build_haft([f"b{i}" for i in range(9)])
+        c = build_haft([f"c{i}" for i in range(1)])
+        merged = merge([a, b, c])
+        collected = sorted(leaf.payload for leaf in leaves(merged))
+        expected = sorted([f"a{i}" for i in range(6)] + [f"b{i}" for i in range(9)] + ["c0"])
+        assert collected == expected
+
+    def test_merge_depth_matches_unique_haft(self):
+        a = build_haft(list(range(7)))
+        b = build_haft(list(range(100, 109)))
+        merged = merge([a, b])
+        assert depth(merged) == math.ceil(math.log2(16))
+
+    @pytest.mark.parametrize(
+        "sizes",
+        [(1, 1), (1, 2, 3), (4, 4), (5, 11, 2), (16, 16, 16), (1, 1, 1, 1, 1), (7, 9, 31)],
+    )
+    def test_merge_is_binary_addition(self, sizes):
+        """Figure 5: the merged haft has popcount(sum) primary roots."""
+        offset = 0
+        hafts = []
+        for size in sizes:
+            hafts.append(build_haft(list(range(offset, offset + size))))
+            offset += size
+        merged = merge(hafts)
+        total = sum(sizes)
+        validate_haft(merged)
+        assert merged.num_leaves == total
+        assert len(primary_roots(merged)) == bin(total).count("1")
+        assert depth(merged) == (math.ceil(math.log2(total)) if total > 1 else 0)
+
+    def test_merge_with_custom_factory(self):
+        created = []
+
+        from repro.core.haft import HaftNode
+
+        def factory():
+            node = HaftNode(payload="glue")
+            created.append(node)
+            return node
+
+        a = build_haft(list(range(3)))
+        b = build_haft(list(range(10, 15)))
+        merged = merge([a, b], internal_factory=factory)
+        validate_haft(merged)
+        assert created, "merging different sizes must create fresh internal nodes"

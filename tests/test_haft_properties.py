@@ -1,0 +1,101 @@
+"""Property-based tests (hypothesis) for half-full trees — Lemmas 1 and 2."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.haft import (
+    binary_decomposition,
+    build_haft,
+    depth,
+    haft_shape_signature,
+    is_haft,
+    leaves,
+    merge,
+    primary_roots,
+    strip,
+    validate_haft,
+)
+
+sizes = st.integers(min_value=1, max_value=600)
+small_sizes = st.integers(min_value=1, max_value=120)
+
+
+@given(sizes)
+@settings(max_examples=80, deadline=None)
+def test_built_haft_is_always_valid(size):
+    validate_haft(build_haft(list(range(size))))
+
+
+@given(sizes)
+@settings(max_examples=80, deadline=None)
+def test_depth_is_ceil_log2(size):
+    root = build_haft(list(range(size)))
+    expected = math.ceil(math.log2(size)) if size > 1 else 0
+    assert depth(root) == expected
+
+
+@given(sizes)
+@settings(max_examples=80, deadline=None)
+def test_primary_root_sizes_are_binary_decomposition(size):
+    root = build_haft(list(range(size)))
+    assert [node.num_leaves for node in primary_roots(root)] == binary_decomposition(size)
+
+
+@given(sizes)
+@settings(max_examples=60, deadline=None)
+def test_strip_partitions_leaves(size):
+    payloads = list(range(size))
+    pieces = strip(build_haft(payloads))
+    collected = sorted(leaf.payload for piece in pieces for leaf in leaves(piece))
+    assert collected == payloads
+
+
+@given(sizes)
+@settings(max_examples=60, deadline=None)
+def test_haft_shape_is_unique_per_size(size):
+    a = haft_shape_signature(build_haft(list(range(size))))
+    b = haft_shape_signature(build_haft([str(i) for i in range(size)]))
+    assert a == b
+
+
+@given(st.lists(small_sizes, min_size=1, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_merge_behaves_like_binary_addition(size_list):
+    """Lemma 2 / Figure 5: merge(h1..hk) == haft(sum of leaf counts)."""
+    offset = 0
+    hafts = []
+    for size in size_list:
+        hafts.append(build_haft(list(range(offset, offset + size))))
+        offset += size
+    merged = merge(hafts)
+    total = sum(size_list)
+    assert is_haft(merged)
+    assert merged.num_leaves == total
+    assert haft_shape_signature(merged) == haft_shape_signature(build_haft(list(range(total))))
+
+
+@given(st.lists(small_sizes, min_size=1, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_merge_preserves_payload_multiset(size_list):
+    offset = 0
+    hafts = []
+    expected = []
+    for size in size_list:
+        payloads = list(range(offset, offset + size))
+        expected.extend(payloads)
+        hafts.append(build_haft(payloads))
+        offset += size
+    merged = merge(hafts)
+    assert sorted(leaf.payload for leaf in leaves(merged)) == sorted(expected)
+
+
+@given(sizes)
+@settings(max_examples=40, deadline=None)
+def test_strip_then_merge_roundtrip(size):
+    """Stripping a haft and re-merging the pieces reproduces the same shape."""
+    original_signature = haft_shape_signature(build_haft(list(range(size))))
+    pieces = strip(build_haft(list(range(size))))
+    rebuilt = merge(pieces)
+    assert haft_shape_signature(rebuilt) == original_signature

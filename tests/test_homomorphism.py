@@ -1,0 +1,90 @@
+"""Tests of the virtual-graph / healed-graph homomorphism (Section 3).
+
+The healed graph ``G`` must be exactly the quotient of the virtual graph
+under the "owning processor" map: every virtual edge between nodes owned by
+different processors appears in ``G``, self-loops vanish, and nothing else is
+ever added.
+"""
+
+import networkx as nx
+import pytest
+
+from repro import ForgivingGraph
+from repro.generators import make_graph
+
+
+def quotient_of_virtual(fg: ForgivingGraph) -> nx.Graph:
+    virtual = fg.virtual_graph()
+    quotient = nx.Graph()
+    quotient.add_nodes_from(fg.alive_nodes)
+    for u, v in virtual.edges:
+        pu = virtual.nodes[u]["processor"]
+        pv = virtual.nodes[v]["processor"]
+        if pu != pv:
+            quotient.add_edge(pu, pv)
+    return quotient
+
+
+@pytest.mark.parametrize("victims", [(0,), (0, 3), (1, 2, 3), (5, 1, 3, 2)])
+def test_actual_graph_is_quotient_of_virtual(victims):
+    fg = ForgivingGraph.from_graph(make_graph("erdos_renyi", 16, seed=1), check_invariants=True)
+    for victim in victims:
+        if fg.is_alive(victim) and fg.num_alive > 2:
+            fg.delete(victim)
+    actual = fg.actual_graph()
+    quotient = quotient_of_virtual(fg)
+    assert set(actual.nodes) == set(quotient.nodes)
+    assert set(map(frozenset, actual.edges)) == set(map(frozenset, quotient.edges))
+
+
+def test_virtual_nodes_owned_by_alive_processors_only():
+    fg = ForgivingGraph.from_graph(make_graph("power_law", 20, seed=2), check_invariants=True)
+    for victim in (0, 1, 2, 3, 4):
+        if fg.num_alive > 2:
+            fg.delete(victim)
+    virtual = fg.virtual_graph()
+    alive = fg.alive_nodes
+    for label, data in virtual.nodes(data=True):
+        assert data["processor"] in alive
+
+
+def test_helper_degree_in_virtual_graph_is_at_most_three():
+    """Helper (virtual) nodes have degree at most 3 — the key to Theorem 1.1."""
+    fg = ForgivingGraph.from_graph(make_graph("erdos_renyi", 30, seed=3), check_invariants=True)
+    for victim in sorted(fg.alive_nodes)[:20]:
+        if fg.num_alive > 2:
+            fg.delete(victim)
+    virtual = fg.virtual_graph()
+    for label in virtual.nodes:
+        kind, _payload = label
+        if kind == "helper":
+            assert virtual.degree[label] <= 3
+
+
+def test_leaf_degree_in_virtual_graph_is_at_most_one():
+    """RT leaves have exactly one virtual edge (to their parent helper)."""
+    fg = ForgivingGraph.from_graph(make_graph("erdos_renyi", 30, seed=4), check_invariants=True)
+    for victim in sorted(fg.alive_nodes)[:15]:
+        if fg.num_alive > 2:
+            fg.delete(victim)
+    virtual = fg.virtual_graph()
+    for label in virtual.nodes:
+        kind, _payload = label
+        if kind == "leaf":
+            assert virtual.degree[label] <= 1
+
+
+def test_per_processor_virtual_ownership_matches_lemma3():
+    """Each processor owns at most one leaf and one helper per G' edge."""
+    fg = ForgivingGraph.from_graph(make_graph("power_law", 30, seed=5), check_invariants=True)
+    for victim in sorted(fg.alive_nodes)[:20]:
+        if fg.num_alive > 2:
+            fg.delete(victim)
+    virtual = fg.virtual_graph()
+    seen = set()
+    for label in virtual.nodes:
+        kind, payload = label
+        if kind in ("leaf", "helper"):
+            key = (kind, payload)
+            assert key not in seen
+            seen.add(key)

@@ -1,0 +1,92 @@
+"""Unit tests for port identifiers and the exception hierarchy."""
+
+import pytest
+
+from repro.core.errors import (
+    ConfigurationError,
+    DeletedNodeError,
+    DuplicateNodeError,
+    ForgivingGraphError,
+    HaftStructureError,
+    InvalidEdgeError,
+    InvariantViolationError,
+    ProtocolError,
+    UnknownNodeError,
+)
+from repro.core.ports import Port, edge_key
+
+
+class TestPort:
+    def test_fields(self):
+        port = Port("v", "x")
+        assert port.processor == "v"
+        assert port.neighbor == "x"
+
+    def test_frozen(self):
+        port = Port(1, 2)
+        with pytest.raises(AttributeError):
+            port.processor = 3
+
+    def test_equality_and_hash(self):
+        assert Port(1, 2) == Port(1, 2)
+        assert Port(1, 2) != Port(2, 1)
+        assert len({Port(1, 2), Port(1, 2), Port(2, 1)}) == 2
+
+    def test_reversed(self):
+        assert Port("a", "b").reversed() == Port("b", "a")
+        assert Port("a", "b").reversed().reversed() == Port("a", "b")
+
+    def test_ordering(self):
+        assert sorted([Port(2, 1), Port(1, 2)]) == [Port(1, 2), Port(2, 1)]
+
+    def test_usable_as_dict_key(self):
+        table = {Port(0, 1): "x"}
+        assert table[Port(0, 1)] == "x"
+
+
+class TestEdgeKey:
+    def test_symmetric(self):
+        assert edge_key(1, 2) == edge_key(2, 1)
+
+    def test_string_nodes(self):
+        assert edge_key("b", "a") == edge_key("a", "b")
+
+    def test_mixed_types_are_stable(self):
+        assert edge_key(1, "a") == edge_key("a", 1)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            edge_key(3, 3)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_cls",
+        [
+            UnknownNodeError,
+            DuplicateNodeError,
+            DeletedNodeError,
+            InvalidEdgeError,
+            HaftStructureError,
+            InvariantViolationError,
+            ProtocolError,
+            ConfigurationError,
+        ],
+    )
+    def test_all_derive_from_base(self, error_cls):
+        assert issubclass(error_cls, ForgivingGraphError)
+
+    def test_unknown_node_is_key_error(self):
+        assert issubclass(UnknownNodeError, KeyError)
+
+    def test_duplicate_node_is_value_error(self):
+        assert issubclass(DuplicateNodeError, ValueError)
+
+    def test_unknown_node_message_includes_context(self):
+        error = UnknownNodeError(42, "during delete")
+        assert "42" in str(error)
+        assert "during delete" in str(error)
+
+    def test_deleted_node_keeps_node_reference(self):
+        error = DeletedNodeError("n7")
+        assert error.node == "n7"

@@ -1,0 +1,207 @@
+"""Unit tests for reconstruction trees and the representative mechanism (Section 4.2)."""
+
+import pytest
+
+from repro.core.errors import InvariantViolationError
+from repro.core.ports import Port
+from repro.core.reconstruction_tree import (
+    ReconstructionTree,
+    RTHelper,
+    RTLeaf,
+    compute_haft,
+    extract_surviving_complete_trees,
+    iter_rt_nodes,
+    representative_of,
+)
+
+
+def make_leaves(processors, neighbor="dead"):
+    """One trivial leaf per processor, all for edges towards the same dead node."""
+    return [RTLeaf(Port(p, neighbor)) for p in processors]
+
+
+class TestRTLeaf:
+    def test_protocol_fields(self):
+        leaf = RTLeaf(Port("a", "v"))
+        assert leaf.is_leaf
+        assert leaf.height == 0
+        assert leaf.num_leaves == 1
+        assert leaf.processor == "a"
+
+    def test_representative_of_leaf_is_itself(self):
+        leaf = RTLeaf(Port("a", "v"))
+        assert representative_of(leaf) is leaf
+
+
+class TestComputeHaft:
+    def test_single_leaf(self):
+        (leaf,) = make_leaves(["a"])
+        root, helpers = compute_haft([leaf])
+        assert root is leaf
+        assert helpers == []
+
+    def test_two_leaves_creates_one_helper(self):
+        leaves = make_leaves(["a", "b"])
+        root, helpers = compute_haft(leaves)
+        assert isinstance(root, RTHelper)
+        assert len(helpers) == 1
+        assert root.num_leaves == 2
+        # The helper is simulated by the representative of one of the leaves
+        # and inherits the other leaf as its representative.
+        assert root.simulated_by.processor in {"a", "b"}
+        assert root.representative.processor in {"a", "b"}
+        assert root.representative.port != root.simulated_by
+
+    def test_helper_count_is_leaves_minus_one(self):
+        for count in (2, 3, 5, 8, 13):
+            leaves = make_leaves([f"p{i}" for i in range(count)])
+            root, helpers = compute_haft(leaves)
+            assert len(helpers) == count - 1
+            assert root.num_leaves == count
+
+    def test_each_processor_simulates_at_most_one_helper(self):
+        """Lemma 3 part 1, at the scale of a single merge."""
+        leaves = make_leaves([f"p{i}" for i in range(13)])
+        _root, helpers = compute_haft(leaves)
+        simulators = [helper.simulated_by for helper in helpers]
+        assert len(simulators) == len(set(simulators))
+
+    def test_helper_is_ancestor_of_its_own_leaf(self):
+        leaves = make_leaves([f"p{i}" for i in range(9)])
+        root, helpers = compute_haft(leaves)
+        rt = ReconstructionTree.from_merge(root)
+        for port, helper in rt.helpers.items():
+            node = rt.leaves[port]
+            ancestors = []
+            while node is not None:
+                ancestors.append(node)
+                node = node.parent
+            assert helper in ancestors
+
+    def test_result_is_valid_rt(self):
+        leaves = make_leaves([f"p{i}" for i in range(11)])
+        root, _ = compute_haft(leaves)
+        ReconstructionTree.from_merge(root).validate()
+
+    def test_busy_port_violation_is_detected(self):
+        leaves = make_leaves(["a", "b"])
+        with pytest.raises(InvariantViolationError):
+            compute_haft(leaves, busy_ports={Port("a", "dead"), Port("b", "dead")})
+
+    def test_merging_unequal_trees(self):
+        first_root, _ = compute_haft(make_leaves(["a", "b", "c", "d"]))
+        extra = make_leaves(["e"], neighbor="other")[0]
+        root, helpers = compute_haft([first_root, extra])
+        assert root.num_leaves == 5
+        ReconstructionTree.from_merge(root).validate()
+
+    def test_requires_at_least_one_tree(self):
+        with pytest.raises(ValueError):
+            compute_haft([])
+
+
+class TestReconstructionTree:
+    def test_trivial(self):
+        rt = ReconstructionTree.trivial(Port("a", "v"))
+        assert rt.size == 1
+        assert rt.depth == 0
+        rt.validate()
+
+    def test_from_merge_builds_lookup_tables(self):
+        root, helpers = compute_haft(make_leaves(["a", "b", "c"]))
+        rt = ReconstructionTree.from_merge(root)
+        assert set(p.processor for p in rt.leaves) == {"a", "b", "c"}
+        assert len(rt.helpers) == 2
+        rt.validate()
+
+    def test_processors(self):
+        root, _ = compute_haft(make_leaves(["a", "b", "c"]))
+        rt = ReconstructionTree.from_merge(root)
+        assert rt.processors() == {"a", "b", "c"}
+
+    def test_virtual_edges_count(self):
+        root, _ = compute_haft(make_leaves([f"p{i}" for i in range(6)]))
+        rt = ReconstructionTree.from_merge(root)
+        # A tree over (leaves + helpers) nodes has that many nodes minus one edges.
+        total_nodes = rt.size + len(rt.helpers)
+        assert len(list(rt.virtual_edges())) == total_nodes - 1
+
+    def test_leaf_distance_bounds(self):
+        root, _ = compute_haft(make_leaves([f"p{i}" for i in range(16)]))
+        rt = ReconstructionTree.from_merge(root)
+        ports = sorted(rt.leaves)
+        worst = max(rt.leaf_distance(ports[0], other) for other in ports[1:])
+        assert worst <= 2 * rt.depth
+        assert rt.depth == 4
+
+    def test_leaf_distance_requires_member_ports(self):
+        rt = ReconstructionTree.trivial(Port("a", "v"))
+        with pytest.raises(KeyError):
+            rt.leaf_distance(Port("a", "v"), Port("zzz", "v"))
+
+    def test_validate_detects_duplicate_leaf_port(self):
+        root, _ = compute_haft(make_leaves(["a", "b"]))
+        rt = ReconstructionTree.from_merge(root)
+        # Corrupt: point another leaf record at the same port.
+        duplicate = RTLeaf(Port("a", "dead"))
+        rt.leaves[Port("zz", "dead")] = duplicate
+        with pytest.raises(InvariantViolationError):
+            rt.validate()
+
+    def test_validate_detects_wrong_representative(self):
+        root, helpers = compute_haft(make_leaves(["a", "b", "c", "d"]))
+        rt = ReconstructionTree.from_merge(root)
+        helpers[0].representative = helpers[-1].representative
+        with pytest.raises(InvariantViolationError):
+            # Either the representative check or the lookup-table check fires.
+            rt.validate()
+
+
+class TestExtractSurvivingCompleteTrees:
+    def build_rt(self, processors, neighbor="dead"):
+        root, _ = compute_haft(make_leaves(processors, neighbor))
+        return ReconstructionTree.from_merge(root)
+
+    def test_deleting_a_leaf_owner_keeps_other_leaves(self):
+        rt = self.build_rt(["a", "b", "c", "d"])
+        pieces, released = extract_surviving_complete_trees(rt, "c")
+        surviving = sorted(
+            leaf.port.processor for piece in pieces for leaf in iter_rt_nodes(piece) if isinstance(leaf, RTLeaf)
+        )
+        assert surviving == ["a", "b", "d"]
+
+    def test_all_pieces_are_complete_and_alive(self):
+        rt = self.build_rt([f"p{i}" for i in range(13)])
+        pieces, _ = extract_surviving_complete_trees(rt, "p5")
+        from repro.core.haft import is_complete
+
+        for piece in pieces:
+            assert is_complete(piece)
+            for node in iter_rt_nodes(piece):
+                owner = node.port.processor if isinstance(node, RTLeaf) else node.simulated_by.processor
+                assert owner != "p5"
+
+    def test_released_helpers_do_not_belong_to_dead_processor(self):
+        rt = self.build_rt([f"p{i}" for i in range(9)])
+        _pieces, released = extract_surviving_complete_trees(rt, "p0")
+        assert all(port.processor != "p0" for port in released)
+
+    def test_deleting_sole_leaf_yields_nothing(self):
+        rt = self.build_rt(["a"])
+        pieces, released = extract_surviving_complete_trees(rt, "a")
+        assert pieces == []
+        assert released == []
+
+    def test_unrelated_deletion_strips_whole_rt(self):
+        rt = self.build_rt(["a", "b", "c"])
+        pieces, _released = extract_surviving_complete_trees(rt, "zzz")
+        total = sum(piece.num_leaves for piece in pieces)
+        assert total == 3
+
+    def test_remerge_after_extraction_is_valid(self):
+        rt = self.build_rt([f"p{i}" for i in range(11)])
+        pieces, released = extract_surviving_complete_trees(rt, "p3")
+        root, _ = compute_haft(pieces)
+        merged = ReconstructionTree.from_merge(root)
+        merged.validate()
+        assert merged.size == 10
