@@ -1,0 +1,76 @@
+"""Hot-path benchmarks: incremental healed-graph upkeep + CSR stretch engine.
+
+Times the two paths this repo's perf subsystem optimises — delete-heavy churn
+(incremental ``G`` maintenance in the engine) and stretch measurement (bitset
+BFS over CSR snapshots) — at n in {100, 1000, 5000}.  The seed-equivalent
+baselines are timed by ``scripts/perf_report.py``, which regenerates
+``BENCH_perf.json`` standalone; this module keeps the fast paths visible to
+``pytest benchmarks/ --benchmark-only`` alongside the experiment benchmarks.
+
+Every item here carries the ``perf`` marker (added by conftest) and stays out
+of the tier-1 run.
+"""
+
+import pytest
+
+from repro import ForgivingGraph
+from repro.adversary.schedule import churn_schedule
+from repro.adversary.strategies import RandomDeletion
+from repro.analysis import MeasurementSession, guarantee_report, stretch_report
+from repro.generators import make_graph
+
+from conftest import run_once
+
+SIZES = [100, 1000, 5000]
+
+
+def churned_engine(n: int, seed: int = 20090214) -> ForgivingGraph:
+    fg = ForgivingGraph.from_graph(make_graph("erdos_renyi", n, seed=seed))
+    strategy = RandomDeletion(seed=seed)
+    for _ in range(n // 4):
+        victim = strategy.choose_victim(fg)
+        if victim is None or fg.num_alive <= 2:
+            break
+        fg.delete(victim)
+    return fg
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_stretch_report_fast_path(benchmark, n):
+    """CSR/bitset stretch measurement on a churned engine state."""
+    fg = churned_engine(n)
+    max_sources = None if n <= 1000 else 128
+    report = run_once(benchmark, stretch_report, fg, max_sources=max_sources, seed=0)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["pairs"] = report.pairs_measured
+    benchmark.extra_info["max_stretch"] = report.max_stretch
+    assert report.within_bound
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_delete_heavy_churn_sweep(benchmark, n):
+    """End-to-end churn with periodic Theorem 1 measurement (the sweep shape)."""
+    steps = min(n, 1000)
+
+    def workload():
+        fg = ForgivingGraph.from_graph(make_graph("erdos_renyi", n, seed=1))
+        session = MeasurementSession()
+        interval = max(steps // 8, 1)
+        counter = {"events": 0}
+
+        def on_event(_event, healer):
+            counter["events"] += 1
+            if counter["events"] % interval == 0:
+                guarantee_report(healer, max_sources=32, seed=1, session=session)
+
+        churn_schedule(steps=steps, delete_probability=0.8, seed=1).run(
+            fg, on_event=on_event
+        )
+        return guarantee_report(fg, max_sources=32, seed=1, session=session)
+
+    final = run_once(benchmark, workload)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["steps"] = steps
+    benchmark.extra_info["degree_factor"] = round(final.degree_factor, 3)
+    benchmark.extra_info["connected"] = final.connected
+    assert final.connected

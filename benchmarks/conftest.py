@@ -16,6 +16,12 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark as ``perf`` so tier-1 runs can keep them deselected."""
+    for item in items:
+        item.add_marker(pytest.mark.perf)
+
+
 def run_once(benchmark, func, *args, **kwargs):
     """Benchmark ``func`` with a single round/iteration (workloads are macro-level)."""
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..core.errors import ConfigurationError
 from ..core.ports import NodeId
+from ..core.views import g_prime_view_of
 from .strategies import (
     DeletionStrategy,
     InsertionStrategy,
@@ -123,7 +124,7 @@ class AttackSchedule:
         victim = self.deletion_strategy.choose_victim(healer)
         if victim is None:
             return None
-        victim_degree = healer.g_prime_view().degree[victim]
+        victim_degree = g_prime_view_of(healer).degree[victim]
         healer.delete(victim)
         return AttackEvent(step=step, kind="delete", node=victim, victim_degree=victim_degree)
 
@@ -138,7 +139,7 @@ class AttackSchedule:
     @staticmethod
     def _fresh_id_source(healer) -> Iterator[NodeId]:
         """Yield integer identifiers guaranteed not to collide with existing nodes."""
-        existing = healer.g_prime_view().nodes
+        existing = g_prime_view_of(healer).nodes
         numeric = [n for n in existing if isinstance(n, int)]
         start = (max(numeric) + 1) if numeric else 0
         return itertools.count(start)

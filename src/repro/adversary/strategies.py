@@ -12,7 +12,10 @@ shared by :class:`repro.core.ForgivingGraph` and every baseline in
 Because the paper's adversary is omniscient, strategies are free to inspect
 the healed graph (including the edges the algorithm added) when picking
 their next victim — e.g. :class:`MaxDegreeDeletion` keeps hammering whichever
-node currently carries the most healing load.
+node currently carries the most healing load.  Strategies only *read* the
+graphs, so they go through :func:`repro.core.views.actual_view_of` — a
+zero-copy view when the healer offers one — instead of copying the healed
+graph on every adversarial move.
 """
 
 from __future__ import annotations
@@ -24,7 +27,8 @@ import networkx as nx
 import numpy as np
 
 from ..core.errors import ConfigurationError
-from ..core.ports import NodeId
+from ..core.ports import NodeId, sorted_nodes
+from ..core.views import actual_view_of
 
 __all__ = [
     "Adversary",
@@ -53,9 +57,8 @@ def _rng(seed: SeedLike) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def _sorted_nodes(nodes: Iterable[NodeId]) -> List[NodeId]:
-    """Deterministic ordering of possibly mixed-type node identifiers."""
-    return sorted(nodes, key=lambda n: (type(n).__name__, repr(n)))
+#: Canonical deterministic node ordering (shared: see repro.core.ports).
+_sorted_nodes = sorted_nodes
 
 
 class Adversary(abc.ABC):
@@ -99,7 +102,7 @@ class MaxDegreeDeletion(DeletionStrategy):
     """
 
     def choose_victim(self, healer) -> Optional[NodeId]:
-        graph = healer.actual_graph()
+        graph = actual_view_of(healer)
         alive = _sorted_nodes(healer.alive_nodes)
         if not alive:
             return None
@@ -110,7 +113,7 @@ class MinDegreeDeletion(DeletionStrategy):
     """Delete the lowest-degree survivor (peels leaves; stresses RT merging breadth)."""
 
     def choose_victim(self, healer) -> Optional[NodeId]:
-        graph = healer.actual_graph()
+        graph = actual_view_of(healer)
         alive = _sorted_nodes(healer.alive_nodes)
         if not alive:
             return None
@@ -132,7 +135,7 @@ class HighBetweennessDeletion(DeletionStrategy):
         self._samples = samples
 
     def choose_victim(self, healer) -> Optional[NodeId]:
-        graph = healer.actual_graph()
+        graph = actual_view_of(healer)
         alive = _sorted_nodes(healer.alive_nodes)
         if not alive:
             return None
@@ -157,7 +160,7 @@ class CutAdversary(DeletionStrategy):
     """
 
     def choose_victim(self, healer) -> Optional[NodeId]:
-        graph = healer.actual_graph()
+        graph = actual_view_of(healer)
         alive = _sorted_nodes(healer.alive_nodes)
         if not alive:
             return None
@@ -261,7 +264,7 @@ class PreferentialInsertion(InsertionStrategy):
         self._rng = _rng(seed)
 
     def choose_attachments(self, healer) -> List[NodeId]:
-        graph = healer.actual_graph()
+        graph = actual_view_of(healer)
         alive = _sorted_nodes(healer.alive_nodes)
         if not alive:
             return []
@@ -294,7 +297,7 @@ class StarInsertion(InsertionStrategy):
     """
 
     def choose_attachments(self, healer) -> List[NodeId]:
-        graph = healer.actual_graph()
+        graph = actual_view_of(healer)
         alive = _sorted_nodes(healer.alive_nodes)
         if not alive:
             return []

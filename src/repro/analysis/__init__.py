@@ -6,6 +6,8 @@
   and the Theorem 2 lower bound,
 * :mod:`repro.analysis.invariants` — healer-agnostic health checks
   (connectivity, guarantee compliance),
+* :mod:`repro.analysis.fastpaths` — CSR/int-indexed snapshots and the
+  numpy/scipy BFS engine behind the measurement hot paths,
 * :mod:`repro.analysis.stats` — small summary-statistics helpers used by the
   experiment reports.
 """
@@ -19,9 +21,16 @@ from .bounds import (
     verify_tradeoff_against_lower_bound,
 )
 from .degrees import DegreeReport, degree_increase_factor, degree_report, per_node_degree_factors
+from .fastpaths import (
+    CSRGraph,
+    HealerSnapshot,
+    MeasurementSession,
+    NodeIndex,
+    snapshot_healer,
+)
 from .invariants import GuaranteeReport, check_connectivity_preserved, guarantee_report
 from .stats import Summary, summarize
-from .stretch import StretchReport, pairwise_stretch, stretch_report
+from .stretch import StretchReport, pairwise_stretch, stretch_report, stretch_report_reference
 
 __all__ = [
     "degree_increase_factor",
@@ -30,7 +39,13 @@ __all__ = [
     "DegreeReport",
     "pairwise_stretch",
     "stretch_report",
+    "stretch_report_reference",
     "StretchReport",
+    "CSRGraph",
+    "HealerSnapshot",
+    "MeasurementSession",
+    "NodeIndex",
+    "snapshot_healer",
     "degree_bound",
     "stretch_bound",
     "lower_bound_stretch",

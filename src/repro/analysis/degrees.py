@@ -4,7 +4,8 @@ The paper's first success metric is ``max_v deg(v, G_T) / deg(v, G'_T)``: how
 much healing has inflated any node's degree relative to the insertion-only
 graph.  These helpers compute the per-node ratios and the aggregate report
 from any healer exposing the shared protocol (``actual_graph`` /
-``g_prime_view`` / ``alive_nodes``).
+``g_prime_view`` / ``alive_nodes``); degrees are read off zero-copy views
+(:mod:`repro.core.views`), so no graph is ever copied per measurement.
 """
 
 from __future__ import annotations
@@ -15,14 +16,14 @@ from typing import Dict, List, Optional
 import networkx as nx
 
 from ..core.ports import NodeId
+from ..core.views import healer_views
 
 __all__ = ["per_node_degree_factors", "degree_increase_factor", "degree_report", "DegreeReport"]
 
 
 def per_node_degree_factors(healer) -> Dict[NodeId, float]:
     """Return ``deg(v, healed) / deg(v, G')`` for every alive node with ``G'`` degree > 0."""
-    actual = healer.actual_graph()
-    g_prime = healer.g_prime_view()
+    g_prime, actual = healer_views(healer)
     factors: Dict[NodeId, float] = {}
     for node in healer.alive_nodes:
         d_prime = g_prime.degree[node] if node in g_prime else 0
@@ -63,8 +64,7 @@ class DegreeReport:
 def degree_report(healer) -> DegreeReport:
     """Compute a :class:`DegreeReport` for the healer's current state."""
     factors = per_node_degree_factors(healer)
-    actual = healer.actual_graph()
-    g_prime = healer.g_prime_view()
+    g_prime, actual = healer_views(healer)
     alive = healer.alive_nodes
     actual_degrees: List[int] = [actual.degree[v] for v in alive if v in actual]
     g_prime_degrees: List[int] = [g_prime.degree[v] for v in alive if v in g_prime]

@@ -6,6 +6,12 @@ mechanism, Lemma 3), the checks here look only at the externally observable
 graphs and therefore apply to every healer: does healing preserve
 connectivity, and does the current state satisfy the degree and stretch
 guarantees of Theorem 1?
+
+Distance- and connectivity-heavy checks run on the CSR fast paths of
+:mod:`repro.analysis.fastpaths`; :func:`guarantee_report` takes every metric
+off a single int-indexed snapshot, and accepts a
+:class:`~repro.analysis.fastpaths.MeasurementSession` so the node indexing
+is reused across the many measurements of an attack.
 """
 
 from __future__ import annotations
@@ -14,12 +20,12 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
-import networkx as nx
 import numpy as np
 
 from ..core.ports import NodeId
 from .bounds import degree_bound, stretch_bound
 from .degrees import degree_report
+from .fastpaths import HealerSnapshot, MeasurementSession, snapshot_healer
 from .stretch import stretch_report
 
 __all__ = ["check_connectivity_preserved", "guarantee_report", "GuaranteeReport"]
@@ -27,28 +33,29 @@ __all__ = ["check_connectivity_preserved", "guarantee_report", "GuaranteeReport"
 SeedLike = Union[int, np.random.Generator, None]
 
 
-def check_connectivity_preserved(healer) -> bool:
+def check_connectivity_preserved(healer, snapshot: Optional[HealerSnapshot] = None) -> bool:
     """True when every pair of alive nodes connected in ``G'`` is connected in the healed graph.
 
     This is the minimal promise of any self-healing algorithm: the adversary
     removed nodes, not the algorithm, so survivors that could still reach
     each other through the full history of insertions must remain mutually
     reachable after healing.
+
+    The check compares connected-component labels of the two CSR snapshots:
+    within every ``G'`` component, all alive nodes must carry the same healed
+    component label.
     """
-    actual = healer.actual_graph()
-    g_prime = healer.g_prime_view()
-    alive = healer.alive_nodes
-    for component in nx.connected_components(g_prime):
-        alive_in_component = [node for node in component if node in alive]
-        if len(alive_in_component) <= 1:
-            continue
-        root = alive_in_component[0]
-        if root not in actual:
-            return False
-        reachable = nx.node_connected_component(actual, root)
-        if any(other not in reachable for other in alive_in_component[1:]):
-            return False
-    return True
+    snap = snapshot if snapshot is not None else snapshot_healer(healer)
+    alive_idx = np.flatnonzero(snap.alive_mask)
+    if alive_idx.size <= 1:
+        return True
+    g_prime_labels = snap.g_prime.component_labels()[alive_idx]
+    actual_labels = snap.actual.component_labels()[alive_idx]
+    order = np.argsort(g_prime_labels, kind="stable")
+    gp = g_prime_labels[order]
+    ac = actual_labels[order]
+    same_group = gp[1:] == gp[:-1]
+    return bool(np.all(ac[1:][same_group] == ac[:-1][same_group]))
 
 
 @dataclass
@@ -97,14 +104,19 @@ def guarantee_report(
     max_sources: Optional[int] = None,
     seed: SeedLike = None,
     healer_name: Optional[str] = None,
+    session: Optional[MeasurementSession] = None,
 ) -> GuaranteeReport:
     """Measure the Theorem 1 quantities for a healer's current state.
 
     ``max_sources`` limits the stretch computation to a sample of BFS
-    sources (see :func:`repro.analysis.stretch.stretch_report`).
+    sources (see :func:`repro.analysis.stretch.stretch_report`).  All the
+    graph-distance metrics are taken off one CSR snapshot; pass a
+    ``session`` to reuse its node indexing across repeated calls during an
+    attack.
     """
+    snap = snapshot_healer(healer, session)
     degrees = degree_report(healer)
-    stretch = stretch_report(healer, max_sources=max_sources, seed=seed)
+    stretch = stretch_report(healer, max_sources=max_sources, seed=seed, snapshot=snap)
     name = healer_name if healer_name is not None else getattr(healer, "name", type(healer).__name__)
     return GuaranteeReport(
         healer_name=name,
@@ -114,5 +126,5 @@ def guarantee_report(
         degree_bound=degree_bound(),
         stretch=stretch.max_stretch,
         stretch_bound=stretch_bound(healer.nodes_ever),
-        connected=check_connectivity_preserved(healer),
+        connected=check_connectivity_preserved(healer, snapshot=snap),
     )

@@ -13,6 +13,14 @@ give infinite stretch (only the no-healing baseline ever does this).
 Exact stretch needs all-pairs shortest paths and is quadratic; for sweeps on
 larger graphs :func:`stretch_report` samples source nodes (BFS from each
 sampled source still gives the exact worst ratio over the sampled rows).
+
+:func:`stretch_report` runs on the CSR fast paths of
+:mod:`repro.analysis.fastpaths` — distances come from batched int-indexed
+BFS rather than per-node dict BFS, and the node indexing can be shared
+across the many measurements of one attack by passing a
+:class:`~repro.analysis.fastpaths.MeasurementSession`.  The original
+networkx implementation survives as :func:`stretch_report_reference`; the
+equivalence tests assert both agree on every metric.
 """
 
 from __future__ import annotations
@@ -24,11 +32,23 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 import networkx as nx
 import numpy as np
 
-from ..core.ports import NodeId
+from ..core.ports import NodeId, sorted_nodes
+from ..core.views import healer_views
+from .fastpaths import HealerSnapshot, MeasurementSession, snapshot_healer
 
-__all__ = ["pairwise_stretch", "stretch_report", "StretchReport"]
+__all__ = [
+    "pairwise_stretch",
+    "stretch_report",
+    "stretch_report_reference",
+    "StretchReport",
+]
 
 SeedLike = Union[int, np.random.Generator, None]
+
+#: Sources per bitset-BFS batch; bounds the (sources x nodes) distance block
+#: to a few MB even on the largest sweep graphs while keeping the bit-words
+#: of the batched BFS well filled.
+_SOURCE_BLOCK = 256
 
 
 def _rng(seed: SeedLike) -> np.random.Generator:
@@ -41,10 +61,11 @@ def pairwise_stretch(healer, x: NodeId, y: NodeId) -> float:
     """Stretch of the single pair ``(x, y)``.
 
     Returns ``inf`` if the pair is connected in ``G'`` but not in the healed
-    graph and ``nan`` if it is disconnected even in ``G'``.
+    graph and ``nan`` if it is disconnected even in ``G'``.  Works on
+    read-only views of the healer's graphs — a single-pair query never copies
+    a full graph.
     """
-    actual = healer.actual_graph()
-    g_prime = healer.g_prime_view()
+    g_prime, actual = healer_views(healer)
     try:
         base = nx.shortest_path_length(g_prime, x, y)
     except nx.NetworkXNoPath:
@@ -89,10 +110,35 @@ class StretchReport:
         }
 
 
+def _empty_report(log_n_bound: float) -> StretchReport:
+    return StretchReport(
+        max_stretch=1.0,
+        mean_stretch=1.0,
+        pairs_measured=0,
+        disconnected_pairs=0,
+        log_n_bound=log_n_bound,
+        sampled=False,
+    )
+
+
+def _pick_sources(
+    alive: List[NodeId], max_sources: Optional[int], seed: SeedLike
+) -> Tuple[List[NodeId], bool]:
+    """The BFS sources: all alive nodes, or a seeded sample of ``max_sources``."""
+    sampled = max_sources is not None and max_sources < len(alive)
+    if not sampled:
+        return alive, False
+    rng = _rng(seed)
+    picks = rng.choice(len(alive), size=max_sources, replace=False)
+    return [alive[int(i)] for i in picks], True
+
+
 def stretch_report(
     healer,
     max_sources: Optional[int] = None,
     seed: SeedLike = None,
+    session: Optional[MeasurementSession] = None,
+    snapshot: Optional[HealerSnapshot] = None,
 ) -> StretchReport:
     """Measure the stretch of the healer's current state.
 
@@ -100,7 +146,8 @@ def stretch_report(
     ----------
     healer:
         Any object with ``actual_graph`` / ``g_prime_view`` / ``alive_nodes``
-        and ``nodes_ever``.
+        and ``nodes_ever`` (zero-copy ``actual_view`` / ``g_prime_graph_view``
+        are used when present).
     max_sources:
         When given and smaller than the number of alive nodes, BFS is run
         only from this many sampled sources; the reported maximum is then a
@@ -108,30 +155,81 @@ def stretch_report(
         tests that omit the parameter).
     seed:
         Seed for the source sampling.
+    session:
+        Optional :class:`MeasurementSession` whose node index is reused
+        across calls (the experiment runner passes one per attack).
+    snapshot:
+        An already-taken :class:`HealerSnapshot` of ``healer``'s *current*
+        state, when the caller measures several metrics off one snapshot.
+    """
+    n_ever = healer.nodes_ever
+    log_n_bound = math.log2(n_ever) if n_ever > 1 else 1.0
+
+    snap = snapshot if snapshot is not None else snapshot_healer(healer, session)
+    alive = snap.alive_sorted
+    if len(alive) < 2:
+        return _empty_report(log_n_bound)
+
+    sources, sampled = _pick_sources(alive, max_sources, seed)
+    source_idx = snap.index.indices_of(sources)
+    alive_mask = snap.alive_mask
+
+    worst = 0.0
+    total = 0.0
+    pairs = 0
+    disconnected = 0
+    for start in range(0, source_idx.size, _SOURCE_BLOCK):
+        block = source_idx[start : start + _SOURCE_BLOCK]
+        base = snap.g_prime.bfs_distances(block)
+        healed = snap.actual.bfs_distances(block)
+        # A pair counts when the target is alive, differs from the source
+        # (base > 0 covers that) and is reachable in G'.
+        valid = alive_mask[np.newaxis, :] & np.isfinite(base) & (base > 0)
+        pairs += int(valid.sum())
+        healed_valid = healed[valid]
+        base_valid = base[valid]
+        broken = np.isinf(healed_valid)
+        disconnected += int(broken.sum())
+        ratios = healed_valid[~broken] / base_valid[~broken]
+        if ratios.size:
+            worst = max(worst, float(ratios.max()))
+            total += float(ratios.sum())
+    if disconnected:
+        worst = float("inf")
+
+    finite_pairs = pairs - disconnected
+    mean = (total / finite_pairs) if finite_pairs else (float("inf") if disconnected else 1.0)
+    return StretchReport(
+        max_stretch=worst if pairs else 1.0,
+        mean_stretch=mean,
+        pairs_measured=pairs,
+        disconnected_pairs=disconnected,
+        log_n_bound=log_n_bound,
+        sampled=sampled,
+    )
+
+
+def stretch_report_reference(
+    healer,
+    max_sources: Optional[int] = None,
+    seed: SeedLike = None,
+) -> StretchReport:
+    """The original dict-based networkx stretch measurement.
+
+    Kept verbatim as the ground truth for :func:`stretch_report`: the
+    equivalence tests run both over churned healers and assert identical
+    metrics, and ``scripts/perf_report.py`` times it as the seed baseline.
     """
     actual = healer.actual_graph()
     g_prime = healer.g_prime_view()
-    alive: List[NodeId] = sorted(healer.alive_nodes, key=lambda n: (type(n).__name__, repr(n)))
+    alive: List[NodeId] = sorted_nodes(healer.alive_nodes)
     n_ever = healer.nodes_ever
     log_n_bound = math.log2(n_ever) if n_ever > 1 else 1.0
 
     if len(alive) < 2:
-        return StretchReport(
-            max_stretch=1.0,
-            mean_stretch=1.0,
-            pairs_measured=0,
-            disconnected_pairs=0,
-            log_n_bound=log_n_bound,
-            sampled=False,
-        )
+        return _empty_report(log_n_bound)
 
-    sampled = max_sources is not None and max_sources < len(alive)
-    if sampled:
-        rng = _rng(seed)
-        picks = rng.choice(len(alive), size=max_sources, replace=False)
-        sources = [alive[int(i)] for i in picks]
-    else:
-        sources = alive
+    sources, sampled = _pick_sources(alive, max_sources, seed)
 
     alive_set = set(alive)
     worst = 0.0

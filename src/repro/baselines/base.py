@@ -115,6 +115,10 @@ class SelfHealer(abc.ABC):
         """Return a copy of ``G'`` (insertions only, ignoring deletions)."""
         return self._g_prime.copy()
 
+    def g_prime_graph_view(self) -> nx.Graph:
+        """Zero-copy read-only view of ``G'`` (stays in sync with the healer)."""
+        return self._g_prime.copy(as_view=True)
+
     def g_prime_degree(self, node: NodeId) -> int:
         """Degree of ``node`` in ``G'``."""
         if node not in self._g_prime:
@@ -124,6 +128,10 @@ class SelfHealer(abc.ABC):
     def actual_graph(self) -> nx.Graph:
         """Return a copy of the healed graph maintained by this strategy."""
         return self._actual.copy()
+
+    def actual_view(self) -> nx.Graph:
+        """Zero-copy read-only view of the healed graph (stays in sync)."""
+        return self._actual.copy(as_view=True)
 
     def actual_degree(self, node: NodeId) -> int:
         """Degree of ``node`` in the healed graph."""

@@ -7,7 +7,8 @@ This package contains the paper's primary contribution:
   representative mechanism (Section 4.2),
 * :mod:`repro.core.forgiving_graph` — the self-healing engine (Sections 2-3),
 * :mod:`repro.core.ports` — port / edge identifiers (Table 1),
-* :mod:`repro.core.errors` — the exception hierarchy.
+* :mod:`repro.core.errors` — the exception hierarchy,
+* :mod:`repro.core.views` — zero-copy read-only access to healer graphs.
 """
 
 from .errors import (
@@ -37,7 +38,8 @@ from .haft import (
     strip,
     validate_haft,
 )
-from .ports import NodeId, Port, edge_key
+from .ports import NodeId, Port, edge_key, sorted_nodes
+from .views import actual_view_of, g_prime_view_of, healer_views
 from .reconstruction_tree import (
     ReconstructionTree,
     RTHelper,
@@ -76,6 +78,7 @@ __all__ = [
     "NodeId",
     "Port",
     "edge_key",
+    "sorted_nodes",
     # reconstruction trees
     "ReconstructionTree",
     "RTLeaf",
@@ -87,4 +90,8 @@ __all__ = [
     "ForgivingGraph",
     "RepairReport",
     "HealingEvent",
+    # views
+    "actual_view_of",
+    "g_prime_view_of",
+    "healer_views",
 ]

@@ -17,6 +17,13 @@ the *virtual graph* (:meth:`ForgivingGraph.virtual_graph`)
     the actual healed network: the homomorphic image of the virtual graph
     obtained by mapping every port and helper to its owning processor and
     dropping self-loops.  All guarantees of Theorem 1 are measured on ``G``.
+    The engine maintains ``G`` *incrementally*: every healed edge carries a
+    count of its sources (one per surviving real edge, one per RT virtual
+    edge projecting onto it), and repairs apply exact deltas — only the
+    broken RT glue ever gains or loses sources.  Zero-copy read access is
+    available through :meth:`ForgivingGraph.actual_view` /
+    :meth:`ForgivingGraph.g_prime_graph_view`, and the from-scratch builder
+    is retained as ``_rebuild_actual()`` for cross-checking.
 
 The distributed message-passing version of the same algorithm lives in
 :mod:`repro.distributed`; it drives repairs through explicit messages so the
@@ -126,8 +133,15 @@ class ForgivingGraph:
         self._rts: Dict[int, ReconstructionTree] = {}
         self._rt_of_leaf: Dict[Port, ReconstructionTree] = {}
         self._rt_of_helper: Dict[Port, ReconstructionTree] = {}
-        # Healed-graph cache ---------------------------------------------------------------
-        self._actual_cache: Optional[nx.Graph] = None
+        # Incrementally-maintained healed graph ``G`` -------------------------------------
+        # ``G`` is the image of the virtual graph under the processor projection,
+        # so one healed edge can have several sources (a surviving real edge and
+        # any number of RT virtual edges between the same two processors).
+        # ``_edge_mult`` counts those sources per healed edge; an edge lives in
+        # ``_actual`` exactly while its count is positive, which lets delete()
+        # apply per-repair deltas instead of rebuilding ``G`` from scratch.
+        self._actual = nx.Graph()
+        self._edge_mult: Dict[frozenset, int] = {}
         # Auditing -------------------------------------------------------------------------
         self.events: List[HealingEvent] = []
         self._step = 0
@@ -178,13 +192,14 @@ class ForgivingGraph:
             return
         self._g_prime.add_node(node)
         self._alive.add(node)
-        self._invalidate()
+        self._actual.add_node(node)
 
     def _add_initial_edge(self, u: NodeId, v: NodeId) -> None:
         if u == v:
             raise InvalidEdgeError(f"self-loop ({u!r}, {v!r}) not allowed")
+        if not self._g_prime.has_edge(u, v):
+            self._edge_source_added(u, v)
         self._g_prime.add_edge(u, v)
-        self._invalidate()
 
     # ------------------------------------------------------------------ #
     # basic queries
@@ -248,6 +263,16 @@ class ForgivingGraph:
         """Return a copy of ``G'``: all nodes/edges ever inserted, ignoring deletions."""
         return self._g_prime.copy()
 
+    def g_prime_graph_view(self) -> nx.Graph:
+        """Zero-copy read-only view of ``G'`` (raises on mutation attempts).
+
+        Prefer this over :meth:`g_prime_view` in measurement code: the view
+        shares the engine's adjacency structures, so taking one is O(1)
+        regardless of graph size.  The view stays in sync with the engine —
+        do not hold it across operations if a frozen snapshot is needed.
+        """
+        return self._g_prime.copy(as_view=True)
+
     def g_prime_degree(self, node: NodeId) -> int:
         """Degree of ``node`` in ``G'`` (the denominator of the degree guarantee)."""
         if node not in self._g_prime:
@@ -256,17 +281,26 @@ class ForgivingGraph:
 
     def actual_graph(self) -> nx.Graph:
         """Return the healed network ``G`` (a copy; mutations do not affect the engine)."""
-        return self._compute_actual().copy()
+        return self._actual.copy()
+
+    def actual_view(self) -> nx.Graph:
+        """Zero-copy read-only view of the healed network ``G``.
+
+        The healed graph is maintained incrementally across operations, so
+        this accessor is O(1).  Like :meth:`g_prime_graph_view`, the view
+        reflects future mutations of the engine.
+        """
+        return self._actual.copy(as_view=True)
 
     def actual_degree(self, node: NodeId) -> int:
-        """Degree of ``node`` in the healed network ``G``."""
+        """Degree of ``node`` in the healed network ``G`` (O(1), no graph build)."""
         if node not in self._alive:
             raise UnknownNodeError(node, "actual_degree")
-        return self._compute_actual().degree[node]
+        return self._actual.degree[node]
 
     def actual_edges(self) -> Set[Tuple[NodeId, NodeId]]:
-        """Edge set of the healed network ``G``."""
-        return set(self._compute_actual().edges)
+        """Edge set of the healed network ``G`` (read off the maintained graph)."""
+        return set(self._actual.edges)
 
     def virtual_graph(self) -> nx.Graph:
         """Return the virtual graph: surviving real edges plus the RTs.
@@ -303,9 +337,15 @@ class ForgivingGraph:
             return ("leaf", node.port)
         return ("helper", node.simulated_by)
 
-    def _compute_actual(self) -> nx.Graph:
-        if self._actual_cache is not None:
-            return self._actual_cache
+    def _rebuild_actual(self) -> nx.Graph:
+        """Build the healed graph ``G`` from scratch (the seed implementation).
+
+        The engine maintains ``G`` incrementally (see ``_edge_mult``); this
+        from-scratch builder is kept as the ground truth for cross-checking —
+        :meth:`check_invariants` asserts the incrementally-maintained graph
+        matches it, and the equivalence tests exercise that after every event
+        of randomized churn runs.
+        """
         actual = nx.Graph()
         actual.add_nodes_from(self._alive)
         for u, v in self._g_prime.edges:
@@ -316,11 +356,32 @@ class ForgivingGraph:
                 p, c = parent.processor, child.processor
                 if p != c:
                     actual.add_edge(p, c)
-        self._actual_cache = actual
         return actual
 
-    def _invalidate(self) -> None:
-        self._actual_cache = None
+    # -- incremental healed-graph deltas ---------------------------------------------
+    def _edge_source_added(self, u: NodeId, v: NodeId) -> None:
+        """Record one more source (real edge or RT virtual edge) for healed edge (u, v)."""
+        if u == v:
+            return
+        key = frozenset((u, v))
+        count = self._edge_mult.get(key, 0)
+        if count == 0:
+            self._actual.add_edge(u, v)
+        self._edge_mult[key] = count + 1
+
+    def _edge_source_removed(self, u: NodeId, v: NodeId) -> None:
+        """Drop one source of healed edge (u, v); the edge disappears at zero sources."""
+        if u == v:
+            return
+        key = frozenset((u, v))
+        count = self._edge_mult.get(key, 0)
+        if count <= 1:
+            self._edge_mult.pop(key, None)
+            if self._actual.has_edge(u, v):
+                self._actual.remove_edge(u, v)
+        else:
+            self._edge_mult[key] = count - 1
+
 
     # ------------------------------------------------------------------ #
     # adversarial insertion
@@ -343,10 +404,11 @@ class ForgivingGraph:
             if neighbor not in self._alive:
                 raise UnknownNodeError(neighbor, "insertion must attach to alive nodes")
         self._g_prime.add_node(node)
+        self._alive.add(node)
+        self._actual.add_node(node)
         for neighbor in neighbors:
             self._g_prime.add_edge(node, neighbor)
-        self._alive.add(node)
-        self._invalidate()
+            self._edge_source_added(node, neighbor)
         self._step += 1
         self.events.append(
             HealingEvent(step=self._step, kind="insert", node=node, attached_to=tuple(neighbors))
@@ -369,48 +431,81 @@ class ForgivingGraph:
             raise DeletedNodeError(node, "delete")
 
         degree_g_prime = self._g_prime.degree[node]
-        degree_actual = self._compute_actual().degree[node] if node in self._compute_actual() else 0
-        edges_before = self._compute_actual().number_of_edges()
+        degree_actual = self._actual.degree[node] if node in self._actual else 0
+        # ``_edge_mult`` keys are exactly the healed edges, so edge counts are O(1).
+        edges_before = len(self._edge_mult)
 
         # 1. The processor dies: it disappears from the alive set, all its
         #    ports disappear, and every helper node it simulates disappears.
         self._alive.discard(node)
         self._deleted.add(node)
+        for neighbor in self._g_prime.neighbors(node):
+            if neighbor in self._alive:
+                self._edge_source_removed(node, neighbor)
 
+        # Locate the affected RTs *and* the dead RT nodes inside them through
+        # the port registries — O(deg) lookups, no table or tree scans.
         affected_rts: Dict[int, ReconstructionTree] = {}
+        dead_rt_nodes: Dict[int, List[RTNode]] = {}
         for neighbor in self._g_prime.neighbors(node):
             own_port = Port(node, neighbor)
             leaf_rt = self._rt_of_leaf.get(own_port)
             if leaf_rt is not None:
                 affected_rts[leaf_rt.rt_id] = leaf_rt
+                dead_rt_nodes.setdefault(leaf_rt.rt_id, []).append(leaf_rt.leaves[own_port])
             helper_rt = self._rt_of_helper.get(own_port)
             if helper_rt is not None:
                 affected_rts[helper_rt.rt_id] = helper_rt
+                dead_rt_nodes.setdefault(helper_rt.rt_id, []).append(
+                    helper_rt.helpers[own_port]
+                )
 
         # 2. Neighbours that were directly connected (both endpoints alive
         #    until now) contribute a fresh trivial leaf each.
         complete_trees: List[RTNode] = []
-        new_trivial_ports: List[Port] = []
+        new_trivial_leaves: List[RTLeaf] = []
         for neighbor in self._g_prime.neighbors(node):
             if neighbor in self._alive and Port(neighbor, node) not in self._rt_of_leaf:
                 leaf = RTLeaf(Port(neighbor, node))
                 complete_trees.append(leaf)
-                new_trivial_ports.append(leaf.port)
+                new_trivial_leaves.append(leaf)
 
         # 3. Every affected RT is dismantled into its surviving complete
-        #    pieces; helpers outside those pieces are released.
+        #    pieces; helpers outside those pieces are released.  Both the
+        #    dismantling and the healed-graph deltas touch only the *broken
+        #    glue* (the paths from dead RT nodes to their roots plus the
+        #    strip spines): edges and subtrees internal to surviving pieces
+        #    are carried into the merged RT untouched.
         helpers_released = 0
-        merged_rts = len(affected_rts) + len(new_trivial_ports)
+        merged_rts = len(affected_rts) + len(new_trivial_leaves)
         self.last_released_helper_ports = []
+        removed_virtual_edges: List[Tuple[NodeId, NodeId]] = []
+        released_by_rt: Dict[int, List[Port]] = {}
         for rt in affected_rts.values():
-            self._unregister_rt(rt)
-            pieces, released_ports = extract_surviving_complete_trees(rt, node)
+            pieces, released_ports = extract_surviving_complete_trees(
+                rt,
+                node,
+                removed_edges=removed_virtual_edges,
+                dead_nodes=dead_rt_nodes[rt.rt_id],
+            )
             complete_trees.extend(pieces)
             helpers_released += len(released_ports)
             self.last_released_helper_ports.extend(released_ports)
+            released_by_rt[rt.rt_id] = released_ports
+        for p, c in removed_virtual_edges:
+            self._edge_source_removed(p, c)
 
-        # Drop bookkeeping of the dead processor itself.
+        # Registry cleanup: the dead processor's ports vanish wholesale and
+        # every released helper port becomes free again (it may be picked to
+        # simulate one of the merge's new helpers).
         self._purge_processor(node)
+        for released_ports in released_by_rt.values():
+            for port in released_ports:
+                self._rt_of_helper.pop(port, None)
+        # By now every healed edge incident to the dead processor has lost
+        # all its sources (real edges above, RT projections with the broken
+        # glue), so only the bare node remains.
+        self._actual.remove_node(node)
 
         report = RepairReport(
             deleted_node=node,
@@ -426,21 +521,76 @@ class ForgivingGraph:
         )
 
         # 4. Merge everything into one new RT (ComputeHaft with the
-        #    representative mechanism) and register it.
+        #    representative mechanism).  The largest affected RT keeps its
+        #    identity: its surviving tables and registry entries stay put and
+        #    the smaller RTs are folded into it (smaller-into-larger), so the
+        #    bookkeeping cost of a repair is proportional to the smaller
+        #    trees, the broken glue and the dead node's degree — never to the
+        #    bulk of the largest tree.
         self.last_repair_rt = None
         self.last_new_helpers = []
+        base: Optional[ReconstructionTree] = None
+        for rt in affected_rts.values():
+            if base is None or len(rt.leaves) + len(rt.helpers) > len(base.leaves) + len(
+                base.helpers
+            ):
+                base = rt
         if complete_trees:
             busy_ports = set(self._rt_of_helper.keys())
             new_root, new_helpers = compute_haft(complete_trees, busy_ports=busy_ports)
-            new_rt = ReconstructionTree.from_merge(new_root)
-            self._register_rt(new_rt)
-            report.new_rt_size = new_rt.size
+            if base is None:
+                base = ReconstructionTree(root=new_root, leaves={}, helpers={})
+                self._rts[base.rt_id] = base
+            else:
+                # Scrub the base tables of everything the repair destroyed.
+                for dead in dead_rt_nodes[base.rt_id]:
+                    if isinstance(dead, RTLeaf):
+                        base.leaves.pop(dead.port, None)
+                    else:
+                        base.helpers.pop(dead.simulated_by, None)
+                for port in released_by_rt[base.rt_id]:
+                    base.helpers.pop(port, None)
+                base.root = new_root
+            # Fold the smaller RTs' survivors into the base tables and
+            # re-point their registry entries.
+            for rt in affected_rts.values():
+                if rt is base:
+                    continue
+                self._rts.pop(rt.rt_id, None)
+                released_set = set(released_by_rt[rt.rt_id])
+                for port, leaf in rt.leaves.items():
+                    if port.processor != node:
+                        base.leaves[port] = leaf
+                        self._rt_of_leaf[port] = base
+                for port, helper in rt.helpers.items():
+                    if port.processor != node and port not in released_set:
+                        base.helpers[port] = helper
+                        self._rt_of_helper[port] = base
+            for leaf in new_trivial_leaves:
+                base.leaves[leaf.port] = leaf
+                self._rt_of_leaf[leaf.port] = base
+            for helper in new_helpers:
+                base.helpers[helper.simulated_by] = helper
+                self._rt_of_helper[helper.simulated_by] = base
+            # Every edge of the merged RT is either internal to a surviving
+            # piece (its healed-edge source was never dropped) or one of the
+            # two child edges of a freshly created glue helper.
+            for helper in new_helpers:
+                for child in (helper.left, helper.right):
+                    if child is not None:
+                        self._edge_source_added(helper.processor, child.processor)
+            report.new_rt_size = base.size
             report.helpers_created = len(new_helpers)
-            self.last_repair_rt = new_rt
+            self.last_repair_rt = base
             self.last_new_helpers = new_helpers
+        elif base is not None:
+            # Nothing survived any affected RT: they dissolve entirely (all
+            # their ports were the dead processor's, so the registries are
+            # already clean).
+            for rt in affected_rts.values():
+                self._rts.pop(rt.rt_id, None)
 
-        self._invalidate()
-        edges_after = self._compute_actual().number_of_edges()
+        edges_after = len(self._edge_mult)
         # Edges lost purely because the node vanished:
         lost_with_node = degree_actual
         delta = edges_after - (edges_before - lost_with_node)
@@ -490,7 +640,18 @@ class ForgivingGraph:
         machinery behind experiment E6 (Lemma 3) and is also exercised by
         the property-based tests.
         """
-        actual = self._compute_actual()
+        actual = self._actual
+
+        # -- incremental G matches the from-scratch rebuild ----------------------------
+        rebuilt = self._rebuild_actual()
+        if set(actual.nodes) != set(rebuilt.nodes):
+            raise InvariantViolationError(
+                "incrementally-maintained G has a different node set than the rebuild"
+            )
+        if {frozenset(e) for e in actual.edges} != {frozenset(e) for e in rebuilt.edges}:
+            raise InvariantViolationError(
+                "incrementally-maintained G has a different edge set than the rebuild"
+            )
 
         # -- alive/deleted bookkeeping ------------------------------------------------
         if self._alive & self._deleted:
@@ -580,7 +741,7 @@ class ForgivingGraph:
         Nodes with ``G'`` degree zero are skipped (the ratio is undefined and
         their healed degree is necessarily zero as well).
         """
-        actual = self._compute_actual()
+        actual = self._actual
         nodes = [node] if node is not None else list(self._alive)
         worst = 0.0
         for v in nodes:

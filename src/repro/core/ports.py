@@ -41,8 +41,39 @@ class Port:
         """Return the port at the other end of the same ``G'`` edge."""
         return Port(self.neighbor, self.processor)
 
+    # Ports key every table of the data structure and order every merge, so
+    # their hash and repr sit on the engine's hot paths; both are memoized on
+    # first use (the instance is frozen, so they can never go stale).  The
+    # repr string matches the dataclass-generated format exactly — merge
+    # tie-breaking orders predate the memoization and must not change.
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.processor, self.neighbor))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __repr__(self) -> str:
+        cached = self.__dict__.get("_repr")
+        if cached is None:
+            cached = f"Port(processor={self.processor!r}, neighbor={self.neighbor!r})"
+            object.__setattr__(self, "_repr", cached)
+        return cached
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"port({self.processor}|{self.neighbor})"
+
+
+def sorted_nodes(nodes) -> list:
+    """Deterministic ordering of possibly mixed-type node identifiers.
+
+    This is the *canonical* node order of the repository: adversary
+    strategies, the CSR snapshots and the retained reference measurement all
+    index into it, and the sampled-stretch equivalence between
+    ``stretch_report`` and ``stretch_report_reference`` relies on every
+    caller ordering identically — do not fork local copies.
+    """
+    return sorted(nodes, key=lambda n: (type(n).__name__, repr(n)))
 
 
 def edge_key(u: NodeId, v: NodeId) -> tuple[NodeId, NodeId]:

@@ -385,6 +385,8 @@ def _is_ancestor(ancestor: RTNode, node: RTNode) -> bool:
 def extract_surviving_complete_trees(
     rt: ReconstructionTree,
     dead_processor: NodeId,
+    removed_edges: Optional[List[Tuple[NodeId, NodeId]]] = None,
+    dead_nodes: Optional[List[RTNode]] = None,
 ) -> Tuple[List[RTNode], List[Port]]:
     """Break an RT touched by the deletion of ``dead_processor`` into complete trees.
 
@@ -395,13 +397,34 @@ def extract_surviving_complete_trees(
     red" and released (its simulating port becomes free again), while every
     surviving leaf is kept (at worst as a trivial complete tree of one leaf).
 
+    The dismantling walks only the *broken* part of the tree: the paths from
+    the dead nodes up to the root, plus the strip spines of the salvaged
+    subtrees hanging off those paths.  Intact complete subtrees are never
+    entered (completeness is the O(1) counter test of Algorithm A.6), which
+    is what keeps the centralized repair cost proportional to the damage
+    rather than to the size of the tree.
+
     Parameters
     ----------
     rt:
         The reconstruction tree to dismantle.  It is consumed by this call:
-        afterwards its lookup tables must no longer be used.
+        afterwards its lookup tables must no longer be used (the engine
+        reconciles them itself).
     dead_processor:
         The processor the adversary just deleted.
+    removed_edges:
+        Optional accumulator.  When given, every virtual edge destroyed by
+        the dismantling (i.e. every parent-child edge of ``rt`` that is not
+        internal to a surviving complete piece) is appended as a projected
+        ``(processor, processor)`` pair.  The engine uses this to apply
+        exact healed-graph deltas: edges inside surviving pieces are carried
+        over to the merged RT untouched, so only the destroyed glue needs
+        accounting.
+    dead_nodes:
+        The RT nodes (leaves and helpers) owned by ``dead_processor``, when
+        the caller already knows them (the engine finds them through its
+        port registries in O(degree)).  Computed here by a table scan when
+        omitted.
 
     Returns
     -------
@@ -414,63 +437,76 @@ def extract_surviving_complete_trees(
     complete_roots: List[RTNode] = []
     released: List[Port] = []
 
-    def is_dead(node: RTNode) -> bool:
-        if isinstance(node, RTLeaf):
-            return node.port.processor == dead_processor
-        return node.simulated_by.processor == dead_processor
+    if dead_nodes is None:
+        dead_nodes = [
+            leaf for port, leaf in rt.leaves.items() if port.processor == dead_processor
+        ]
+        dead_nodes += [
+            helper
+            for port, helper in rt.helpers.items()
+            if port.processor == dead_processor
+        ]
+
+    def record_cut(parent: RTHelper, child: RTNode) -> None:
+        if removed_edges is not None:
+            removed_edges.append((parent.processor, child.processor))
 
     def collect_strip(node: RTNode) -> None:
         """Strip a fully-alive subtree into complete pieces (primary roots).
 
         Every subtree of an RT is itself a haft, so this is exactly the
         Strip operation: complete subtrees are kept whole, alive glue nodes
-        on the right spine are released.
+        on the right spine are released.  Completeness is decided from the
+        eagerly-maintained counters (``num_leaves == 2^height``), so intact
+        pieces are never traversed.
         """
-        if is_complete(node):
-            complete_roots.append(node)
-            return
-        assert isinstance(node, RTHelper)
-        released.append(node.simulated_by)
-        if node.left is not None:
-            complete_roots.append(node.left)
-        if node.right is not None:
-            collect_strip(node.right)
-
-    def visit(node: RTNode) -> bool:
-        """Post-order walk; returns True when the subtree of ``node`` is fully alive.
-
-        Fully-alive subtrees are left untouched here (the maximal ones are
-        stripped by their broken ancestor, or by the top-level call for the
-        root).  Broken subtrees have their alive pieces salvaged immediately
-        and their surviving glue helpers released.
-        """
-        if isinstance(node, RTLeaf):
-            return not is_dead(node)
-        left_alive = visit(node.left) if node.left is not None else False
-        right_alive = visit(node.right) if node.right is not None else False
-        node_alive = not is_dead(node)
-        if left_alive and right_alive and node_alive:
-            return True
-        # The subtree is broken: salvage each fully-alive child subtree and
-        # release this helper if it survived the deletion itself.
-        if left_alive and node.left is not None:
-            collect_strip(node.left)
-        if right_alive and node.right is not None:
-            collect_strip(node.right)
-        if node_alive:
+        while True:
+            if node.num_leaves == (1 << node.height):
+                complete_roots.append(node)
+                return
             released.append(node.simulated_by)
-        return False
+            if node.left is not None:
+                record_cut(node, node.left)
+                complete_roots.append(node.left)
+            right = node.right
+            if right is None:
+                return
+            record_cut(node, right)
+            node = right
 
     root = rt.root
     if isinstance(root, RTLeaf):
-        if not is_dead(root):
+        if root.port.processor != dead_processor:
             complete_roots.append(root)
         return complete_roots, released
 
-    if visit(root):
-        # The whole RT survived intact (possible only when the dead
-        # processor never actually appeared in it) — strip it as-is.
+    if not dead_nodes:
+        # The dead processor never actually appeared in this RT (possible
+        # for callers outside the engine) — strip the whole tree as-is.
         collect_strip(root)
+    else:
+        # Mark the broken region: every dead node plus every ancestor of a
+        # dead node.  Identity-keyed, since RT nodes are plain objects.
+        dead_ids = {id(dead) for dead in dead_nodes}
+        broken: Dict[int, RTNode] = {id(dead): dead for dead in dead_nodes}
+        for dead in dead_nodes:
+            cursor = dead.parent
+            while cursor is not None and id(cursor) not in broken:
+                broken[id(cursor)] = cursor
+                cursor = cursor.parent
+        # Every child edge of a broken node is destroyed; children outside
+        # the broken region root maximal fully-alive subtrees and are
+        # salvaged via Strip.  Surviving broken helpers are released.
+        for node in broken.values():
+            if isinstance(node, RTLeaf):
+                continue
+            for child in (node.left, node.right):
+                if child is not None:
+                    record_cut(node, child)
+                    if id(child) not in broken:
+                        collect_strip(child)
+            if id(node) not in dead_ids:
+                released.append(node.simulated_by)
 
     for node in complete_roots:
         node.detach()

@@ -1,0 +1,42 @@
+"""Zero-copy access to a healer's graphs.
+
+Every healer exposes ``actual_graph()`` / ``g_prime_view()``, which return
+*copies* so callers can mutate freely.  Measurement and adversary code never
+mutates, so copying is pure overhead — per-step O(n + m) that dominates large
+churn sweeps.  Healers that can afford it additionally expose
+``actual_view()`` / ``g_prime_graph_view()`` returning read-only networkx
+views that share the underlying adjacency dicts (O(1) to obtain).
+
+These helpers pick the view when available and quietly fall back to the copy
+for healers that only implement the copying protocol, so analysis code can be
+written once against the cheapest accessor every healer supports.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import networkx as nx
+
+__all__ = ["actual_view_of", "g_prime_view_of", "healer_views"]
+
+
+def actual_view_of(healer) -> nx.Graph:
+    """The healed graph ``G`` of ``healer``, read-only and zero-copy when possible."""
+    view = getattr(healer, "actual_view", None)
+    if callable(view):
+        return view()
+    return healer.actual_graph()
+
+
+def g_prime_view_of(healer) -> nx.Graph:
+    """The insertion-only graph ``G'`` of ``healer``, zero-copy when possible."""
+    view = getattr(healer, "g_prime_graph_view", None)
+    if callable(view):
+        return view()
+    return healer.g_prime_view()
+
+
+def healer_views(healer) -> Tuple[nx.Graph, nx.Graph]:
+    """``(G', G)`` of ``healer`` as the cheapest read-only accessors available."""
+    return g_prime_view_of(healer), actual_view_of(healer)

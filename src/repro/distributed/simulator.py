@@ -118,9 +118,17 @@ class DistributedForgivingGraph:
         """The healed graph ``G`` (identical to the engine's view)."""
         return self._engine.actual_graph()
 
+    def actual_view(self) -> nx.Graph:
+        """Zero-copy read-only view of the healed graph ``G``."""
+        return self._engine.actual_view()
+
     def g_prime_view(self) -> nx.Graph:
         """The insertion-only graph ``G'``."""
         return self._engine.g_prime_view()
+
+    def g_prime_graph_view(self) -> nx.Graph:
+        """Zero-copy read-only view of ``G'``."""
+        return self._engine.g_prime_graph_view()
 
     def g_prime_degree(self, node: NodeId) -> int:
         """Degree of ``node`` in ``G'``."""

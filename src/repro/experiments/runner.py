@@ -17,6 +17,7 @@ import networkx as nx
 
 from ..adversary.schedule import AttackSchedule
 from ..adversary.strategies import RandomInsertion, make_deletion_strategy
+from ..analysis.fastpaths import MeasurementSession
 from ..analysis.invariants import GuaranteeReport, guarantee_report
 from ..baselines.registry import make_healer
 from ..core.ports import NodeId
@@ -110,6 +111,9 @@ def run_attack(
     peak_stretch = 0.0
     series: List[Dict[str, float]] = []
     counters = {"delete": 0, "insert": 0, "step": 0}
+    # One session per attack: the CSR node indexing is built once and only
+    # extended as the adversary inserts nodes, instead of re-derived per step.
+    session = MeasurementSession()
 
     def snapshot(step: int) -> None:
         nonlocal peak_degree, peak_stretch
@@ -118,6 +122,7 @@ def run_attack(
             max_sources=config.stretch_sources,
             seed=config.seed,
             healer_name=healer_name,
+            session=session,
         )
         peak_degree = max(peak_degree, report.degree_factor)
         peak_stretch = max(peak_stretch, report.stretch)
@@ -141,7 +146,11 @@ def run_attack(
     start = time.perf_counter()
     schedule.run(healer, on_event=on_event)
     final = guarantee_report(
-        healer, max_sources=config.stretch_sources, seed=config.seed, healer_name=healer_name
+        healer,
+        max_sources=config.stretch_sources,
+        seed=config.seed,
+        healer_name=healer_name,
+        session=session,
     )
     elapsed = time.perf_counter() - start
     peak_degree = max(peak_degree, final.degree_factor)
