@@ -2,14 +2,14 @@
 
 Benchmarks long churn runs at several insert/delete mixes and records that
 the guarantees keep holding; also times the pure-insertion path (which must
-be repair-free and therefore much cheaper per move).
+be repair-free and therefore much cheaper per move).  Churn runs drive the
+unified :class:`repro.engine.AttackSession` step loop.
 """
 
 import pytest
 
-from repro import ForgivingGraph
+from repro import AttackSession, ForgivingGraph
 from repro.adversary import churn_schedule, insertion_burst_schedule
-from repro.analysis import guarantee_report
 from repro.generators import make_graph
 
 from conftest import run_once
@@ -17,13 +17,25 @@ from conftest import run_once
 
 @pytest.mark.parametrize("delete_probability", [0.3, 0.5, 0.7])
 def test_churn_guarantees(benchmark, delete_probability):
+    # The timed region is the bare attack (as in prior recordings, so the
+    # trajectory stays comparable); the guarantee check runs off the clock.
     def workload():
         fg = ForgivingGraph.from_graph(make_graph("power_law", 100, seed=10))
-        churn_schedule(steps=250, delete_probability=delete_probability, seed=10).run(fg)
-        return fg
+        schedule = churn_schedule(steps=250, delete_probability=delete_probability, seed=10)
+        session = AttackSession(
+            fg,
+            schedule,
+            healer_name="forgiving_graph",
+            stretch_sources=24,
+            seed=0,
+            measure_every=0,
+            measure_final=False,
+        )
+        session.run()
+        return session
 
-    fg = run_once(benchmark, workload)
-    report = guarantee_report(fg, max_sources=24, seed=0, healer_name="forgiving_graph")
+    session = run_once(benchmark, workload)
+    report = session.measure_now()
     benchmark.extra_info["delete_probability"] = delete_probability
     benchmark.extra_info["nodes_ever"] = report.n_ever
     benchmark.extra_info["degree_factor"] = round(report.degree_factor, 3)
@@ -37,7 +49,9 @@ def test_churn_guarantees(benchmark, delete_probability):
 def test_pure_insertion_is_repair_free(benchmark):
     def workload():
         fg = ForgivingGraph.from_graph(make_graph("erdos_renyi", 50, seed=11))
-        insertion_burst_schedule(steps=400, seed=11).run(fg)
+        AttackSession(
+            fg, insertion_burst_schedule(steps=400, seed=11), measure_every=0, measure_final=False
+        ).run()
         return fg
 
     fg = run_once(benchmark, workload)

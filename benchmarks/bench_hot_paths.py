@@ -13,10 +13,10 @@ of the tier-1 run.
 
 import pytest
 
-from repro import ForgivingGraph
+from repro import AttackSession, ForgivingGraph
 from repro.adversary.schedule import churn_schedule
 from repro.adversary.strategies import RandomDeletion
-from repro.analysis import MeasurementSession, guarantee_report, stretch_report
+from repro.analysis import stretch_report
 from repro.generators import make_graph
 
 from conftest import run_once
@@ -49,24 +49,19 @@ def test_stretch_report_fast_path(benchmark, n):
 
 @pytest.mark.parametrize("n", SIZES)
 def test_delete_heavy_churn_sweep(benchmark, n):
-    """End-to-end churn with periodic Theorem 1 measurement (the sweep shape)."""
+    """End-to-end churn with periodic Theorem 1 measurement (the sweep shape).
+
+    One :class:`repro.engine.AttackSession` owns the loop: the schedule
+    streams moves, the session measures on its automatic coarse cadence with
+    a reused ``MeasurementSession``.
+    """
     steps = min(n, 1000)
 
     def workload():
         fg = ForgivingGraph.from_graph(make_graph("erdos_renyi", n, seed=1))
-        session = MeasurementSession()
-        interval = max(steps // 8, 1)
-        counter = {"events": 0}
-
-        def on_event(_event, healer):
-            counter["events"] += 1
-            if counter["events"] % interval == 0:
-                guarantee_report(healer, max_sources=32, seed=1, session=session)
-
-        churn_schedule(steps=steps, delete_probability=0.8, seed=1).run(
-            fg, on_event=on_event
-        )
-        return guarantee_report(fg, max_sources=32, seed=1, session=session)
+        schedule = churn_schedule(steps=steps, delete_probability=0.8, seed=1)
+        session = AttackSession(fg, schedule, stretch_sources=32, seed=1)
+        return session.run().final_report
 
     final = run_once(benchmark, workload)
     benchmark.extra_info["n"] = n

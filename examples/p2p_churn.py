@@ -3,9 +3,11 @@
 
 This is the scenario the paper's introduction motivates: a peer-to-peer
 overlay where an omniscient adversary controls which peers leave (always the
-currently most-loaded ones) while new peers keep joining.  The example runs a
-long churn schedule against the Forgiving Graph and prints a small time
-series showing that the degree factor and the stretch stay pinned under their
+currently most-loaded ones) while new peers keep joining.  The example drives
+a long churn schedule through the unified :class:`repro.engine.AttackSession`
+and consumes its *streaming* events: measurement rows arrive while the attack
+is still running (the same mechanism the sweep harness uses to stream JSONL),
+showing the degree factor and the stretch staying pinned under their
 Theorem 1 bounds while the network composition turns over almost completely.
 
 Run with::
@@ -15,9 +17,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ForgivingGraph
+from repro import AttackSession, ForgivingGraph
 from repro.adversary import MaxDegreeDeletion, PreferentialInsertion, churn_schedule
-from repro.analysis import guarantee_report
 from repro.experiments import format_table
 from repro.generators import make_graph
 
@@ -34,13 +35,20 @@ def main() -> None:
         insertion_strategy=PreferentialInsertion(k=3, seed=7),
         seed=7,
     )
+    session = AttackSession(
+        overlay,
+        schedule,
+        healer_name="forgiving_graph",
+        stretch_sources=32,
+        seed=0,
+        measure_every=50,
+    )
 
     rows = []
-
-    def snapshot(event, healer) -> None:
-        if event.step % 50 != 0:
-            return
-        report = guarantee_report(healer, max_sources=32, seed=0, healer_name="forgiving_graph")
+    for event in session.stream():
+        if event.report is None:
+            continue
+        report = event.report
         rows.append(
             {
                 "step": event.step,
@@ -53,11 +61,11 @@ def main() -> None:
             }
         )
 
-    events = schedule.run(overlay, on_event=snapshot)
-    final = guarantee_report(overlay, max_sources=32, seed=0, healer_name="forgiving_graph")
+    result = session.result
+    final = result.final_report
     rows.append(
         {
-            "step": len(events),
+            "step": result.steps,
             "alive_peers": final.alive,
             "peers_ever": final.n_ever,
             "degree_factor": round(final.degree_factor, 2),
@@ -67,9 +75,11 @@ def main() -> None:
         }
     )
 
-    joins = sum(1 for e in events if e.kind == "insert")
-    leaves = sum(1 for e in events if e.kind == "delete")
-    print(f"churn finished: {joins} joins, {leaves} adversarial departures\n")
+    print(
+        f"churn finished: {result.insertions} joins, "
+        f"{result.deletions} adversarial departures "
+        f"in {result.wall_clock_seconds:.2f}s\n"
+    )
     print(format_table(rows, title="overlay health during churn"))
     print("Every row stays under the Theorem 1 bounds even though the adversary")
     print("always removes the currently busiest peer.")

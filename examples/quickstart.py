@@ -1,9 +1,23 @@
 #!/usr/bin/env python
 """Quickstart: heal a small network under adversarial deletions.
 
-This example builds a small peer-to-peer style network, lets an adversary
-delete a few nodes (including a hub), and shows the three graph views the
-library maintains, together with the Theorem 1 guarantees:
+This example builds a small peer-to-peer style network and plays a scripted
+adversarial attack through :class:`repro.engine.AttackSession` — the unified
+step loop (adversary move → self-healing repair → incremental measurement)
+that every workload in this repository drives:
+
+.. code-block:: python
+
+    from repro import AttackSession, ForgivingGraph
+    from repro.adversary import AttackSchedule, ScriptedDeletion
+
+    fg = ForgivingGraph.from_edges(edges)
+    schedule = AttackSchedule(steps=3, deletion_strategy=ScriptedDeletion([...]))
+    for event in AttackSession(fg, schedule).stream():
+        ...                      # typed per-step events, measurements included
+
+It then shows the three graph views the library maintains, together with the
+Theorem 1 guarantees:
 
 * ``G'``  — everything that was ever inserted (the yardstick),
 * ``G``   — the actual healed network after the repairs,
@@ -16,12 +30,10 @@ Run with::
 
 from __future__ import annotations
 
-import math
-
 import networkx as nx
 
-from repro import ForgivingGraph
-from repro.analysis import guarantee_report
+from repro import AttackSession, ForgivingGraph
+from repro.adversary import AttackSchedule, ScriptedDeletion
 
 
 def main() -> None:
@@ -35,11 +47,20 @@ def main() -> None:
     print("  edges:", sorted(tuple(sorted(map(str, e))) for e in fg.actual_graph().edges)[:6], "...")
 
     # The adversary strikes the gateway first — the worst possible cut vertex —
-    # and then two ordinary ring nodes.
-    for victim in ("gw", 2, 12):
-        report = fg.delete(victim)
+    # and then two ordinary ring nodes.  The session owns the loop; we watch
+    # its typed event stream and read the repair details off the engine log.
+    schedule = AttackSchedule(
+        steps=3, deletion_strategy=ScriptedDeletion(["gw", 2, 12]), seed=0
+    )
+    # Measurement is manual in this walkthrough (we measure after a later
+    # insertion), so the session's own final measurement is switched off.
+    session = AttackSession(
+        fg, schedule, healer_name="forgiving_graph", measure_every=0, measure_final=False
+    )
+    for event in session.stream():
+        report = fg.events[-1].report
         print(
-            f"deleted {victim!r}: repair merged {report.merged_complete_trees} pieces "
+            f"deleted {event.node!r}: repair merged {report.merged_complete_trees} pieces "
             f"into an RT of {report.new_rt_size} leaves "
             f"({report.helpers_created} helper nodes created)"
         )
@@ -53,7 +74,7 @@ def main() -> None:
     print("  alive nodes:", sorted(map(str, healed.nodes)))
     print("  connected:", nx.is_connected(healed))
 
-    report = guarantee_report(fg, healer_name="forgiving_graph")
+    report = session.measure_now()
     print("\nTheorem 1 check:")
     print(f"  degree factor : {report.degree_factor:.2f}   (paper bound: 3, hard bound: 4)")
     print(f"  stretch       : {report.stretch:.2f}   (bound log2(n) = {report.stretch_bound:.2f})")

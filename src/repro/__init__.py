@@ -26,6 +26,9 @@ Package layout
     surrogate healing, no healing) for the trade-off comparisons.
 ``repro.adversary`` / ``repro.generators``
     attack strategies, churn schedules and initial-topology generators.
+``repro.engine``
+    the unified :class:`~repro.engine.AttackSession` step loop (adversary
+    move → repair → incremental measurement) every workload drives through.
 ``repro.analysis``
     degree / stretch / connectivity metrics and the Theorem 2 lower bound.
 ``repro.experiments``
@@ -50,8 +53,9 @@ from .core import (
     ReconstructionTree,
     RepairReport,
 )
+from .engine import AttackSession, SessionResult, StepEvent
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ForgivingGraph",
@@ -62,5 +66,8 @@ __all__ = [
     "ReconstructionTree",
     "NodeId",
     "Port",
+    "AttackSession",
+    "SessionResult",
+    "StepEvent",
     "__version__",
 ]

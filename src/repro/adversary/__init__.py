@@ -8,6 +8,7 @@ experiments: targeted deletion strategies, insertion strategies, and mixed
 insert/delete schedules.
 """
 
+from .incremental import SurvivorDegreeTracker
 from .strategies import (
     Adversary,
     CutAdversary,
@@ -15,13 +16,16 @@ from .strategies import (
     HighBetweennessDeletion,
     InsertionStrategy,
     MaxDegreeDeletion,
+    MaxDegreeDeletionReference,
     MinDegreeDeletion,
+    MinDegreeDeletionReference,
     PreferentialInsertion,
     RandomDeletion,
     RandomInsertion,
     ScriptedDeletion,
     SingleLinkInsertion,
     StarInsertion,
+    StarInsertionReference,
     available_deletion_strategies,
     make_deletion_strategy,
 )
@@ -33,7 +37,9 @@ __all__ = [
     "InsertionStrategy",
     "RandomDeletion",
     "MaxDegreeDeletion",
+    "MaxDegreeDeletionReference",
     "MinDegreeDeletion",
+    "MinDegreeDeletionReference",
     "HighBetweennessDeletion",
     "CutAdversary",
     "ScriptedDeletion",
@@ -41,6 +47,8 @@ __all__ = [
     "PreferentialInsertion",
     "SingleLinkInsertion",
     "StarInsertion",
+    "StarInsertionReference",
+    "SurvivorDegreeTracker",
     "available_deletion_strategies",
     "make_deletion_strategy",
     "AttackEvent",

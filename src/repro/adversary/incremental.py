@@ -1,0 +1,146 @@
+"""Incremental survivor-degree tracking for adversary strategies.
+
+The targeted strategies (max/min degree deletion, star insertion) need the
+extremum of the healed degree over all survivors on *every* adversarial move.
+The reference implementations scan and sort the whole alive set per move —
+O(n log n) even when a repair touched a handful of nodes.  This module keeps
+a lazy heap over ``(degree, node)`` pairs that is refreshed from the engine's
+*degree-touch journal* (:attr:`repro.core.ForgivingGraph.degree_touch_log`):
+every repair appends the nodes whose healed degree it changed, and the
+tracker re-pushes exactly those (deduplicated per drain), so the per-move
+cost is O(delta log n) — proportional to the repair, not to the graph.
+
+Correctness rests on one invariant: *for every alive node, the heap contains
+at least one entry carrying its current healed degree.*  Seeding at bind time
+establishes it; the journal keeps it (every degree change journals the node,
+and draining pushes the node with its degree at drain time); entries are
+never removed except when proven stale.  Popping therefore works lazily: the
+top entry wins iff its owner is still alive and its stored degree matches the
+current one, otherwise it is stale and discarded — any fresher entry for the
+same node sits elsewhere in the heap.
+
+Healers that do not expose the journal (the baselines) are detected by
+:func:`SurvivorDegreeTracker.supports`, and the strategies fall back to the
+retained sorted reference scan.
+"""
+
+from __future__ import annotations
+
+import heapq
+import weakref
+from typing import Dict, List, Optional, Tuple
+
+from ..core.ports import NodeId, NodeKey
+from ..core.views import actual_view_of
+
+__all__ = ["SurvivorDegreeTracker"]
+
+
+class SurvivorDegreeTracker:
+    """Lazy heap over survivors' healed degrees, fed by the engine's touch journal.
+
+    Parameters
+    ----------
+    largest:
+        True tracks the maximum-degree survivor, False the minimum-degree
+        one.  Ties break to the first node in the repository's canonical
+        order (:class:`repro.core.ports.NodeKey`), matching the reference
+        scans exactly.
+    """
+
+    __slots__ = ("_largest", "_heap", "_cursor", "_seq", "_healer_ref", "_keys")
+
+    def __init__(self, largest: bool = True) -> None:
+        self._largest = largest
+        self._heap: List[Tuple[int, NodeKey, int, NodeId]] = []
+        self._cursor = 0
+        self._seq = 0
+        self._healer_ref: Optional[weakref.ref] = None
+        # NodeKeys are immutable per node; cache them so repeated journal
+        # touches of the same node do not re-allocate key objects.
+        self._keys: Dict[NodeId, NodeKey] = {}
+
+    @staticmethod
+    def supports(healer) -> bool:
+        """True when ``healer`` exposes the degree-touch journal this tracker needs."""
+        return getattr(healer, "degree_touch_log", None) is not None
+
+    # ------------------------------------------------------------------ #
+    def pick(self, healer) -> Optional[NodeId]:
+        """The alive node with extremal healed degree, or ``None`` if none are alive.
+
+        Binds to ``healer`` on first use (or when handed a different healer)
+        by seeding the heap from the full alive set; afterwards each call
+        drains only the journal suffix written since the previous call.
+        """
+        bound = self._healer_ref() if self._healer_ref is not None else None
+        if bound is not healer:
+            self._bind(healer)
+        else:
+            self._drain(healer)
+        return self._peek(healer)
+
+    # ------------------------------------------------------------------ #
+    def _key_of(self, node: NodeId) -> NodeKey:
+        key = self._keys.get(node)
+        if key is None:
+            key = NodeKey(node)
+            self._keys[node] = key
+        return key
+
+    def _sign(self, degree: int) -> int:
+        return -degree if self._largest else degree
+
+    def _bind(self, healer) -> None:
+        self._healer_ref = weakref.ref(healer)
+        self._seq = 0
+        self._keys.clear()
+        self._cursor = len(healer.degree_touch_log)
+        graph = actual_view_of(healer)
+        degree = graph.degree
+        entries: List[Tuple[int, NodeKey, int, NodeId]] = []
+        for seq, node in enumerate(healer.alive_nodes):
+            entries.append(
+                (self._sign(degree[node] if node in graph else 0), self._key_of(node), seq, node)
+            )
+        self._seq = len(entries)
+        heapq.heapify(entries)
+        self._heap = entries
+
+    def _drain(self, healer) -> None:
+        log = healer.degree_touch_log
+        if self._cursor >= len(log):
+            return
+        # Repairs journal the same processor many times (once per destroyed /
+        # created edge source); one push per distinct node per drain suffices.
+        touched = set(log[self._cursor : len(log)])
+        self._cursor = len(log)
+        graph = actual_view_of(healer)
+        degree = graph.degree
+        is_alive = healer.is_alive
+        heap = self._heap
+        for node in touched:
+            if is_alive(node):
+                self._seq += 1
+                heapq.heappush(
+                    heap,
+                    (
+                        self._sign(degree[node] if node in graph else 0),
+                        self._key_of(node),
+                        self._seq,
+                        node,
+                    ),
+                )
+
+    def _peek(self, healer) -> Optional[NodeId]:
+        graph = actual_view_of(healer)
+        degree = graph.degree
+        is_alive = healer.is_alive
+        heap = self._heap
+        while heap:
+            stored_sign, _node_key, _seq, node = heap[0]
+            if is_alive(node):
+                if stored_sign == self._sign(degree[node] if node in graph else 0):
+                    return node
+            heapq.heappop(heap)
+        return None

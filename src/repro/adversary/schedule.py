@@ -91,29 +91,40 @@ class AttackSchedule:
         if self.min_survivors < 0:
             raise ConfigurationError("min_survivors must be non-negative")
 
+    def play(self, healer) -> Iterator[AttackEvent]:
+        """Play the schedule one move at a time, yielding each applied event.
+
+        This is the streaming primitive underneath :meth:`run` and the
+        engine's :class:`repro.engine.AttackSession`: each ``next()`` applies
+        exactly one adversarial move (and the healer's repair), so consumers
+        can interleave measurement, reporting or early exit without this
+        module knowing what is being observed.
+        """
+        rng = _rng(self.seed)
+        fresh_ids = self._fresh_id_source(healer)
+        for step in range(1, self.steps + 1):
+            do_delete = rng.random() < self.delete_probability
+            event: Optional[AttackEvent] = None
+            if do_delete and healer.num_alive > self.min_survivors:
+                event = self._play_deletion(step, healer)
+            if event is None and healer.num_alive >= 1:
+                event = self._play_insertion(step, healer, fresh_ids)
+            if event is None:
+                return
+            yield event
+
     def run(
         self,
         healer,
         on_event: Optional[Callable[[AttackEvent, object], None]] = None,
     ) -> List[AttackEvent]:
-        """Play the schedule against ``healer`` and return the applied events.
+        """Play the whole schedule against ``healer`` and return the applied events.
 
-        ``on_event(event, healer)`` is invoked after every move; the
-        experiment runner uses it to snapshot metrics without this module
-        needing to know what is being measured.
+        ``on_event(event, healer)`` is invoked after every move; thin wrapper
+        over the streaming :meth:`play`.
         """
-        rng = _rng(self.seed)
         events: List[AttackEvent] = []
-        fresh_ids = self._fresh_id_source(healer)
-        for step in range(1, self.steps + 1):
-            do_delete = rng.random() < self.delete_probability
-            event: Optional[AttackEvent] = None
-            if do_delete and len(healer.alive_nodes) > self.min_survivors:
-                event = self._play_deletion(step, healer)
-            if event is None and len(healer.alive_nodes) >= 1:
-                event = self._play_insertion(step, healer, fresh_ids)
-            if event is None:
-                break
+        for event in self.play(healer):
             events.append(event)
             if on_event is not None:
                 on_event(event, healer)

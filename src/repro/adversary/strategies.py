@@ -16,6 +16,15 @@ node currently carries the most healing load.  Strategies only *read* the
 graphs, so they go through :func:`repro.core.views.actual_view_of` — a
 zero-copy view when the healer offers one — instead of copying the healed
 graph on every adversarial move.
+
+The degree-targeted strategies (:class:`MaxDegreeDeletion`,
+:class:`MinDegreeDeletion`, :class:`StarInsertion`) are *incremental*: when
+the healer exposes a degree-touch journal (the :class:`ForgivingGraph`
+engine does), they track survivors in a lazy heap refreshed from repair
+deltas (:mod:`repro.adversary.incremental`) instead of re-sorting all
+survivors on every move.  The original full-scan implementations are
+retained as ``*Reference`` classes; randomized-churn tests pin that both
+paths pick identical victims at every step.
 """
 
 from __future__ import annotations
@@ -29,13 +38,16 @@ import numpy as np
 from ..core.errors import ConfigurationError
 from ..core.ports import NodeId, sorted_nodes
 from ..core.views import actual_view_of
+from .incremental import SurvivorDegreeTracker
 
 __all__ = [
     "Adversary",
     "DeletionStrategy",
     "RandomDeletion",
     "MaxDegreeDeletion",
+    "MaxDegreeDeletionReference",
     "MinDegreeDeletion",
+    "MinDegreeDeletionReference",
     "HighBetweennessDeletion",
     "CutAdversary",
     "ScriptedDeletion",
@@ -44,6 +56,7 @@ __all__ = [
     "PreferentialInsertion",
     "SingleLinkInsertion",
     "StarInsertion",
+    "StarInsertionReference",
     "available_deletion_strategies",
     "make_deletion_strategy",
 ]
@@ -59,6 +72,27 @@ def _rng(seed: SeedLike) -> np.random.Generator:
 
 #: Canonical deterministic node ordering (shared: see repro.core.ports).
 _sorted_nodes = sorted_nodes
+
+
+def _extremal_degree_scan(healer, largest: bool) -> Optional[NodeId]:
+    """Full-scan extremal-degree survivor, ties to the canonical-first node.
+
+    This is the retained reference semantics every incremental tracker must
+    reproduce exactly: walk the survivors in canonical order and keep the
+    first strict improvement, so equal degrees resolve to the earliest node
+    in :func:`repro.core.ports.sorted_nodes` order.
+    """
+    graph = actual_view_of(healer)
+    alive = _sorted_nodes(healer.alive_nodes)
+    if not alive:
+        return None
+    best: Optional[NodeId] = None
+    best_degree = 0
+    for node in alive:
+        degree = graph.degree[node] if node in graph else 0
+        if best is None or (degree > best_degree if largest else degree < best_degree):
+            best, best_degree = node, degree
+    return best
 
 
 class Adversary(abc.ABC):
@@ -98,26 +132,49 @@ class MaxDegreeDeletion(DeletionStrategy):
     This is the canonical omniscient attack: it concentrates damage on the
     nodes that are currently carrying the most healing structure, which is
     exactly the attack the degree guarantee of Theorem 1.1 defends against.
-    Ties are broken deterministically by node identifier.
+    Ties are broken deterministically by node identifier (canonical order).
+
+    Incremental: against healers exposing a degree-touch journal the victim
+    comes from a lazy heap refreshed by repair deltas — O(delta log n) per
+    move instead of the reference scan's O(n log n).
     """
 
+    def __init__(self) -> None:
+        self._tracker = SurvivorDegreeTracker(largest=True)
+
     def choose_victim(self, healer) -> Optional[NodeId]:
-        graph = actual_view_of(healer)
-        alive = _sorted_nodes(healer.alive_nodes)
-        if not alive:
-            return None
-        return max(alive, key=lambda v: (graph.degree[v] if v in graph else 0, -alive.index(v)))
+        if SurvivorDegreeTracker.supports(healer):
+            return self._tracker.pick(healer)
+        return _extremal_degree_scan(healer, largest=True)
+
+
+class MaxDegreeDeletionReference(DeletionStrategy):
+    """The retained full-scan :class:`MaxDegreeDeletion` (sorts all survivors)."""
+
+    def choose_victim(self, healer) -> Optional[NodeId]:
+        return _extremal_degree_scan(healer, largest=True)
 
 
 class MinDegreeDeletion(DeletionStrategy):
-    """Delete the lowest-degree survivor (peels leaves; stresses RT merging breadth)."""
+    """Delete the lowest-degree survivor (peels leaves; stresses RT merging breadth).
+
+    Incremental like :class:`MaxDegreeDeletion`, with a min-heap.
+    """
+
+    def __init__(self) -> None:
+        self._tracker = SurvivorDegreeTracker(largest=False)
 
     def choose_victim(self, healer) -> Optional[NodeId]:
-        graph = actual_view_of(healer)
-        alive = _sorted_nodes(healer.alive_nodes)
-        if not alive:
-            return None
-        return min(alive, key=lambda v: (graph.degree[v] if v in graph else 0, alive.index(v)))
+        if SurvivorDegreeTracker.supports(healer):
+            return self._tracker.pick(healer)
+        return _extremal_degree_scan(healer, largest=False)
+
+
+class MinDegreeDeletionReference(DeletionStrategy):
+    """The retained full-scan :class:`MinDegreeDeletion` (sorts all survivors)."""
+
+    def choose_victim(self, healer) -> Optional[NodeId]:
+        return _extremal_degree_scan(healer, largest=False)
 
 
 class HighBetweennessDeletion(DeletionStrategy):
@@ -148,7 +205,13 @@ class HighBetweennessDeletion(DeletionStrategy):
             centrality = nx.betweenness_centrality(
                 graph, k=k, seed=int(self._rng.integers(0, 2**31 - 1))
             )
-        return max(alive, key=lambda v: (centrality.get(v, 0.0), repr(v)))
+        best = alive[0]
+        best_score = centrality.get(best, 0.0)
+        for v in alive[1:]:
+            score = centrality.get(v, 0.0)
+            if score > best_score:
+                best, best_score = v, score
+        return best
 
 
 class CutAdversary(DeletionStrategy):
@@ -159,18 +222,24 @@ class CutAdversary(DeletionStrategy):
     and stretch guarantees the hardest.
     """
 
+    def __init__(self) -> None:
+        self._fallback = MaxDegreeDeletion()
+
     def choose_victim(self, healer) -> Optional[NodeId]:
         graph = actual_view_of(healer)
-        alive = _sorted_nodes(healer.alive_nodes)
+        alive = healer.alive_nodes
         if not alive:
             return None
-        cut_nodes = [v for v in nx.articulation_points(graph) if v in healer.alive_nodes]
+        cut_nodes = [v for v in nx.articulation_points(graph) if v in alive]
         if cut_nodes:
-            return max(
-                _sorted_nodes(cut_nodes),
-                key=lambda v: (graph.degree[v] if v in graph else 0, repr(v)),
-            )
-        return MaxDegreeDeletion().choose_victim(healer)
+            best: Optional[NodeId] = None
+            best_degree = -1
+            for v in _sorted_nodes(cut_nodes):
+                degree = graph.degree[v] if v in graph else 0
+                if degree > best_degree:
+                    best, best_degree = v, degree
+            return best
+        return self._fallback.choose_victim(healer)
 
 
 class ScriptedDeletion(DeletionStrategy):
@@ -193,7 +262,9 @@ class ScriptedDeletion(DeletionStrategy):
 _DELETION_STRATEGIES = {
     "random": RandomDeletion,
     "max_degree": MaxDegreeDeletion,
+    "max_degree_reference": MaxDegreeDeletionReference,
     "min_degree": MinDegreeDeletion,
+    "min_degree_reference": MinDegreeDeletionReference,
     "betweenness": HighBetweennessDeletion,
     "cut": CutAdversary,
 }
@@ -293,13 +364,30 @@ class StarInsertion(InsertionStrategy):
 
     Combined with a later deletion of that hub, this is how an omniscient
     adversary manufactures the Theorem 2 star scenario inside an arbitrary
-    topology.
+    topology.  Incremental against journal-exposing healers, like
+    :class:`MaxDegreeDeletion`.
+    """
+
+    def __init__(self) -> None:
+        self._tracker = SurvivorDegreeTracker(largest=True)
+
+    def choose_attachments(self, healer) -> List[NodeId]:
+        if SurvivorDegreeTracker.supports(healer):
+            hub = self._tracker.pick(healer)
+        else:
+            hub = _extremal_degree_scan(healer, largest=True)
+        return [] if hub is None else [hub]
+
+
+class StarInsertionReference(InsertionStrategy):
+    """The full-scan :class:`StarInsertion` (sorts all survivors every move).
+
+    Note: the *scan* is what is retained here.  Degree ties now resolve to
+    the canonical-first node (like every other targeted strategy) instead of
+    the pre-refactor largest-repr pick, so hub choices can differ from
+    releases before the incremental adversaries landed.
     """
 
     def choose_attachments(self, healer) -> List[NodeId]:
-        graph = actual_view_of(healer)
-        alive = _sorted_nodes(healer.alive_nodes)
-        if not alive:
-            return []
-        hub = max(alive, key=lambda v: (graph.degree[v] if v in graph else 0, repr(v)))
-        return [hub]
+        hub = _extremal_degree_scan(healer, largest=True)
+        return [] if hub is None else [hub]

@@ -142,6 +142,13 @@ class ForgivingGraph:
         # apply per-repair deltas instead of rebuilding ``G`` from scratch.
         self._actual = nx.Graph()
         self._edge_mult: Dict[frozenset, int] = {}
+        # Degree-touch journal --------------------------------------------------------------
+        # Append-only log of nodes whose healed degree may have changed, fed by
+        # the same edge-delta hooks that maintain ``G``.  Incremental consumers
+        # (the adversary's heap trackers, see repro.adversary.incremental) keep
+        # a cursor into this list and refresh only the touched nodes, so their
+        # per-move cost is proportional to the repair delta instead of O(n).
+        self._degree_touch_log: List[NodeId] = []
         # Auditing -------------------------------------------------------------------------
         self.events: List[HealingEvent] = []
         self._step = 0
@@ -367,6 +374,8 @@ class ForgivingGraph:
         count = self._edge_mult.get(key, 0)
         if count == 0:
             self._actual.add_edge(u, v)
+            self._degree_touch_log.append(u)
+            self._degree_touch_log.append(v)
         self._edge_mult[key] = count + 1
 
     def _edge_source_removed(self, u: NodeId, v: NodeId) -> None:
@@ -379,8 +388,22 @@ class ForgivingGraph:
             self._edge_mult.pop(key, None)
             if self._actual.has_edge(u, v):
                 self._actual.remove_edge(u, v)
+                self._degree_touch_log.append(u)
+                self._degree_touch_log.append(v)
         else:
             self._edge_mult[key] = count - 1
+
+    @property
+    def degree_touch_log(self) -> Sequence[NodeId]:
+        """Append-only journal of nodes whose healed degree may have changed.
+
+        Entries are appended whenever an edge of the incrementally-maintained
+        healed graph ``G`` appears or disappears (and when a node is inserted,
+        so isolated newcomers are observable too).  Consumers must treat the
+        log as read-only and track their own cursor; the log is never
+        truncated during the lifetime of the engine.
+        """
+        return self._degree_touch_log
 
 
     # ------------------------------------------------------------------ #
@@ -406,6 +429,7 @@ class ForgivingGraph:
         self._g_prime.add_node(node)
         self._alive.add(node)
         self._actual.add_node(node)
+        self._degree_touch_log.append(node)
         for neighbor in neighbors:
             self._g_prime.add_edge(node, neighbor)
             self._edge_source_added(node, neighbor)

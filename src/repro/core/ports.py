@@ -64,27 +64,85 @@ class Port:
         return f"port({self.processor}|{self.neighbor})"
 
 
+#: Types whose native ``<`` is a *total* order.  Anything else (sets order by
+#: subset, third-party types may do anything) compares by repr: a partial
+#: order mixed with a repr fallback is not transitive and would silently
+#: break the canonical sort.
+_NATURALLY_ORDERED = (int, float, str, bytes)
+
+
+class NodeKey:
+    """Deterministic total order on node identifiers.
+
+    Nodes are grouped by type name, then compared by their *natural* order
+    within the type (``2 < 10`` for ints, lexicographic for strings) when the
+    type's ``<`` is known to be total, falling back to ``repr`` otherwise.
+    Unlike plain repr comparison, this order is invariant under
+    order-preserving relabelings: two isomorphic graphs whose ids map
+    monotonically onto each other tie-break identically, which is what makes
+    merge orders (``compute_haft``) reproducible across id types.
+    """
+
+    __slots__ = ("type_name", "value")
+
+    def __init__(self, value: NodeId) -> None:
+        self.type_name = type(value).__name__
+        self.value = value
+
+    def __lt__(self, other: "NodeKey") -> bool:
+        if self.type_name != other.type_name:
+            return self.type_name < other.type_name
+        a, b = self.value, other.value
+        if isinstance(a, _NATURALLY_ORDERED) and isinstance(b, _NATURALLY_ORDERED):
+            return a < b
+        return repr(a) < repr(b)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, NodeKey)
+            and self.type_name == other.type_name
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type_name, repr(self.value)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NodeKey({self.value!r})"
+
+
+def node_order_key(node: NodeId) -> NodeKey:
+    """The canonical total-order key for a node identifier (see :class:`NodeKey`)."""
+    return NodeKey(node)
+
+
+def port_order_key(port: "Port") -> tuple:
+    """Total-order key for a :class:`Port` built from its node ids' natural order."""
+    return (NodeKey(port.processor), NodeKey(port.neighbor))
+
+
 def sorted_nodes(nodes) -> list:
     """Deterministic ordering of possibly mixed-type node identifiers.
 
     This is the *canonical* node order of the repository: adversary
-    strategies, the CSR snapshots and the retained reference measurement all
-    index into it, and the sampled-stretch equivalence between
-    ``stretch_report`` and ``stretch_report_reference`` relies on every
-    caller ordering identically — do not fork local copies.
+    strategies (including the incremental heap trackers), the CSR snapshots
+    and the retained reference measurement all index into it, and the
+    sampled-stretch equivalence between ``stretch_report`` and
+    ``stretch_report_reference`` relies on every caller ordering identically
+    — do not fork local copies.  The order is :class:`NodeKey`'s total order
+    (natural within a type), so it is stable under order-preserving id
+    relabelings.
     """
-    return sorted(nodes, key=lambda n: (type(n).__name__, repr(n)))
+    return sorted(nodes, key=NodeKey)
 
 
 def edge_key(u: NodeId, v: NodeId) -> tuple[NodeId, NodeId]:
     """Return a canonical, order-independent key for the undirected edge ``{u, v}``.
 
     ``G'`` is an undirected graph; both ``(u, v)`` and ``(v, u)`` must map to
-    the same record.  Node identifiers of mixed types are compared by
-    ``(type name, repr)`` so the ordering is total even for heterogeneous ids.
+    the same record.  Endpoints are ordered by :class:`NodeKey`, the
+    repository's canonical total order on node ids.
     """
     if u == v:
         raise ValueError(f"self-loop edge ({u!r}, {v!r}) is not allowed")
-    ku = (type(u).__name__, repr(u))
-    kv = (type(v).__name__, repr(v))
-    return (u, v) if ku <= kv else (v, u)
+    return (u, v) if not NodeKey(v) < NodeKey(u) else (v, u)

@@ -36,7 +36,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 from .errors import HaftStructureError, InvariantViolationError
 from .haft import is_complete, validate_haft
-from .ports import NodeId, Port
+from .ports import NodeId, Port, port_order_key
 
 __all__ = [
     "RTLeaf",
@@ -552,8 +552,12 @@ def compute_haft(
     busy = set(busy_ports) if busy_ports is not None else set()
     new_helpers: List[RTHelper] = []
 
-    def sort_key(node: RTNode) -> Tuple[int, str]:
-        return (node.num_leaves, repr(representative_of(node).port))
+    # Merge order must be a total order that survives id relabelings: equal
+    # sizes tie-break on the representative port's node ids in their *natural*
+    # order (port_order_key), not on reprs, so isomorphic inputs whose ids map
+    # monotonically onto each other produce identical hafts.
+    def sort_key(node: RTNode) -> Tuple[int, tuple]:
+        return (node.num_leaves, port_order_key(representative_of(node).port))
 
     def make_helper(simulating_rep: RTLeaf, inherited_rep: RTLeaf, left: RTNode, right: RTNode) -> RTHelper:
         port = simulating_rep.port

@@ -15,20 +15,35 @@ executable experiment.  This package provides the plumbing:
 """
 
 from .config import AttackConfig, ExperimentConfig
-from .reporting import format_table, rows_to_csv, write_report
-from .runner import AttackOutcome, run_attack, run_healer_comparison
-from .sweeps import sweep_graph_sizes, sweep_healers, sweep_strategies
+from .reporting import (
+    JsonlReporter,
+    format_table,
+    json_safe_row,
+    json_safe_value,
+    read_jsonl,
+    rows_to_csv,
+    write_report,
+)
+from .runner import AttackOutcome, build_session, run_attack, run_healer_comparison
+from .sweeps import SweepTask, run_sweep, sweep_graph_sizes, sweep_healers, sweep_strategies
 
 __all__ = [
     "AttackConfig",
     "ExperimentConfig",
     "AttackOutcome",
+    "build_session",
     "run_attack",
     "run_healer_comparison",
+    "SweepTask",
+    "run_sweep",
     "sweep_graph_sizes",
     "sweep_healers",
     "sweep_strategies",
     "format_table",
     "rows_to_csv",
     "write_report",
+    "JsonlReporter",
+    "json_safe_value",
+    "json_safe_row",
+    "read_jsonl",
 ]

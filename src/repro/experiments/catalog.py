@@ -38,6 +38,7 @@ from ..core.haft import (
     primary_roots,
 )
 from ..distributed.simulator import DistributedForgivingGraph
+from ..engine import AttackSession
 from ..generators.graphs import make_graph, star_graph
 from .config import AttackConfig
 from .sweeps import sweep_graph_sizes, sweep_healers, sweep_strategies
@@ -443,14 +444,22 @@ def experiment_e10_churn(scale: str = "full") -> Section:
             delete_probability=delete_probability,
             seed=10,
         )
-        events = schedule.run(fg)
-        report = guarantee_report(fg, max_sources=int(params["stretch_sources"]), seed=10, healer_name="forgiving_graph")
+        session = AttackSession(
+            fg,
+            schedule,
+            healer_name="forgiving_graph",
+            stretch_sources=int(params["stretch_sources"]),
+            seed=10,
+            measure_every=0,
+        )
+        result = session.run()
+        report = result.final_report
         rows.append(
             {
                 "delete_probability": delete_probability,
-                "steps": len(events),
-                "insertions": sum(1 for e in events if e.kind == "insert"),
-                "deletions": sum(1 for e in events if e.kind == "delete"),
+                "steps": result.steps,
+                "insertions": result.insertions,
+                "deletions": result.deletions,
                 "alive": report.alive,
                 "nodes_ever": report.n_ever,
                 "degree_factor": round(report.degree_factor, 3),

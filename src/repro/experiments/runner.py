@@ -1,29 +1,35 @@
 """Run one healer (or several) through an adversarial attack and measure it.
 
-The runner is the glue between the generators, adversaries, healers and the
-analysis layer: it instantiates everything from an
-:class:`~repro.experiments.config.ExperimentConfig`, plays the attack, and
-returns flat result rows ready for :mod:`repro.experiments.reporting`.
+The runner is thin glue between the declarative configs and the unified
+:class:`repro.engine.AttackSession`: it instantiates the topology, adversary
+and healer described by an :class:`~repro.experiments.config.ExperimentConfig`,
+lets the session own the step loop, and wraps the session result into flat
+rows ready for :mod:`repro.experiments.reporting`.
 """
 
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import networkx as nx
 
 from ..adversary.schedule import AttackSchedule
 from ..adversary.strategies import RandomInsertion, make_deletion_strategy
-from ..analysis.fastpaths import MeasurementSession
-from ..analysis.invariants import GuaranteeReport, guarantee_report
+from ..analysis.invariants import GuaranteeReport
 from ..baselines.registry import make_healer
-from ..core.ports import NodeId
+from ..engine import AttackSession, SessionResult
 from .config import AttackConfig, ExperimentConfig
+from .reporting import json_safe_value
 
-__all__ = ["AttackOutcome", "run_attack", "run_healer_comparison"]
+__all__ = [
+    "AttackOutcome",
+    "build_schedule",
+    "build_session",
+    "run_attack",
+    "run_healer_comparison",
+]
 
 
 @dataclass
@@ -44,18 +50,41 @@ class AttackOutcome:
     #: Optional per-step time series (only kept when ``track_series`` was set).
     series: List[Dict[str, float]] = field(default_factory=list)
 
+    @classmethod
+    def from_session_result(cls, config: ExperimentConfig, result: SessionResult) -> "AttackOutcome":
+        """Wrap an engine :class:`~repro.engine.SessionResult` with its config."""
+        return cls(
+            healer_name=result.healer_name,
+            config=config,
+            final_report=result.final_report,
+            peak_degree_factor=result.peak_degree_factor,
+            peak_stretch=result.peak_stretch,
+            deletions=result.deletions,
+            insertions=result.insertions,
+            wall_clock_seconds=result.wall_clock_seconds,
+            series=result.series,
+        )
+
     def as_row(self) -> Dict[str, object]:
-        """Flatten to a table row (configuration + headline numbers)."""
+        """Flatten to a table row (configuration + headline numbers).
+
+        Every value is JSON-safe: non-finite floats become the ``"inf"`` /
+        ``"-inf"`` / ``"nan"`` string sentinels (see
+        :func:`repro.experiments.reporting.json_safe_value`), so rows can be
+        streamed to JSONL without ever emitting invalid JSON.
+        """
         row = dict(self.config.describe())
         row.update(
             {
                 "healer": self.healer_name,
                 "deletions": self.deletions,
                 "insertions": self.insertions,
-                "degree_factor": round(self.peak_degree_factor, 3),
+                "degree_factor": json_safe_value(round(self.peak_degree_factor, 3)),
                 "degree_bound": self.final_report.degree_bound,
-                "stretch": round(self.peak_stretch, 3) if math.isfinite(self.peak_stretch) else float("inf"),
-                "stretch_bound": round(self.final_report.stretch_bound, 3),
+                "stretch": json_safe_value(
+                    round(self.peak_stretch, 3) if math.isfinite(self.peak_stretch) else self.peak_stretch
+                ),
+                "stretch_bound": json_safe_value(round(self.final_report.stretch_bound, 3)),
                 "connected": self.final_report.connected,
                 "seconds": round(self.wall_clock_seconds, 3),
             }
@@ -73,6 +102,31 @@ def build_schedule(config: ExperimentConfig, n0: int) -> AttackSchedule:
         delete_probability=attack.delete_probability,
         min_survivors=attack.min_survivors,
         seed=config.seed + 2,
+    )
+
+
+def build_session(
+    config: ExperimentConfig,
+    healer_name: str,
+    graph: Optional[nx.Graph] = None,
+    track_series: bool = False,
+    measure_every: int = 0,
+) -> AttackSession:
+    """Materialize the engine session for one (config, healer) pair.
+
+    ``measure_every=0`` selects the session's automatic coarse interval.
+    """
+    initial = graph if graph is not None else config.graph.build(seed=config.seed)
+    healer = make_healer(healer_name, initial)
+    schedule = build_schedule(config, initial.number_of_nodes())
+    return AttackSession(
+        healer,
+        schedule,
+        healer_name=healer_name,
+        stretch_sources=config.stretch_sources,
+        seed=config.seed,
+        measure_every=measure_every if measure_every > 0 else None,
+        track_series=track_series,
     )
 
 
@@ -102,71 +156,10 @@ def run_attack(
         How often (in adversarial moves) to take intermediate measurements;
         ``0`` measures only peaks at a coarse automatic interval.
     """
-    initial = graph if graph is not None else config.graph.build(seed=config.seed)
-    healer = make_healer(healer_name, initial)
-    schedule = build_schedule(config, initial.number_of_nodes())
-
-    interval = measure_every if measure_every > 0 else max(schedule.steps // 8, 1)
-    peak_degree = 0.0
-    peak_stretch = 0.0
-    series: List[Dict[str, float]] = []
-    counters = {"delete": 0, "insert": 0, "step": 0}
-    # One session per attack: the CSR node indexing is built once and only
-    # extended as the adversary inserts nodes, instead of re-derived per step.
-    session = MeasurementSession()
-
-    def snapshot(step: int) -> None:
-        nonlocal peak_degree, peak_stretch
-        report = guarantee_report(
-            healer,
-            max_sources=config.stretch_sources,
-            seed=config.seed,
-            healer_name=healer_name,
-            session=session,
-        )
-        peak_degree = max(peak_degree, report.degree_factor)
-        peak_stretch = max(peak_stretch, report.stretch)
-        if track_series:
-            series.append(
-                {
-                    "step": step,
-                    "alive": report.alive,
-                    "degree_factor": report.degree_factor,
-                    "stretch": report.stretch,
-                    "stretch_bound": report.stretch_bound,
-                }
-            )
-
-    def on_event(event, _healer) -> None:
-        counters[event.kind] += 1
-        counters["step"] += 1
-        if counters["step"] % interval == 0:
-            snapshot(counters["step"])
-
-    start = time.perf_counter()
-    schedule.run(healer, on_event=on_event)
-    final = guarantee_report(
-        healer,
-        max_sources=config.stretch_sources,
-        seed=config.seed,
-        healer_name=healer_name,
-        session=session,
+    session = build_session(
+        config, healer_name, graph=graph, track_series=track_series, measure_every=measure_every
     )
-    elapsed = time.perf_counter() - start
-    peak_degree = max(peak_degree, final.degree_factor)
-    peak_stretch = max(peak_stretch, final.stretch)
-
-    return AttackOutcome(
-        healer_name=healer_name,
-        config=config,
-        final_report=final,
-        peak_degree_factor=peak_degree,
-        peak_stretch=peak_stretch,
-        deletions=counters["delete"],
-        insertions=counters["insert"],
-        wall_clock_seconds=elapsed,
-        series=series,
-    )
+    return AttackOutcome.from_session_result(config, session.run())
 
 
 def run_healer_comparison(

@@ -1,23 +1,146 @@
-"""Parameter sweeps built on top of the single-run runner.
+"""Parameter sweeps: parallel multi-config execution on the session engine.
 
 Sweeps are how the benchmarks and EXPERIMENTS.md show the *shape* of the
 paper's claims: e.g. the degree factor staying flat while ``n`` grows, or
 the stretch tracking ``log n`` rather than ``n``.
+
+Every sweep is a list of :class:`SweepTask` objects — one fully-seeded
+(config, healer) pair each — executed by :func:`run_sweep`:
+
+* **serial** by default (``max_workers=None``), or **parallel** across a
+  :class:`~concurrent.futures.ProcessPoolExecutor` when ``max_workers > 1``.
+  Each task is deterministic given its config's seed, so results are
+  bit-identical regardless of worker count or completion order; rows are
+  returned in task order.
+* optionally **streaming**: pass ``jsonl_path`` to append each finished row
+  to a JSONL checkpoint the moment it lands
+  (:class:`repro.experiments.reporting.JsonlReporter`); with ``resume=True``
+  tasks whose key is already in the file are skipped, so an interrupted
+  sweep picks up where it stopped.
+
+The classic sweep constructors (:func:`sweep_graph_sizes`,
+:func:`sweep_healers`, :func:`sweep_strategies`) build the task lists and
+delegate to :func:`run_sweep`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..generators.graphs import GraphSpec
 from .config import AttackConfig, ExperimentConfig
+from .reporting import JsonlReporter, json_safe_row
 from .runner import AttackOutcome, run_attack, run_healer_comparison
 
-__all__ = ["sweep_graph_sizes", "sweep_healers", "sweep_strategies"]
+__all__ = [
+    "SweepTask",
+    "run_sweep",
+    "sweep_graph_sizes",
+    "sweep_healers",
+    "sweep_strategies",
+]
 
 Row = Dict[str, object]
 
 
+@dataclass(frozen=True)
+class SweepTask:
+    """One unit of sweep work: a fully-seeded experiment config plus a healer."""
+
+    config: ExperimentConfig
+    healer: str
+
+    @property
+    def key(self) -> str:
+        """Deterministic checkpoint key (stable across processes and runs)."""
+        described = self.config.describe()
+        parts = [f"{k}={described[k]}" for k in sorted(described)]
+        parts.append(f"healer={self.healer}")
+        return "|".join(parts)
+
+
+def _execute_task(task: SweepTask) -> Row:
+    """Run one task to a flat row (module-level so worker processes can pickle it)."""
+    return run_attack(task.config, task.healer).as_row()
+
+
+def run_sweep(
+    tasks: Sequence[SweepTask],
+    *,
+    max_workers: Optional[int] = None,
+    jsonl_path: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+) -> List[Row]:
+    """Execute sweep tasks, optionally in parallel, optionally streaming JSONL.
+
+    Parameters
+    ----------
+    tasks:
+        The (config, healer) pairs to run.  Each must be deterministic given
+        its config seed — that is what makes parallel execution and resume
+        safe.
+    max_workers:
+        ``None``/``0``/``1`` runs serially in-process; anything larger fans
+        tasks out over a process pool.
+    jsonl_path:
+        When given, every finished row is appended (and flushed) to this
+        JSONL file as it completes, tagged with the task's checkpoint key.
+    resume:
+        With ``jsonl_path``: skip tasks whose key already has a row in the
+        file, and include those prior rows in the returned list.
+
+    Returns
+    -------
+    list of rows in *task order* (independent of completion order), with
+    JSON-safe values and a uniform shape whether a row was computed this run
+    or loaded from the resume checkpoint.  The ``task_key`` bookkeeping
+    column lives only in the JSONL stream — returned rows stay clean for
+    tables and CSVs.
+    """
+    reporter: Optional[JsonlReporter] = None
+    rows_by_key: Dict[str, Row] = {}
+    try:
+        if jsonl_path is not None:
+            reporter = JsonlReporter(jsonl_path, resume=resume)
+            for row in reporter.existing_rows:
+                key = row.get("task_key")
+                if key is not None:
+                    row = dict(row)
+                    del row["task_key"]
+                    rows_by_key[str(key)] = row
+
+        pending = [t for t in tasks if t.key not in rows_by_key]
+
+        def record(task: SweepTask, row: Row) -> None:
+            # JSON-safe values so fresh rows match checkpoint-loaded ones.
+            row = json_safe_row(row)
+            rows_by_key[task.key] = row
+            if reporter is not None:
+                reporter.write(row, task_key=task.key)
+
+        if max_workers is None or max_workers <= 1:
+            for task in pending:
+                record(task, _execute_task(task))
+        else:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = {pool.submit(_execute_task, task): task for task in pending}
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        record(futures[future], future.result())
+    finally:
+        if reporter is not None:
+            reporter.close()
+    return [rows_by_key[task.key] for task in tasks]
+
+
+# --------------------------------------------------------------------------- #
+# classic sweep constructors
+# --------------------------------------------------------------------------- #
 def sweep_graph_sizes(
     name: str,
     topology: str,
@@ -27,6 +150,9 @@ def sweep_graph_sizes(
     seed: int = 0,
     stretch_sources: Optional[int] = 48,
     graph_params: Optional[Dict[str, float]] = None,
+    max_workers: Optional[int] = None,
+    jsonl_path: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> List[Row]:
     """Run the same attack on the same topology family at several sizes.
 
@@ -34,19 +160,21 @@ def sweep_graph_sizes(
     experiments (E3/E4 in DESIGN.md).
     """
     attack = attack if attack is not None else AttackConfig()
-    rows: List[Row] = []
-    for n in sizes:
-        config = ExperimentConfig(
-            name=name,
-            graph=GraphSpec(topology=topology, n=n, params=dict(graph_params or {})),
-            attack=attack,
-            healers=(healer,),
-            seed=seed,
-            stretch_sources=stretch_sources,
+    tasks = [
+        SweepTask(
+            config=ExperimentConfig(
+                name=name,
+                graph=GraphSpec(topology=topology, n=n, params=dict(graph_params or {})),
+                attack=attack,
+                healers=(healer,),
+                seed=seed,
+                stretch_sources=stretch_sources,
+            ),
+            healer=healer,
         )
-        outcome = run_attack(config, healer)
-        rows.append(outcome.as_row())
-    return rows
+        for n in sizes
+    ]
+    return run_sweep(tasks, max_workers=max_workers, jsonl_path=jsonl_path, resume=resume)
 
 
 def sweep_healers(
@@ -59,7 +187,12 @@ def sweep_healers(
     stretch_sources: Optional[int] = 48,
     graph_params: Optional[Dict[str, float]] = None,
 ) -> List[Row]:
-    """Compare several healers on the identical initial graph and attack (E9)."""
+    """Compare several healers on the identical initial graph and attack (E9).
+
+    Stays serial on purpose: all healers must face the *same* initial graph
+    object, which :func:`repro.experiments.runner.run_healer_comparison`
+    builds exactly once.
+    """
     config = ExperimentConfig(
         name=name,
         graph=GraphSpec(topology=topology, n=n, params=dict(graph_params or {})),
@@ -80,17 +213,23 @@ def sweep_strategies(
     delete_fraction: float = 0.5,
     seed: int = 0,
     stretch_sources: Optional[int] = 48,
+    max_workers: Optional[int] = None,
+    jsonl_path: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> List[Row]:
     """Run one healer against several adversary strategies on the same topology."""
-    rows: List[Row] = []
-    for strategy in strategies:
-        config = ExperimentConfig(
-            name=name,
-            graph=GraphSpec(topology=topology, n=n),
-            attack=AttackConfig(strategy=strategy, delete_fraction=delete_fraction),
-            healers=(healer,),
-            seed=seed,
-            stretch_sources=stretch_sources,
+    tasks = [
+        SweepTask(
+            config=ExperimentConfig(
+                name=name,
+                graph=GraphSpec(topology=topology, n=n),
+                attack=AttackConfig(strategy=strategy, delete_fraction=delete_fraction),
+                healers=(healer,),
+                seed=seed,
+                stretch_sources=stretch_sources,
+            ),
+            healer=healer,
         )
-        rows.append(run_attack(config, healer).as_row())
-    return rows
+        for strategy in strategies
+    ]
+    return run_sweep(tasks, max_workers=max_workers, jsonl_path=jsonl_path, resume=resume)

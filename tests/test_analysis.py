@@ -67,8 +67,11 @@ class TestStretchAnalysis:
         assert pairwise_stretch(fg, 0, 5) == 1.0
 
     def test_pairwise_stretch_after_healing(self, healed_star):
+        # Theorem 1.2 bounds the stretch from above only: healing can make a
+        # pair *closer* than in G' (e.g. when both ports end up RT siblings),
+        # so the lower bound is just positivity.
         value = pairwise_stretch(healed_star, 1, 2)
-        assert 1.0 <= value <= math.log2(healed_star.nodes_ever)
+        assert 0.0 < value <= math.log2(healed_star.nodes_ever)
 
     def test_pairwise_stretch_infinite_when_disconnected(self):
         healer = NoHealing.from_edges([(0, 1), (1, 2)])

@@ -13,7 +13,32 @@ from repro.core.errors import (
     ProtocolError,
     UnknownNodeError,
 )
-from repro.core.ports import Port, edge_key
+from repro.core.ports import NodeKey, Port, edge_key, sorted_nodes
+
+
+class TestNodeKey:
+    def test_natural_order_within_type(self):
+        assert sorted_nodes([10, 2, 1]) == [1, 2, 10]  # not lexicographic "1","10","2"
+        assert sorted_nodes(["b", "a10", "a2"]) == ["a10", "a2", "b"]
+
+    def test_types_group_deterministically(self):
+        assert sorted_nodes([1, "a", 2, "b"]) == [1, 2, "a", "b"]
+
+    def test_total_order_for_partially_ordered_ids(self):
+        """Regression: sets order by subset (a partial order); NodeKey must not
+        mix that with the repr fallback, or sorting becomes input-dependent."""
+        from itertools import permutations
+
+        ids = [frozenset({9}), frozenset({9, 2}), frozenset({94})]
+        orders = {tuple(sorted_nodes(p)) for p in permutations(ids)}
+        assert len(orders) == 1
+
+    def test_key_is_irreflexive_and_consistent(self):
+        assert not NodeKey(3) < NodeKey(3)
+        assert NodeKey(2) < NodeKey(10)
+        assert not NodeKey(10) < NodeKey(2)
+        assert NodeKey("x") == NodeKey("x")
+        assert NodeKey(1) != NodeKey(True)  # bool and int group separately
 
 
 class TestPort:

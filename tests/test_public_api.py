@@ -27,8 +27,10 @@ PUBLIC_MODULES = [
     "repro.adversary",
     "repro.generators",
     "repro.analysis",
+    "repro.engine",
     "repro.experiments",
     "repro.experiments.catalog",
+    "repro.adversary.incremental",
 ]
 
 
@@ -40,7 +42,16 @@ def test_module_imports_and_has_docstring(module_name):
 
 @pytest.mark.parametrize(
     "module_name",
-    ["repro", "repro.core", "repro.distributed", "repro.baselines", "repro.adversary", "repro.analysis"],
+    [
+        "repro",
+        "repro.core",
+        "repro.distributed",
+        "repro.baselines",
+        "repro.adversary",
+        "repro.analysis",
+        "repro.engine",
+        "repro.experiments",
+    ],
 )
 def test_all_exports_resolve(module_name):
     module = importlib.import_module(module_name)
@@ -70,6 +81,8 @@ def test_top_level_quickstart_docstring_example():
         "repro.distributed.simulator.DistributedForgivingGraph",
         "repro.baselines.base.SelfHealer",
         "repro.adversary.schedule.AttackSchedule",
+        "repro.engine.AttackSession",
+        "repro.adversary.incremental.SurvivorDegreeTracker",
     ],
 )
 def test_public_classes_have_documented_public_methods(cls_path):

@@ -99,6 +99,39 @@ class TestComputeHaft:
         with pytest.raises(ValueError):
             compute_haft([])
 
+    def test_merge_order_is_invariant_under_id_relabeling(self):
+        """Regression: tie-breaking uses the ids' natural total order, not reprs.
+
+        Two isomorphic inputs whose node ids map onto each other by an
+        order-preserving relabeling must produce structurally identical
+        hafts.  Under the old repr-based comparison, int processors sorted
+        lexicographically ("10" < "2"), so relabeling ints to zero-padded
+        strings (whose lexicographic order matches the ints' natural order)
+        changed the merge order and hence the resulting tree.
+        """
+        processors = [1, 2, 3, 10, 11, 12, 13]  # repr order != natural order
+        relabel = {p: f"{p:04d}" for p in processors}
+
+        def build(ids, neighbor):
+            root, _ = compute_haft(make_leaves(ids, neighbor))
+            return root
+
+        int_root = build(processors, neighbor=99)
+        str_root = build([relabel[p] for p in processors], neighbor=relabel.get(99, "0099"))
+
+        def walk(a, b):
+            if isinstance(a, RTLeaf):
+                assert isinstance(b, RTLeaf)
+                assert relabel[a.port.processor] == b.port.processor
+                return
+            assert isinstance(b, RTHelper)
+            assert relabel[a.simulated_by.processor] == b.simulated_by.processor
+            assert relabel[a.representative.port.processor] == b.representative.port.processor
+            walk(a.left, b.left)
+            walk(a.right, b.right)
+
+        walk(int_root, str_root)
+
 
 class TestReconstructionTree:
     def test_trivial(self):

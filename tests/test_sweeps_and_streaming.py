@@ -1,0 +1,165 @@
+"""Tests for parallel sweep execution and streaming JSONL reporting."""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments import (
+    AttackConfig,
+    ExperimentConfig,
+    JsonlReporter,
+    SweepTask,
+    json_safe_row,
+    json_safe_value,
+    read_jsonl,
+    run_sweep,
+    sweep_graph_sizes,
+)
+from repro.generators import GraphSpec
+
+
+def make_tasks(sizes, seed=1):
+    return [
+        SweepTask(
+            config=ExperimentConfig(
+                name="unit-parallel",
+                graph=GraphSpec(topology="erdos_renyi", n=n),
+                attack=AttackConfig(strategy="random", delete_fraction=0.4),
+                healers=("forgiving_graph",),
+                seed=seed,
+                stretch_sources=8,
+            ),
+            healer="forgiving_graph",
+        )
+        for n in sizes
+    ]
+
+
+class TestJsonSafety:
+    def test_non_finite_floats_become_sentinels(self):
+        assert json_safe_value(float("inf")) == "inf"
+        assert json_safe_value(float("-inf")) == "-inf"
+        assert json_safe_value(float("nan")) == "nan"
+        assert json_safe_value(1.5) == 1.5
+        assert json_safe_value("inf") == "inf"
+
+    def test_numpy_scalars_unwrap(self):
+        np = pytest.importorskip("numpy")
+        assert json_safe_value(np.float64("inf")) == "inf"
+        assert json_safe_value(np.int64(3)) == 3
+
+    def test_row_with_inf_round_trips_strict_json(self):
+        row = json_safe_row({"stretch": float("inf"), "n": 10, "ok": True})
+        encoded = json.dumps(row, allow_nan=False)  # raises on bare Infinity
+        assert json.loads(encoded) == {"stretch": "inf", "n": 10, "ok": True}
+
+    def test_outcome_as_row_is_json_safe_when_disconnected(self):
+        """A disconnected healer yields inf stretch; the row must stay strict-JSON."""
+        from repro.experiments import run_attack
+
+        config = ExperimentConfig(
+            name="unit-inf",
+            graph=GraphSpec(topology="erdos_renyi", n=20),
+            attack=AttackConfig(strategy="max_degree", delete_fraction=0.5),
+            healers=("no_heal",),
+            seed=0,
+            stretch_sources=8,
+        )
+        row = run_attack(config, "no_heal").as_row()
+        encoded = json.dumps(row, allow_nan=False)
+        decoded = json.loads(encoded)
+        assert decoded["stretch"] == "inf" or isinstance(decoded["stretch"], (int, float))
+
+
+class TestJsonlReporter:
+    def test_rows_stream_and_read_back(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with JsonlReporter(path) as reporter:
+            reporter.write({"a": 1}, task_key="t1")
+            reporter.write({"b": float("inf")}, task_key="t2")
+        rows = read_jsonl(path)
+        assert [row["task_key"] for row in rows] == ["t1", "t2"]
+        assert rows[1]["b"] == "inf"
+        # every line is independently strict-valid JSON
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_resume_skips_completed_keys(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with JsonlReporter(path) as reporter:
+            reporter.write({"a": 1}, task_key="done")
+        resumed = JsonlReporter(path, resume=True)
+        assert resumed.is_done("done")
+        assert not resumed.is_done("todo")
+        resumed.close()
+
+    def test_resume_tolerates_truncated_final_line(self, tmp_path):
+        """A checkpoint whose writer was killed mid-append must still resume."""
+        path = tmp_path / "results.jsonl"
+        with JsonlReporter(path) as reporter:
+            reporter.write({"a": 1}, task_key="done")
+        with path.open("a") as handle:
+            handle.write('{"b": 2, "task_key": "half')  # no closing brace/newline
+        resumed = JsonlReporter(path, resume=True)
+        assert resumed.is_done("done")
+        assert not resumed.is_done("half")
+        resumed.close()
+
+    def test_without_resume_truncates(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with JsonlReporter(path) as reporter:
+            reporter.write({"a": 1}, task_key="old")
+        with JsonlReporter(path, resume=False) as reporter:
+            assert not reporter.is_done("old")
+        assert read_jsonl(path) == []
+
+
+class TestRunSweep:
+    def test_serial_rows_in_task_order(self):
+        tasks = make_tasks([16, 24])
+        rows = run_sweep(tasks)
+        assert [row["n0"] for row in rows] == [16, 24]
+
+    def test_parallel_matches_serial(self):
+        tasks = make_tasks([16, 20, 24])
+        serial = run_sweep(tasks)
+        parallel = run_sweep(tasks, max_workers=2)
+        # wall-clock differs; everything else is deterministic per task seed
+        strip = lambda row: {k: v for k, v in row.items() if k != "seconds"}
+        assert [strip(r) for r in serial] == [strip(r) for r in parallel]
+
+    def test_streaming_checkpoint_and_resume(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        tasks = make_tasks([16, 20])
+        first = run_sweep(tasks[:1], jsonl_path=path)
+        assert len(read_jsonl(path)) == 1
+        # Resume with the full task list: the finished task is not re-run,
+        # its row comes from the checkpoint.
+        rows = run_sweep(tasks, jsonl_path=path, resume=True)
+        assert len(rows) == 2
+        # task_key is JSONL-only bookkeeping: returned rows (resumed or
+        # fresh) stay clean and uniform for tables/CSVs.
+        assert all("task_key" not in row for row in rows)
+        assert rows[0] == {k: v for k, v in first[0].items()}
+        on_disk = read_jsonl(path)
+        assert len(on_disk) == 2
+        assert {row["task_key"] for row in on_disk} == {t.key for t in tasks}
+
+    def test_task_keys_are_stable_and_distinct(self):
+        tasks = make_tasks([16, 24])
+        assert tasks[0].key != tasks[1].key
+        assert tasks[0].key == make_tasks([16, 24])[0].key
+
+    def test_sweep_graph_sizes_parallel_smoke(self, tmp_path):
+        rows = sweep_graph_sizes(
+            "unit-sweep-par",
+            "ring",
+            sizes=[16, 24],
+            healer="forgiving_graph",
+            stretch_sources=8,
+            max_workers=2,
+            jsonl_path=tmp_path / "sizes.jsonl",
+        )
+        assert [row["n0"] for row in rows] == [16, 24]
+        assert len(read_jsonl(tmp_path / "sizes.jsonl")) == 2
