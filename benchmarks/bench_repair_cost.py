@@ -76,3 +76,27 @@ def test_max_message_size_is_logarithmic(benchmark, n):
     benchmark.extra_info["max_message_bits"] = healer.network.metrics.max_message_bits
     benchmark.extra_info["word_bits"] = word_bits
     assert healer.network.metrics.max_message_bits <= 70 * word_bits
+
+
+@pytest.mark.parametrize("n", [200, 400])
+def test_incremental_accounting_attack(benchmark, n):
+    """End-to-end attack on the delta-synced simulator (the O(delta) accounting path).
+
+    The per-deletion accounting is delta-driven (edge-delta link sync +
+    per-repair metrics window); the run must stay consistent with the engine
+    and every report must carry per-repair (not cumulative) message maxima.
+    """
+
+    def workload():
+        healer = DistributedForgivingGraph.from_graph(make_graph("power_law", n, seed=7))
+        return attack(healer, MaxDegreeDeletion(), n // 2)
+
+    healer = run_once(benchmark, workload)
+    healer.verify_consistency()
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["deletions"] = len(healer.cost_reports)
+    cumulative = healer.network.metrics.max_message_bits
+    assert all(r.max_message_bits <= cumulative for r in healer.cost_reports)
+    # Per-repair maxima genuinely vary: not every repair sends the run's
+    # largest message (the pre-refactor accounting reported it for all).
+    assert len({r.max_message_bits for r in healer.cost_reports}) > 1

@@ -19,9 +19,10 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 
-from repro.adversary import MaxDegreeDeletion
+from repro.adversary import MaxDegreeDeletion, deletion_only_schedule
 from repro.analysis.stats import summarize
 from repro.distributed import DistributedForgivingGraph
+from repro.engine import AttackSession
 from repro.experiments import format_table
 from repro.generators import make_graph
 
@@ -30,22 +31,31 @@ def main() -> None:
     n = 250
     deletions = 150
 
+    # The distributed healer is a first-class engine citizen: the unified
+    # AttackSession drives the attack and each deletion's StepEvent carries
+    # its DeletionCostReport.
     overlay = DistributedForgivingGraph.from_graph(make_graph("power_law", n, seed=3))
-    adversary = MaxDegreeDeletion()
-
-    for _ in range(deletions):
-        victim = adversary.choose_victim(overlay)
-        if victim is None or overlay.num_alive <= 3:
-            break
-        overlay.delete(victim)
+    schedule = deletion_only_schedule(
+        steps=deletions, strategy=MaxDegreeDeletion(), min_survivors=3
+    )
+    session = AttackSession(
+        overlay,
+        schedule,
+        healer_name="distributed_forgiving_graph",
+        measure_every=0,
+        measure_final=False,
+    )
+    cost_reports = [
+        event.cost_report for event in session.stream() if event.cost_report is not None
+    ]
 
     overlay.verify_consistency()  # the distributed Table-1 records match the engine
     metrics = overlay.network.metrics
-    print(f"attack finished: {len(overlay.cost_reports)} repairs, "
+    print(f"attack finished: {len(cost_reports)} repairs, "
           f"{metrics.total_messages} protocol messages, {metrics.total_bits} bits total\n")
 
     buckets = defaultdict(list)
-    for report in overlay.cost_reports:
+    for report in cost_reports:
         buckets[min(report.degree, 32) if report.degree <= 32 else 33].append(report)
 
     rows = []

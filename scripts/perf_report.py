@@ -42,6 +42,14 @@ Workloads
 ``parallel_sweep``
     The same multi-config sweep executed serially (the PR 1 baseline path)
     and via ``run_sweep(max_workers=...)``, end-to-end wall clock.
+
+``distributed_repair``
+    A max-degree deletion attack on the message-passing simulator.  Seed
+    side: the pre-refactor O(n + m)-per-deletion accounting (full graph
+    copies for planning, full-diff link sync, full metrics snapshots); fast
+    side: the delta-driven link sync and per-repair metrics window.  Both
+    sides replay identical repairs, so the per-deletion message/bit/round
+    reports must agree exactly.
 """
 
 from __future__ import annotations
@@ -69,6 +77,9 @@ from repro.adversary.strategies import (
 )
 from repro.analysis import stretch_report, stretch_report_reference
 from repro.analysis.fastpaths import HAVE_SCIPY
+from repro.distributed import DistributedForgivingGraph
+from repro.distributed.metrics import DeletionCostReport
+from repro.distributed.protocol import execute_repair, plan_repair
 from repro.experiments import AttackConfig, ExperimentConfig, SweepTask, run_sweep
 from repro.generators import GraphSpec, make_graph
 
@@ -77,6 +88,7 @@ TARGET_STRETCH_SPEEDUP_N1000 = 10.0
 TARGET_CHURN_SPEEDUP = 5.0
 TARGET_ADVERSARY_SPEEDUP = 2.0
 TARGET_PARALLEL_SPEEDUP = 1.3
+TARGET_DISTRIBUTED_SPEEDUP_N1000 = 5.0
 #: Smoke mode (CI) only asserts "the fast path is not a regression"; the
 #: sub-1.0 floor absorbs scheduling noise on tiny-n timings (shared runners).
 TARGET_SMOKE_SPEEDUP = 0.7
@@ -131,6 +143,60 @@ def _reference_degree_factor(healer) -> float:
         d_actual = actual.degree[node] if node in actual else 0
         worst = max(worst, d_actual / d_prime)
     return worst
+
+
+class SeedAccountingDistributedGraph(DistributedForgivingGraph):
+    """The stock distributed healer plus the seed's per-deletion accounting.
+
+    The seed's ``delete()`` paid O(n + m) of measurement per repair: full
+    graph copies while planning, a full-counter ``snapshot()``, the full-diff
+    ``_sync_links_reference`` (rebuilds the healed graph and diffs the whole
+    edge set), another healed-graph copy for the BT_v cleanup, and an
+    all-nodes per-sender delta.  Repairs themselves are identical on both
+    sides, so the comparison isolates the accounting overhead the delta
+    path removed.  It also retains the seed's cumulative ``max_message_bits``
+    (a later cheap deletion inherited the run-wide maximum — the bug the
+    per-repair window fixed), so that field is excluded from the equivalence
+    check.
+    """
+
+    def delete(self, node):
+        engine = self._engine
+        degree = engine.g_prime_degree(node)
+        engine.actual_graph()  # seed planning copied both graphs
+        engine.g_prime_view()
+        plan = plan_repair(engine, node)
+        before = self.network.metrics.snapshot()
+
+        engine_report = engine.delete(node)
+
+        if self.network.has_processor(node):
+            self.network.remove_processor(node)
+        self._sync_links_reference()
+
+        rounds = execute_repair(self.network, engine, plan, engine_report)
+        engine.actual_graph()  # the seed BT_v cleanup's full healed-graph copy
+
+        after = self.network.metrics
+        per_node_delta = {
+            proc: after.messages_sent_by_node.get(proc, 0)
+            - before.messages_sent_by_node.get(proc, 0)
+            for proc in after.messages_sent_by_node
+        }
+        report = DeletionCostReport(
+            deleted_node=node,
+            degree=degree,
+            n_ever=engine.nodes_ever,
+            messages=after.total_messages - before.total_messages,
+            bits=after.total_bits - before.total_bits,
+            rounds=rounds,
+            max_message_bits=after.max_message_bits,
+            max_messages_per_node=max(per_node_delta.values(), default=0),
+            helpers_created=engine_report.helpers_created,
+            helpers_released=engine_report.helpers_released,
+        )
+        self.cost_reports.append(report)
+        return report
 
 
 # --------------------------------------------------------------------------- #
@@ -323,6 +389,55 @@ def bench_parallel_sweep(
     }
 
 
+def bench_distributed_repair(
+    n: int, deletions: Optional[int] = None, seed: int = 20090214
+) -> Dict[str, object]:
+    """Time the distributed simulator's per-deletion accounting, seed vs fast.
+
+    Both sides play the identical max-degree attack (same victims — the
+    incremental adversary reads the same journal through both subclasses),
+    so the per-deletion message/bit/round reports must agree exactly; only
+    the accounting around the repairs differs.
+    """
+    if deletions is None:
+        deletions = n // 2
+    graph = make_graph("power_law", n, seed=seed)
+
+    def attack(cls):
+        healer = cls.from_graph(graph)
+        strategy = MaxDegreeDeletion()
+        start = time.perf_counter()
+        for _ in range(deletions):
+            victim = strategy.choose_victim(healer)
+            if victim is None or healer.num_alive <= 3:
+                break
+            healer.delete(victim)
+        return time.perf_counter() - start, healer
+
+    seed_seconds, seed_healer = attack(SeedAccountingDistributedGraph)
+    fast_seconds, fast_healer = attack(DistributedForgivingGraph)
+
+    fast_healer.verify_consistency()
+    key = lambda r: (r.deleted_node, r.messages, r.bits, r.rounds, r.max_messages_per_node)
+    if [key(r) for r in fast_healer.cost_reports] != [key(r) for r in seed_healer.cost_reports]:
+        raise AssertionError(f"seed and fast distributed accounting disagree at n={n}")
+
+    repairs = max(len(fast_healer.cost_reports), 1)
+    return {
+        "n": n,
+        "deletions": len(fast_healer.cost_reports),
+        "seed_seconds": round(seed_seconds, 4),
+        "fast_seconds": round(fast_seconds, 4),
+        "seed_ms_per_deletion": round(1000 * seed_seconds / repairs, 3),
+        "fast_ms_per_deletion": round(1000 * fast_seconds / repairs, 3),
+        "within_lemma4_budgets": all(
+            r.within_message_budget and r.within_round_budget
+            for r in fast_healer.cost_reports
+        ),
+        "speedup": round(seed_seconds / fast_seconds, 1) if fast_seconds else float("inf"),
+    }
+
+
 # --------------------------------------------------------------------------- #
 # report
 # --------------------------------------------------------------------------- #
@@ -330,17 +445,21 @@ def build_report(quick: bool = False, smoke: bool = False) -> Dict[str, object]:
     if smoke:
         sizes = [300]
         sweep_sizes = [120]
+        distributed_sizes = [150]
     elif quick:
         sizes = [100, 1000]
         sweep_sizes = [400]
+        distributed_sizes = [100, 1000]
     else:
         sizes = [100, 1000, 5000]
         sweep_sizes = [400, 1000]
+        distributed_sizes = [100, 1000]
 
     stretch_rows: List[Dict[str, object]] = []
     churn_rows: List[Dict[str, object]] = []
     adversary_rows: List[Dict[str, object]] = []
     parallel_rows: List[Dict[str, object]] = []
+    distributed_rows: List[Dict[str, object]] = []
     for n in sizes:
         max_sources = None if n <= 1000 else 128
         print(f"[stretch] n={n} sources={max_sources or 'all'} ...", flush=True)
@@ -369,6 +488,15 @@ def build_report(quick: bool = False, smoke: bool = False) -> Dict[str, object]:
             f"(workers={row['workers']}) -> {row['speedup']}x"
         )
         parallel_rows.append(row)
+    for n in distributed_sizes:
+        print(f"[distributed_repair] n={n} ...", flush=True)
+        row = bench_distributed_repair(n)
+        print(
+            f"  per-deletion {row['seed_ms_per_deletion']}ms -> "
+            f"{row['fast_ms_per_deletion']}ms over {row['deletions']} repairs "
+            f"-> {row['speedup']}x"
+        )
+        distributed_rows.append(row)
 
     if smoke:
         # CI guard: every fast path at least breaks even on a tiny workload.
@@ -377,6 +505,10 @@ def build_report(quick: bool = False, smoke: bool = False) -> Dict[str, object]:
             "churn_smoke": all(r["speedup"] >= TARGET_SMOKE_SPEEDUP for r in churn_rows),
             "adversary_smoke": all(
                 r["choose_speedup"] >= TARGET_SMOKE_SPEEDUP for r in adversary_rows
+            ),
+            "distributed_smoke": all(
+                r["speedup"] >= TARGET_SMOKE_SPEEDUP and r["within_lemma4_budgets"]
+                for r in distributed_rows
             ),
         }
         targets = {"smoke_min_speedup": TARGET_SMOKE_SPEEDUP}
@@ -390,6 +522,7 @@ def build_report(quick: bool = False, smoke: bool = False) -> Dict[str, object]:
         # Process parallelism cannot show a wall-clock win on a single-core
         # box; the target applies only to rows that actually had >1 worker.
         parallel_multicore = [r for r in parallel_rows if r["workers"] > 1]
+        distributed_at_scale = [r for r in distributed_rows if r["n"] >= 1000]
         targets_met = {
             "stretch_n1000": stretch_1k["speedup"] >= TARGET_STRETCH_SPEEDUP_N1000,
             "churn_n_ge_1000": all(r["speedup"] >= TARGET_CHURN_SPEEDUP for r in churn_at_scale),
@@ -399,16 +532,21 @@ def build_report(quick: bool = False, smoke: bool = False) -> Dict[str, object]:
             "parallel_sweep": all(
                 r["speedup"] >= TARGET_PARALLEL_SPEEDUP for r in parallel_multicore
             ),
+            "distributed_n_ge_1000": all(
+                r["speedup"] >= TARGET_DISTRIBUTED_SPEEDUP_N1000 and r["within_lemma4_budgets"]
+                for r in distributed_at_scale
+            ),
         }
         targets = {
             "stretch_n1000_min_speedup": TARGET_STRETCH_SPEEDUP_N1000,
             "churn_min_speedup": TARGET_CHURN_SPEEDUP,
             "adversary_min_choose_speedup": TARGET_ADVERSARY_SPEEDUP,
             "parallel_min_speedup": TARGET_PARALLEL_SPEEDUP,
+            "distributed_n1000_min_speedup": TARGET_DISTRIBUTED_SPEEDUP_N1000,
         }
 
     return {
-        "schema": "bench_perf/v2",
+        "schema": "bench_perf/v3",
         "generated_by": "scripts/perf_report.py" + (" --smoke" if smoke else ""),
         "scipy_backend": HAVE_SCIPY,
         "cpus": os.cpu_count(),
@@ -416,6 +554,7 @@ def build_report(quick: bool = False, smoke: bool = False) -> Dict[str, object]:
         "churn_sweep": churn_rows,
         "adversary_step": adversary_rows,
         "parallel_sweep": parallel_rows,
+        "distributed_repair": distributed_rows,
         "targets": targets,
         "targets_met": targets_met,
     }

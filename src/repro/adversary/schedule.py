@@ -107,8 +107,14 @@ class AttackSchedule:
             event: Optional[AttackEvent] = None
             if do_delete and healer.num_alive > self.min_survivors:
                 event = self._play_deletion(step, healer)
-            if event is None and healer.num_alive >= 1:
-                event = self._play_insertion(step, healer, fresh_ids)
+            if event is None:
+                if self.delete_probability >= 1.0:
+                    # A pure-deletion attack is over once the survivor floor
+                    # is reached or the strategy gives up; falling back to
+                    # insertions would silently turn it into a churn run.
+                    return
+                if healer.num_alive >= 1:
+                    event = self._play_insertion(step, healer, fresh_ids)
             if event is None:
                 return
             yield event

@@ -13,6 +13,7 @@ import networkx as nx
 
 from ..core.errors import ConfigurationError
 from ..core.forgiving_graph import ForgivingGraph
+from ..distributed.simulator import DistributedForgivingGraph
 from .clique_heal import CliqueHealing
 from .cycle_heal import CycleHealing
 from .forgiving_tree import ForgivingTreeHealing
@@ -25,6 +26,7 @@ __all__ = ["available_healers", "make_healer"]
 
 _HEALERS: Dict[str, Callable[[nx.Graph], object]] = {
     "forgiving_graph": lambda graph: ForgivingGraph.from_graph(graph),
+    "distributed_forgiving_graph": lambda graph: DistributedForgivingGraph.from_graph(graph),
     "forgiving_tree": lambda graph: ForgivingTreeHealing.from_graph(graph),
     "no_heal": lambda graph: NoHealing.from_graph(graph),
     "cycle_heal": lambda graph: CycleHealing.from_graph(graph),
@@ -43,7 +45,10 @@ def make_healer(name: str, graph: nx.Graph):
     """Instantiate the named healer on a copy of ``graph``.
 
     ``"forgiving_graph"`` builds the paper's algorithm
-    (:class:`repro.core.ForgivingGraph`); every other name builds the
+    (:class:`repro.core.ForgivingGraph`); ``"distributed_forgiving_graph"``
+    builds the same algorithm on the message-passing substrate
+    (:class:`repro.distributed.DistributedForgivingGraph`, whose deletions
+    additionally yield Lemma 4 cost reports); every other name builds the
     corresponding baseline from :mod:`repro.baselines`.
     """
     try:

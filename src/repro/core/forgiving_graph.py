@@ -149,6 +149,14 @@ class ForgivingGraph:
         # a cursor into this list and refresh only the touched nodes, so their
         # per-move cost is proportional to the repair delta instead of O(n).
         self._degree_touch_log: List[NodeId] = []
+        # Edge-delta journal ----------------------------------------------------------------
+        # Append-only log of healed-graph edge changes, written by the same
+        # hooks: one (added, u, v) entry per edge of ``G`` that appears
+        # (added=True) or disappears (added=False).  Mirrors the degree-touch
+        # journal design: consumers (the distributed layer's link sync) keep a
+        # cursor and apply exactly the delta of the last repair, never a full
+        # edge-set diff.
+        self._edge_delta_log: List[Tuple[bool, NodeId, NodeId]] = []
         # Auditing -------------------------------------------------------------------------
         self.events: List[HealingEvent] = []
         self._step = 0
@@ -376,6 +384,7 @@ class ForgivingGraph:
             self._actual.add_edge(u, v)
             self._degree_touch_log.append(u)
             self._degree_touch_log.append(v)
+            self._edge_delta_log.append((True, u, v))
         self._edge_mult[key] = count + 1
 
     def _edge_source_removed(self, u: NodeId, v: NodeId) -> None:
@@ -390,6 +399,7 @@ class ForgivingGraph:
                 self._actual.remove_edge(u, v)
                 self._degree_touch_log.append(u)
                 self._degree_touch_log.append(v)
+                self._edge_delta_log.append((False, u, v))
         else:
             self._edge_mult[key] = count - 1
 
@@ -404,6 +414,23 @@ class ForgivingGraph:
         truncated during the lifetime of the engine.
         """
         return self._degree_touch_log
+
+    @property
+    def edge_delta_log(self) -> Sequence[Tuple[bool, NodeId, NodeId]]:
+        """Append-only journal of healed-graph edge changes.
+
+        One ``(added, u, v)`` entry per edge of ``G`` that appeared
+        (``added=True``) or disappeared (``added=False``), written by the same
+        incremental hooks that maintain ``G`` — so the suffix written during
+        one repair *is* that repair's exact edge delta.  Consumers (the
+        distributed layer's link sync) keep their own cursor, like with
+        :attr:`degree_touch_log`; the log is never truncated.
+        """
+        return self._edge_delta_log
+
+    def has_actual_edge(self, u: NodeId, v: NodeId) -> bool:
+        """True when the healed network ``G`` currently has the edge ``(u, v)`` (O(1))."""
+        return self._actual.has_edge(u, v)
 
 
     # ------------------------------------------------------------------ #

@@ -18,6 +18,11 @@ Lemma 4).  This package provides
   a drop-in healer that runs every repair through the message-passing
   substrate and reports per-deletion communication costs.
 
+The cost accounting is incremental end to end: link sync applies the
+engine's edge-delta journal and per-deletion reports come from a per-repair
+metrics window, so measuring a repair costs O(repair) — never O(n + m) —
+keeping the accounting within the protocol's own Lemma 4 asymptotics.
+
 The structural outcome of each repair is cross-checkable against the
 centralized reference engine (:class:`repro.core.ForgivingGraph`); the tests
 in ``tests/test_distributed_*`` do exactly that.
@@ -34,7 +39,7 @@ from .messages import (
     PrimaryRootReport,
     Probe,
 )
-from .metrics import DeletionCostReport, NetworkMetrics
+from .metrics import DeletionCostReport, MetricsWindow, NetworkMetrics
 from .network import Network
 from .processor import EdgeRecord, Processor
 from .simulator import DistributedForgivingGraph
@@ -53,6 +58,7 @@ __all__ = [
     "Processor",
     "EdgeRecord",
     "NetworkMetrics",
+    "MetricsWindow",
     "DeletionCostReport",
     "DistributedForgivingGraph",
 ]

@@ -8,7 +8,10 @@ nodes seen so far:
 * recovery time:  ``O(log d log n)`` rounds.
 
 :class:`NetworkMetrics` accumulates the raw counts while the simulator runs;
-:class:`DeletionCostReport` is the per-deletion snapshot the experiments and
+:class:`MetricsWindow` is the per-repair slice of those counters (opened by
+:meth:`NetworkMetrics.begin_window`, so a repair's cost report is computed
+from O(repair) state instead of diffing full counter snapshots);
+:class:`DeletionCostReport` is the per-deletion record the experiments and
 benchmarks consume (experiment E5 in DESIGN.md).
 """
 
@@ -21,7 +24,43 @@ from typing import Dict, List, Optional
 from ..analysis.bounds import repair_message_bound, repair_time_bound
 from ..core.ports import NodeId
 
-__all__ = ["NetworkMetrics", "DeletionCostReport"]
+__all__ = ["MetricsWindow", "NetworkMetrics", "DeletionCostReport"]
+
+
+@dataclass
+class MetricsWindow:
+    """Counters restricted to one repair: everything recorded while it is open.
+
+    The window only ever holds state proportional to the repair it measures
+    (its per-sender dict has one entry per processor that actually sent a
+    message), which is what keeps the simulator's per-deletion accounting
+    O(delta) — the alternative, diffing two :meth:`NetworkMetrics.snapshot`
+    copies, is O(n) per deletion regardless of how small the repair was.
+    """
+
+    messages: int = 0
+    bits: int = 0
+    rounds: int = 0
+    #: Largest single message sent *within the window* (the per-repair value
+    #: Lemma 4 bounds; the run-wide maximum stays on :class:`NetworkMetrics`).
+    max_message_bits: int = 0
+    messages_by_node: Dict[NodeId, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record_message(self, sender: NodeId, bits: int) -> None:
+        """Account for one message sent while the window is open."""
+        self.messages += 1
+        self.bits += bits
+        if bits > self.max_message_bits:
+            self.max_message_bits = bits
+        self.messages_by_node[sender] += 1
+
+    def record_rounds(self, rounds: int) -> None:
+        """Account for communication rounds elapsed while the window is open."""
+        self.rounds += rounds
+
+    def max_messages_per_node(self) -> int:
+        """The busiest single sender's message count within the window."""
+        return max(self.messages_by_node.values(), default=0)
 
 
 @dataclass
@@ -31,10 +70,25 @@ class NetworkMetrics:
     total_messages: int = 0
     total_bits: int = 0
     total_rounds: int = 0
+    #: Largest single message of the whole run (cumulative; per-repair maxima
+    #: live on the :class:`MetricsWindow` of each repair).
     max_message_bits: int = 0
     messages_by_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     messages_sent_by_node: Dict[NodeId, int] = field(default_factory=lambda: defaultdict(int))
     bits_sent_by_node: Dict[NodeId, int] = field(default_factory=lambda: defaultdict(int))
+    #: The currently open per-repair window (``None`` between repairs).
+    window: Optional[MetricsWindow] = None
+
+    def begin_window(self) -> MetricsWindow:
+        """Open (and return) a fresh per-repair window; replaces any open one."""
+        self.window = MetricsWindow()
+        return self.window
+
+    def end_window(self) -> MetricsWindow:
+        """Close the open window and return it (empty window if none was open)."""
+        window = self.window if self.window is not None else MetricsWindow()
+        self.window = None
+        return window
 
     def record_message(self, sender: NodeId, kind: str, bits: int) -> None:
         """Account for one sent message."""
@@ -44,10 +98,14 @@ class NetworkMetrics:
         self.messages_by_kind[kind] += 1
         self.messages_sent_by_node[sender] += 1
         self.bits_sent_by_node[sender] += bits
+        if self.window is not None:
+            self.window.record_message(sender, bits)
 
     def record_rounds(self, rounds: int) -> None:
         """Account for ``rounds`` parallel communication rounds."""
         self.total_rounds += rounds
+        if self.window is not None:
+            self.window.record_rounds(rounds)
 
     def max_messages_per_node(self) -> int:
         """The busiest single node's message count (success metric 3 of Figure 1)."""
@@ -58,7 +116,12 @@ class NetworkMetrics:
         return max(self.bits_sent_by_node.values(), default=0)
 
     def snapshot(self) -> "NetworkMetrics":
-        """Deep-ish copy used to compute per-deletion deltas."""
+        """Deep-ish copy of every counter — O(n) in the number of senders.
+
+        Retained as the reference accounting: the simulator's fast path now
+        derives per-deletion deltas from a :class:`MetricsWindow` instead of
+        diffing two snapshots, and the equivalence tests cross-check the two.
+        """
         clone = NetworkMetrics(
             total_messages=self.total_messages,
             total_bits=self.total_bits,
@@ -83,6 +146,7 @@ class DeletionCostReport:
     messages: int
     bits: int
     rounds: int
+    #: Largest single message sent *during this repair* (not the run so far).
     max_message_bits: int
     max_messages_per_node: int
     helpers_created: int

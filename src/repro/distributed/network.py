@@ -7,20 +7,28 @@ rounds — every message sent in round ``r`` is delivered at the start of round
 ``r + 1``, matching the paper's cost model where a message takes at most one
 time unit to traverse an edge and local computation is free.
 
-The network enforces that messages only travel along existing links (or
-links being created by the repair itself, which the protocol registers
-before use), and keeps the per-node and global counters that Lemma 4 bounds.
+Topology is stored as an adjacency dict (one neighbour set per processor),
+so :meth:`Network.connect` / :meth:`Network.disconnect` /
+:meth:`Network.are_linked` are O(1) and :meth:`Network.neighbors` /
+:meth:`Network.remove_processor` are O(deg) — no operation on the repair
+path ever scans the full link set.  The network enforces that messages only
+travel along existing links (or links being created by the repair itself,
+which the protocol registers before use), and keeps the per-node and global
+counters that Lemma 4 bounds; :meth:`Network.begin_repair` /
+:meth:`Network.end_repair` bracket one repair with a
+:class:`~repro.distributed.metrics.MetricsWindow` so its cost report is
+assembled from O(repair) state instead of full counter snapshots.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
-from typing import Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Set, Tuple
 
 from ..core.errors import ProtocolError, UnknownNodeError
-from ..core.ports import NodeId
+from ..core.ports import NodeId, NodeKey
 from .messages import Message
-from .metrics import NetworkMetrics
+from .metrics import MetricsWindow, NetworkMetrics
 from .processor import Processor
 
 __all__ = ["Network"]
@@ -31,13 +39,16 @@ class Network:
 
     def __init__(self, strict_links: bool = True) -> None:
         self.processors: Dict[NodeId, Processor] = {}
-        self._links: Set[frozenset] = set()
+        #: Adjacency: one set of linked neighbours per current processor.
+        self._adjacency: Dict[NodeId, Set[NodeId]] = {}
         self._outbox: List[Message] = []
         self._inbox: Deque[Message] = deque()
         self.metrics = NetworkMetrics()
         #: When True, sending a message between unlinked processors raises.
         self.strict_links = strict_links
-        #: Number of nodes ever seen, kept by the simulator for message sizing.
+        #: Number of processors ever added (message sizing's ``n``).  Counted
+        #: per addition, so removals never shrink it; the distributed healer
+        #: cross-checks it against the engine's ``nodes_ever``.
         self.n_ever = 0
 
     # ------------------------------------------------------------------ #
@@ -47,7 +58,8 @@ class Network:
         """Create (or return) the processor with identifier ``node``."""
         if node not in self.processors:
             self.processors[node] = Processor(node)
-            self.n_ever = max(self.n_ever, len(self.processors))
+            self._adjacency[node] = set()
+            self.n_ever += 1
         return self.processors[node]
 
     def remove_processor(self, node: NodeId) -> None:
@@ -55,7 +67,8 @@ class Network:
         if node not in self.processors:
             raise UnknownNodeError(node, "remove_processor")
         del self.processors[node]
-        self._links = {link for link in self._links if node not in link}
+        for neighbor in self._adjacency.pop(node, ()):
+            self._adjacency[neighbor].discard(node)
 
     def has_processor(self, node: NodeId) -> bool:
         """True when ``node`` currently has a processor."""
@@ -67,28 +80,54 @@ class Network:
             return
         if u not in self.processors or v not in self.processors:
             raise UnknownNodeError(u if u not in self.processors else v, "connect")
-        self._links.add(frozenset((u, v)))
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
 
     def disconnect(self, u: NodeId, v: NodeId) -> None:
-        """Drop the link between ``u`` and ``v`` if it exists."""
-        self._links.discard(frozenset((u, v)))
+        """Drop the link between ``u`` and ``v`` if it exists (dead ends tolerated)."""
+        adj_u = self._adjacency.get(u)
+        if adj_u is not None:
+            adj_u.discard(v)
+        adj_v = self._adjacency.get(v)
+        if adj_v is not None:
+            adj_v.discard(u)
 
     def are_linked(self, u: NodeId, v: NodeId) -> bool:
         """True when a link currently exists between ``u`` and ``v``."""
-        return frozenset((u, v)) in self._links
+        return v in self._adjacency.get(u, ())
+
+    def num_links(self) -> int:
+        """Number of current links (O(n) sum of neighbour-set sizes)."""
+        return sum(len(neighbors) for neighbors in self._adjacency.values()) // 2
 
     def links(self) -> Set[Tuple[NodeId, NodeId]]:
-        """Return the current link set as ordered tuples (for inspection)."""
-        return {tuple(sorted(link, key=lambda n: (type(n).__name__, repr(n)))) for link in self._links}
+        """Return the current link set as canonically ordered tuples (inspection only).
+
+        Tuple endpoints are ordered by :class:`repro.core.ports.NodeKey`, the
+        repository's relabeling-invariant total order on node identifiers.
+        """
+        result: Set[Tuple[NodeId, NodeId]] = set()
+        for node, neighbors in self._adjacency.items():
+            node_key = NodeKey(node)
+            for other in neighbors:
+                if node_key < NodeKey(other):
+                    result.add((node, other))
+        return result
 
     def neighbors(self, node: NodeId) -> List[NodeId]:
-        """Current link neighbours of ``node``."""
-        result = []
-        for link in self._links:
-            if node in link:
-                (other,) = set(link) - {node}
-                result.append(other)
-        return sorted(result, key=lambda n: (type(n).__name__, repr(n)))
+        """Current link neighbours of ``node``, in canonical :class:`NodeKey` order."""
+        return sorted(self._adjacency.get(node, ()), key=NodeKey)
+
+    # ------------------------------------------------------------------ #
+    # per-repair accounting
+    # ------------------------------------------------------------------ #
+    def begin_repair(self) -> MetricsWindow:
+        """Open a per-repair metrics window; all traffic until :meth:`end_repair` lands in it."""
+        return self.metrics.begin_window()
+
+    def end_repair(self) -> MetricsWindow:
+        """Close the per-repair window and return its counters."""
+        return self.metrics.end_window()
 
     # ------------------------------------------------------------------ #
     # message passing

@@ -39,7 +39,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.forgiving_graph import ForgivingGraph, RepairReport
-from ..core.ports import NodeId, Port
+from ..core.ports import NodeId, NodeKey, Port
 from ..core.reconstruction_tree import ReconstructionTree, RTHelper, RTLeaf, RTNode, representative_of
 from .messages import (
     AnchorLink,
@@ -77,11 +77,18 @@ class RepairPlan:
 
 
 def plan_repair(engine: ForgivingGraph, victim: NodeId) -> RepairPlan:
-    """Inspect the engine *before* the deletion and lay out the message paths."""
-    actual = engine.actual_graph()
-    neighbors = sorted(
-        (n for n in actual.neighbors(victim)), key=lambda n: (type(n).__name__, repr(n))
-    ) if victim in actual else []
+    """Inspect the engine *before* the deletion and lay out the message paths.
+
+    Reads only zero-copy views and O(deg)/O(spine) structures: the plan's
+    cost is proportional to the victim's neighbourhood and the affected RTs'
+    spines, never to the size of the network.  Orderings use the canonical
+    :class:`repro.core.ports.NodeKey` total order, so planned trajectories
+    are stable under order-preserving id relabelings.
+    """
+    actual = engine.actual_view()
+    neighbors = (
+        sorted(actual.neighbors(victim), key=NodeKey) if victim in actual else []
+    )
     plan = RepairPlan(victim=victim, neighbors=list(neighbors))
 
     affected = engine.affected_reconstruction_trees(victim)
@@ -94,11 +101,11 @@ def plan_repair(engine: ForgivingGraph, victim: NodeId) -> RepairPlan:
             anchors.append(path[0])
     # Directly-connected neighbours contribute trivial single-leaf pieces and
     # anchor themselves.
-    g_prime = engine.g_prime_view()
+    g_prime = engine.g_prime_graph_view()
     for neighbor in g_prime.neighbors(victim):
         if engine.is_alive(neighbor) and neighbor not in anchors:
             anchors.append(neighbor)
-    plan.anchors = sorted(set(anchors), key=lambda n: (type(n).__name__, repr(n)))
+    plan.anchors = sorted(set(anchors), key=NodeKey)
     return plan
 
 
@@ -132,6 +139,11 @@ def execute_repair(
     """
     victim = plan.victim
     rounds = 0
+    # Links created for the repair itself (BT_v edges, probe hops, helper
+    # wiring): recorded so the repair can drop its own scaffolding at the
+    # end.  The seed path left this to the next deletion's full link diff;
+    # the incremental path has no full diff, so cleanup is the repair's job.
+    scaffolding: List[Tuple[NodeId, NodeId]] = []
 
     # ------------------------------------------------------------------ #
     # Phase 0 — notification (1 round): the victim's neighbours detect the
@@ -152,7 +164,7 @@ def execute_repair(
     anchors = [a for a in plan.anchors if network.has_processor(a)]
     bt_edges = _balanced_tree_edges(anchors)
     for parent, child in bt_edges:
-        network.connect(parent, child)  # temporary BT_v edge (dropped at the end)
+        _connect_scaffolding(network, parent, child, scaffolding)  # temporary BT_v edge
         network.send(
             AnchorLink(sender=child, receiver=parent, deleted=victim, anchor_port=None)
         )
@@ -180,6 +192,7 @@ def execute_repair(
                         target_port=None,
                         hops=hop,
                     ),
+                    scaffolding,
                 )
         rounds += _flush(network)
     # Reports travel back up the spine, one message per hop, pipelined (a
@@ -196,6 +209,7 @@ def execute_repair(
                         root_port=None,
                         subtree_leaves=root_count,
                     ),
+                    scaffolding,
                 )
     rounds += _flush(network)
 
@@ -213,12 +227,14 @@ def execute_repair(
             _send_linked(
                 network,
                 PrimaryRootList(sender=child, receiver=parent, deleted=victim, roots=root_payload),
+                scaffolding,
             )
         rounds += _flush(network)
         for parent, child in bt_edges:
             _send_linked(
                 network,
                 PrimaryRootList(sender=parent, receiver=child, deleted=victim, roots=root_payload),
+                scaffolding,
             )
         rounds += _flush(network)
 
@@ -254,7 +270,7 @@ def execute_repair(
             right_port=_node_port(helper.right),
             create=True,
         )
-        _send_or_local(network, message)
+        _send_or_local(network, message, scaffolding)
         # children learn their new parent
         for child in (helper.left, helper.right):
             if child is None:
@@ -272,15 +288,17 @@ def execute_repair(
                     parent_port=helper.simulated_by,
                     child_is_helper=isinstance(child, RTHelper),
                 ),
+                scaffolding,
             )
     rounds += _flush(network)
 
-    # BT_v was temporary scaffolding: its edges are dropped (Algorithm A.3,
-    # "delete the edges Ev"), unless the healed graph independently needs them.
-    healed = engine.actual_graph()
-    for parent, child in bt_edges:
-        if not healed.has_edge(parent, child):
-            network.disconnect(parent, child)
+    # Every link this repair created for its own traffic (BT_v edges, probe
+    # hops, helper wiring) is dropped again unless the healed graph
+    # independently needs it (Algorithm A.3, "delete the edges Ev") — an O(1)
+    # membership probe per created link, no graph copy.
+    for u, v in scaffolding:
+        if not engine.has_actual_edge(u, v):
+            network.disconnect(u, v)
     return rounds
 
 
@@ -295,23 +313,35 @@ def _flush(network: Network) -> int:
     return 1
 
 
-def _send_linked(network: Network, message) -> None:
+def _connect_scaffolding(
+    network: Network, u: NodeId, v: NodeId, scaffolding: List[Tuple[NodeId, NodeId]]
+) -> None:
+    """Create a repair-local link and record it for the end-of-repair cleanup."""
+    if not network.are_linked(u, v):
+        network.connect(u, v)
+        scaffolding.append((u, v))
+
+
+def _send_linked(
+    network: Network, message, scaffolding: List[Tuple[NodeId, NodeId]]
+) -> None:
     """Send a message, creating the link first if the repair has not made it yet."""
     if message.sender == message.receiver:
         return
-    if not network.are_linked(message.sender, message.receiver):
-        network.connect(message.sender, message.receiver)
+    _connect_scaffolding(network, message.sender, message.receiver, scaffolding)
     network.send(message)
 
 
-def _send_or_local(network: Network, message) -> None:
+def _send_or_local(
+    network: Network, message, scaffolding: List[Tuple[NodeId, NodeId]]
+) -> None:
     """Send a message, or apply it locally (free of charge) when it stays on one processor."""
     if message.sender == message.receiver:
         processor = network.processors.get(message.receiver)
         if processor is not None:
             processor.receive(message)
         return
-    _send_linked(network, message)
+    _send_linked(network, message, scaffolding)
 
 
 def _balanced_tree_edges(anchors: Sequence[NodeId]) -> List[Tuple[NodeId, NodeId]]:

@@ -15,6 +15,23 @@ The structural repair decisions are made by an embedded reference engine
 distributed state provably converges to the same reconstruction trees; the
 added value of this class is the cost accounting and the per-processor view,
 both of which the tests cross-check against the engine.
+
+The accounting is *incremental end to end*, matching the protocol's own
+asymptotics (Lemma 4 bounds each repair at ``O(d log n)`` messages, so the
+measurement layer must not be O(n + m) per deletion): link sync applies the
+engine's :attr:`~repro.core.ForgivingGraph.edge_delta_log` suffix — exactly
+the healed edges the repair added or removed — instead of diffing full edge
+sets, and per-deletion cost reports come from the network's per-repair
+:class:`~repro.distributed.metrics.MetricsWindow` instead of diffing full
+counter snapshots.  ``delete`` performs no full-graph work; the seed-era
+full-diff link sync is retained as ``_sync_links_reference`` for the
+equivalence tests and the perf report's baseline side.
+
+The class is also a first-class engine citizen: it is registered in
+:mod:`repro.baselines.registry` as ``"distributed_forgiving_graph"``, it
+exposes the degree-touch journal the incremental adversaries consume, and
+:class:`repro.engine.AttackSession` attaches each deletion's
+``DeletionCostReport`` to its :class:`~repro.engine.StepEvent`.
 """
 
 from __future__ import annotations
@@ -45,6 +62,9 @@ class DistributedForgivingGraph:
         self.network = Network(strict_links=True)
         #: One cost report per deletion, in order.
         self.cost_reports: List[DeletionCostReport] = []
+        # Cursor into the engine's edge-delta journal: everything before it
+        # has already been applied to the network's link set.
+        self._edge_cursor = 0
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -70,13 +90,14 @@ class DistributedForgivingGraph:
         return cls.from_graph(graph, **kwargs)
 
     def _bootstrap_node(self, node: NodeId) -> None:
+        # The network counts additions itself; ``verify_consistency``
+        # cross-checks its ``n_ever`` against the engine's ``nodes_ever``.
         self._engine._add_initial_node(node)
         self.network.add_processor(node)
-        self.network.n_ever = self._engine.nodes_ever
 
     def _bootstrap_edge(self, u: NodeId, v: NodeId) -> None:
         self._engine._add_initial_edge(u, v)
-        self.network.connect(u, v)
+        self._sync_links()  # the new G_0 edge is the engine's edge delta
         # Pre-processing (Figure 1): each endpoint starts knowing its G_0
         # neighbours, i.e. runs Init(v) locally — no messages needed.
         self.network.processors[u].ensure_edge(v)
@@ -134,6 +155,16 @@ class DistributedForgivingGraph:
         """Degree of ``node`` in ``G'``."""
         return self._engine.g_prime_degree(node)
 
+    def actual_degree(self, node: NodeId) -> int:
+        """Degree of ``node`` in the healed graph ``G`` (O(1))."""
+        return self._engine.actual_degree(node)
+
+    @property
+    def degree_touch_log(self):
+        """The engine's degree-touch journal (lets the incremental adversaries
+        run their lazy-heap fast path against the distributed healer too)."""
+        return self._engine.degree_touch_log
+
     def degree_increase_factor(self, node: Optional[NodeId] = None) -> float:
         """Worst ``deg(v, G) / deg(v, G')`` ratio (Theorem 1.1's metric)."""
         return self._engine.degree_increase_factor(node)
@@ -150,9 +181,8 @@ class DistributedForgivingGraph:
         """
         self._engine.insert(node, attach_to=attach_to)
         processor = self.network.add_processor(node)
-        self.network.n_ever = self._engine.nodes_ever
+        self._sync_links()  # the attach edges are the insertion's edge delta
         for neighbor in dict.fromkeys(attach_to):
-            self.network.connect(node, neighbor)
             processor.ensure_edge(neighbor)
             self.network.send(
                 InsertionNotice(sender=node, receiver=neighbor, inserted=node)
@@ -161,10 +191,16 @@ class DistributedForgivingGraph:
             self.network.deliver_round()
 
     def delete(self, node: NodeId) -> DeletionCostReport:
-        """Adversarial deletion: heal the network and account for every message."""
+        """Adversarial deletion: heal the network and account for every message.
+
+        The whole accounting is O(repair): planning reads zero-copy views,
+        link sync applies the engine's edge delta, and the cost report is
+        read off the per-repair metrics window — no ``actual_graph()`` call,
+        no full edge-set diff, no full counter snapshot.
+        """
         degree = self._engine.g_prime_degree(node)
         plan = plan_repair(self._engine, node)
-        before = self.network.metrics.snapshot()
+        self.network.begin_repair()
 
         engine_report = self._engine.delete(node)
 
@@ -175,20 +211,16 @@ class DistributedForgivingGraph:
 
         rounds = execute_repair(self.network, self._engine, plan, engine_report)
 
-        after = self.network.metrics
-        per_node_delta = {
-            proc: after.messages_sent_by_node.get(proc, 0) - before.messages_sent_by_node.get(proc, 0)
-            for proc in after.messages_sent_by_node
-        }
+        window = self.network.end_repair()
         report = DeletionCostReport(
             deleted_node=node,
             degree=degree,
             n_ever=self._engine.nodes_ever,
-            messages=after.total_messages - before.total_messages,
-            bits=after.total_bits - before.total_bits,
+            messages=window.messages,
+            bits=window.bits,
             rounds=rounds,
-            max_message_bits=after.max_message_bits,
-            max_messages_per_node=max(per_node_delta.values(), default=0),
+            max_message_bits=window.max_message_bits,
+            max_messages_per_node=window.max_messages_per_node(),
             helpers_created=engine_report.helpers_created,
             helpers_released=engine_report.helpers_released,
         )
@@ -196,7 +228,36 @@ class DistributedForgivingGraph:
         return report
 
     def _sync_links(self) -> None:
-        """Make the network's link set equal to the healed graph's edge set."""
+        """Apply the engine's edge-delta journal suffix to the link set.
+
+        O(delta) in the number of healed edges the last operation added or
+        removed: removals are applied unconditionally (dead endpoints are
+        tolerated — the processor's removal already dropped those links) and
+        additions connect only pairs of live processors, which is every edge
+        the repair glue can produce.
+        """
+        log = self._engine.edge_delta_log
+        if self._edge_cursor >= len(log):
+            return
+        network = self.network
+        for added, u, v in log[self._edge_cursor :]:
+            if added:
+                if network.has_processor(u) and network.has_processor(v):
+                    network.connect(u, v)
+            else:
+                network.disconnect(u, v)
+        self._edge_cursor = len(log)
+
+    def _sync_links_reference(self) -> None:
+        """The retained seed-era link sync: a full healed-edge diff (O(n + m)).
+
+        Rebuilds the healed graph, diffs its whole edge set against the
+        network's whole link set, and applies the difference.  Kept as the
+        ground truth the delta-driven :meth:`_sync_links` is equivalence-
+        tested against, and as the baseline side of the perf report's
+        ``distributed_repair`` section.  Leaves the delta cursor fully
+        drained so the two paths can be interleaved.
+        """
         healed_edges = {
             frozenset(edge) for edge in self._engine.actual_graph().edges
         }
@@ -208,18 +269,40 @@ class DistributedForgivingGraph:
             u, v = tuple(link)
             if self.network.has_processor(u) and self.network.has_processor(v):
                 self.network.connect(u, v)
+        self._edge_cursor = len(self._engine.edge_delta_log)
 
     # ------------------------------------------------------------------ #
     # consistency between distributed state and the reference engine
     # ------------------------------------------------------------------ #
     def verify_consistency(self) -> None:
-        """Check that the processors' Table 1 records match the engine's RTs.
+        """Check that the distributed state matches the reference engine.
 
-        For every helper node the engine maintains, the simulating processor
-        must have ``has_helper`` set with the matching children pointers; and
-        no processor may claim a helper the engine does not know about.
-        Raises :class:`InvariantViolationError` on any mismatch.
+        Three families of checks, all raising
+        :class:`InvariantViolationError` on mismatch: the network's
+        addition-counted ``n_ever`` must equal the engine's ``nodes_ever``
+        (the engine-driven cross-check of the message-sizing ``n``); the
+        delta-synced link set must equal the healed graph's edge set (what
+        the retained full-diff ``_sync_links_reference`` would produce); and
+        for every helper node the engine maintains, the simulating processor
+        must have ``has_helper`` set with the matching children pointers,
+        with no processor claiming a helper the engine does not know about.
         """
+        if self.network.n_ever != self._engine.nodes_ever:
+            raise InvariantViolationError(
+                f"network counted {self.network.n_ever} processors ever, "
+                f"engine has seen {self._engine.nodes_ever} nodes"
+            )
+
+        healed_edges = {frozenset(edge) for edge in self._engine.actual_view().edges}
+        links = {frozenset(link) for link in self.network.links()}
+        if links != healed_edges:
+            missing = healed_edges - links
+            extra = links - healed_edges
+            raise InvariantViolationError(
+                f"link set diverges from the healed graph "
+                f"(missing={len(missing)}, unexpected={len(extra)})"
+            )
+
         engine_helpers: Dict[Port, RTHelper] = {}
         for rt in self._engine.reconstruction_trees():
             engine_helpers.update(rt.helpers)

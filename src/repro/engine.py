@@ -68,6 +68,10 @@ class StepEvent:
     #: The measurement taken after this move, when the session's cadence hit
     #: (``None`` for the steps in between).
     report: Optional[GuaranteeReport] = None
+    #: Communication cost of this deletion's repair, when the healer accounts
+    #: for it (the distributed healer's ``DeletionCostReport``; ``None`` for
+    #: insertions and for healers without message accounting).
+    cost_report: Optional[object] = None
 
 
 @dataclass
@@ -214,6 +218,14 @@ class AttackSession:
             report = None
             if self.interval > 0 and self._steps % self.interval == 0:
                 report = self.measure_now(event.step)
+            cost_report = None
+            if event.kind == "delete":
+                # Healers with per-deletion communication accounting (the
+                # distributed simulator) append one report per repair; attach
+                # the one belonging to this move to its event.
+                reports = getattr(self.healer, "cost_reports", None)
+                if reports and reports[-1].deleted_node == event.node:
+                    cost_report = reports[-1]
             yield StepEvent(
                 step=event.step,
                 kind=event.kind,
@@ -223,6 +235,7 @@ class AttackSession:
                 deletions=self._deletions,
                 insertions=self._insertions,
                 report=report,
+                cost_report=cost_report,
             )
         self.finalize(start=start)
 

@@ -235,17 +235,26 @@ def experiment_e5_repair_cost(scale: str = "full") -> Section:
     deletions = int(params["cost_deletions"])
     graph = make_graph("power_law", n, seed=5)
     healer = DistributedForgivingGraph.from_graph(graph)
-    strategy = MaxDegreeDeletion()
-    for _ in range(deletions):
-        victim = strategy.choose_victim(healer)
-        if victim is None or healer.num_alive <= 3:
-            break
-        healer.delete(victim)
+    # The distributed healer is driven through the unified engine like every
+    # other workload; each deletion's StepEvent carries its DeletionCostReport.
+    schedule = deletion_only_schedule(
+        steps=deletions, strategy=MaxDegreeDeletion(), min_survivors=3
+    )
+    session = AttackSession(
+        healer,
+        schedule,
+        healer_name="distributed_forgiving_graph",
+        measure_every=0,
+        measure_final=False,
+    )
+    cost_reports = [
+        event.cost_report for event in session.stream() if event.cost_report is not None
+    ]
     healer.verify_consistency()
 
     # Bucket the per-deletion reports by victim degree so the d-dependence is visible.
     buckets: Dict[int, List] = {}
-    for report in healer.cost_reports:
+    for report in cost_reports:
         buckets.setdefault(report.degree, []).append(report)
     rows: List[Row] = []
     for degree in sorted(buckets):

@@ -128,6 +128,16 @@ class TestSchedules:
         schedule.run(healer)
         assert healer.num_alive >= 3
 
+    def test_pure_deletion_schedule_stops_at_floor_without_inserting(self):
+        """A delete_probability=1.0 schedule ends at the survivor floor; it
+        must never fall back to insertions (that would be a churn run)."""
+        healer = ForgivingGraph.from_graph(make_graph("ring", 8))
+        schedule = deletion_only_schedule(steps=50, seed=0, min_survivors=3)
+        events = schedule.run(healer)
+        assert all(event.kind == "delete" for event in events)
+        assert len(events) == 5  # 8 nodes down to the floor of 3, then stop
+        assert healer.num_alive == 3
+
     def test_churn_schedule_mixes_kinds(self, healer):
         schedule = churn_schedule(steps=40, delete_probability=0.5, seed=1)
         events = schedule.run(healer)

@@ -80,6 +80,28 @@ class TestNetworkTopology:
         net.remove_processor("b")
         assert net.links() == set()
 
+    def test_disconnect_tolerates_removed_endpoints(self):
+        net = Network()
+        for node in "ab":
+            net.add_processor(node)
+        net.connect("a", "b")
+        net.remove_processor("b")
+        net.disconnect("a", "b")  # no-op, no raise
+        assert not net.are_linked("a", "b")
+
+    def test_neighbors_and_links_use_canonical_natural_order(self):
+        """NodeKey ordering: ints compare numerically (2 < 10), not by repr."""
+        net = Network()
+        for node in (1, 2, 10):
+            net.add_processor(node)
+        net.connect(1, 10)
+        net.connect(1, 2)
+        assert net.neighbors(1) == [2, 10]
+        assert (2, 10) not in net.links()
+        net.connect(10, 2)
+        assert (2, 10) in net.links()
+        assert net.num_links() == 3
+
 
 class TestMessageDelivery:
     def make_pair(self):
@@ -140,6 +162,29 @@ class TestMessageDelivery:
         net.send(Probe(sender="a", receiver="b"))
         net.remove_processor("b")
         assert net.deliver_round() == 0
+
+    def test_repair_window_isolates_its_traffic(self):
+        net = self.make_pair()
+        net.send(Probe(sender="a", receiver="b"))
+        net.deliver_round()  # pre-window traffic
+        window = net.begin_repair()
+        net.send(Probe(sender="b", receiver="a"))
+        net.deliver_round()
+        closed = net.end_repair()
+        assert closed is window
+        assert closed.messages == 1
+        assert closed.rounds == 1
+        assert dict(closed.messages_by_node) == {"b": 1}
+        assert closed.max_messages_per_node() == 1
+        assert closed.max_message_bits > 0
+        # Cumulative counters still cover the whole run.
+        assert net.metrics.total_messages == 2
+        assert net.metrics.total_rounds == 2
+        # Traffic after end_repair lands only on the cumulative counters.
+        net.send(Probe(sender="a", receiver="b"))
+        net.deliver_round()
+        assert closed.messages == 1
+        assert net.metrics.total_messages == 3
 
 
 class TestProcessorState:
