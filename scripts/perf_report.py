@@ -47,9 +47,18 @@ Workloads
     A max-degree deletion attack on the message-passing simulator.  Seed
     side: the pre-refactor O(n + m)-per-deletion accounting (full graph
     copies for planning, full-diff link sync, full metrics snapshots); fast
-    side: the delta-driven link sync and per-repair metrics window.  Both
-    sides replay identical repairs, so the per-deletion message/bit/round
-    reports must agree exactly.
+    side: message-driven link maintenance and the per-repair metrics window.
+    Both sides replay identical repairs, so the per-deletion
+    message/bit/round reports must agree exactly.
+
+``message_native_merge``
+    Correctness gate (PR 4), not a speedup: a deletion attack with the
+    reference engine's merge outcome *quarantined* (reading it raises), so
+    the healed structure provably comes from messages alone; asserts the
+    Lemma 4 budgets still hold without the oracle, that the message-built
+    state equals the oracle under a lossless network, and that seeded
+    drop/reorder fault schedules reconverge to the oracle (the
+    ``--fault-schedule`` presets; the CI matrix runs one preset per job).
 """
 
 from __future__ import annotations
@@ -78,8 +87,8 @@ from repro.adversary.strategies import (
 from repro.analysis import stretch_report, stretch_report_reference
 from repro.analysis.fastpaths import HAVE_SCIPY
 from repro.distributed import DistributedForgivingGraph
+from repro.distributed.faults import FAULT_PRESETS, fault_schedule
 from repro.distributed.metrics import DeletionCostReport
-from repro.distributed.protocol import execute_repair, plan_repair
 from repro.experiments import AttackConfig, ExperimentConfig, SweepTask, run_sweep
 from repro.generators import GraphSpec, make_graph
 
@@ -150,32 +159,27 @@ class SeedAccountingDistributedGraph(DistributedForgivingGraph):
 
     The seed's ``delete()`` paid O(n + m) of measurement per repair: full
     graph copies while planning, a full-counter ``snapshot()``, the full-diff
-    ``_sync_links_reference`` (rebuilds the healed graph and diffs the whole
-    edge set), another healed-graph copy for the BT_v cleanup, and an
-    all-nodes per-sender delta.  Repairs themselves are identical on both
-    sides, so the comparison isolates the accounting overhead the delta
-    path removed.  It also retains the seed's cumulative ``max_message_bits``
-    (a later cheap deletion inherited the run-wide maximum — the bug the
-    per-repair window fixed), so that field is excluded from the equivalence
-    check.
+    oracle link resync (``_sync_links_reference`` rebuilds the healed graph
+    and diffs the whole edge/source set), another healed-graph copy for the
+    BT_v cleanup, and an all-nodes per-sender delta.  Repairs themselves are
+    identical on both sides (this subclass delegates the actual repair to
+    the stock message-native path), so the comparison isolates the
+    accounting overhead the incremental path removed.  It also retains the
+    seed's cumulative ``max_message_bits`` (a later cheap deletion inherited
+    the run-wide maximum — the bug the per-repair window fixed), so that
+    field is excluded from the equivalence check.
     """
 
     def delete(self, node):
         engine = self._engine
-        degree = engine.g_prime_degree(node)
         engine.actual_graph()  # seed planning copied both graphs
         engine.g_prime_view()
-        plan = plan_repair(engine, node)
         before = self.network.metrics.snapshot()
 
-        engine_report = engine.delete(node)
+        fast_report = super().delete(node)
 
-        if self.network.has_processor(node):
-            self.network.remove_processor(node)
-        self._sync_links_reference()
-
-        rounds = execute_repair(self.network, engine, plan, engine_report)
         engine.actual_graph()  # the seed BT_v cleanup's full healed-graph copy
+        self._sync_links_reference()  # the seed's full-diff link sync
 
         after = self.network.metrics
         per_node_delta = {
@@ -185,17 +189,17 @@ class SeedAccountingDistributedGraph(DistributedForgivingGraph):
         }
         report = DeletionCostReport(
             deleted_node=node,
-            degree=degree,
+            degree=fast_report.degree,
             n_ever=engine.nodes_ever,
             messages=after.total_messages - before.total_messages,
             bits=after.total_bits - before.total_bits,
-            rounds=rounds,
+            rounds=fast_report.rounds,
             max_message_bits=after.max_message_bits,
             max_messages_per_node=max(per_node_delta.values(), default=0),
-            helpers_created=engine_report.helpers_created,
-            helpers_released=engine_report.helpers_released,
+            helpers_created=fast_report.helpers_created,
+            helpers_released=fast_report.helpers_released,
         )
-        self.cost_reports.append(report)
+        self.cost_reports[-1] = report
         return report
 
 
@@ -438,22 +442,107 @@ def bench_distributed_repair(
     }
 
 
+def bench_message_native(
+    n: int,
+    fault_presets: List[str],
+    deletions: Optional[int] = None,
+    seed: int = 20090214,
+) -> Dict[str, object]:
+    """The message-native merge gate: correctness without the oracle.
+
+    Runs a max-degree deletion attack with the engine's merge outcome
+    *quarantined* (any read raises), so passing proves the healed structure
+    was computed from message payloads alone; then checks the Lemma 4
+    budgets, exact lossless equivalence with the oracle, and — per requested
+    fault preset — that seeded drop/delay/reorder schedules reconverge to
+    the oracle after every repair.
+    """
+    if deletions is None:
+        deletions = n // 2
+    graph = make_graph("power_law", n, seed=seed)
+
+    def attack(healer) -> None:
+        strategy = MaxDegreeDeletion()
+        for _ in range(deletions):
+            victim = strategy.choose_victim(healer)
+            if victim is None or healer.num_alive <= 3:
+                break
+            healer.delete(victim)
+
+    lossless = DistributedForgivingGraph.from_graph(graph, quarantine_oracle=True)
+    attack(lossless)
+    lossless.verify_consistency()  # message-built state == oracle, exactly
+    within_budgets = all(
+        r.within_message_budget and r.within_round_budget for r in lossless.cost_reports
+    )
+
+    fault_rows: List[Dict[str, object]] = []
+    for preset in fault_presets:
+        faulty = DistributedForgivingGraph.from_graph(
+            graph,
+            fault_schedule=fault_schedule(preset, seed=seed),
+            quarantine_oracle=True,
+        )
+        attack(faulty)
+        consistent = True
+        try:
+            faulty.verify_consistency()
+        except Exception:
+            consistent = False
+        fault_rows.append(
+            {
+                "preset": preset,
+                "repairs": len(faulty.cost_reports),
+                "dropped": sum(r.dropped_messages for r in faulty.cost_reports),
+                "retransmissions": sum(r.retransmissions for r in faulty.cost_reports),
+                "reconvergence_rounds": sum(
+                    r.reconvergence_rounds for r in faulty.cost_reports
+                ),
+                "all_converged": all(r.converged for r in faulty.cost_reports),
+                "consistent_with_oracle": consistent,
+            }
+        )
+
+    return {
+        "n": n,
+        "deletions": len(lossless.cost_reports),
+        "messages": sum(r.messages for r in lossless.cost_reports),
+        "oracle_free": True,  # the quarantine would have raised otherwise
+        "within_lemma4_budgets": within_budgets,
+        "lossless_matches_oracle": True,  # verify_consistency would have raised
+        "fault_schedules": fault_rows,
+        "ok": within_budgets
+        and all(
+            row["all_converged"] and row["consistent_with_oracle"] for row in fault_rows
+        ),
+    }
+
+
 # --------------------------------------------------------------------------- #
 # report
 # --------------------------------------------------------------------------- #
-def build_report(quick: bool = False, smoke: bool = False) -> Dict[str, object]:
+def build_report(
+    quick: bool = False,
+    smoke: bool = False,
+    fault_presets: Optional[List[str]] = None,
+) -> Dict[str, object]:
+    if fault_presets is None:
+        fault_presets = ["drop", "reorder"]
     if smoke:
         sizes = [300]
         sweep_sizes = [120]
         distributed_sizes = [150]
+        message_native_sizes = [80]
     elif quick:
         sizes = [100, 1000]
         sweep_sizes = [400]
         distributed_sizes = [100, 1000]
+        message_native_sizes = [100]
     else:
         sizes = [100, 1000, 5000]
         sweep_sizes = [400, 1000]
         distributed_sizes = [100, 1000]
+        message_native_sizes = [100, 400]
 
     stretch_rows: List[Dict[str, object]] = []
     churn_rows: List[Dict[str, object]] = []
@@ -497,6 +586,20 @@ def build_report(quick: bool = False, smoke: bool = False) -> Dict[str, object]:
             f"-> {row['speedup']}x"
         )
         distributed_rows.append(row)
+    message_native_rows: List[Dict[str, object]] = []
+    for n in message_native_sizes:
+        print(f"[message_native_merge] n={n} faults={','.join(fault_presets)} ...", flush=True)
+        row = bench_message_native(n, fault_presets)
+        print(
+            f"  {row['deletions']} oracle-free repairs, budgets "
+            f"{'ok' if row['within_lemma4_budgets'] else 'VIOLATED'}; "
+            + "; ".join(
+                f"{f['preset']}: {f['retransmissions']} retrans, "
+                f"converged={f['all_converged']}"
+                for f in row["fault_schedules"]
+            )
+        )
+        message_native_rows.append(row)
 
     if smoke:
         # CI guard: every fast path at least breaks even on a tiny workload.
@@ -510,6 +613,7 @@ def build_report(quick: bool = False, smoke: bool = False) -> Dict[str, object]:
                 r["speedup"] >= TARGET_SMOKE_SPEEDUP and r["within_lemma4_budgets"]
                 for r in distributed_rows
             ),
+            "message_native_smoke": all(r["ok"] for r in message_native_rows),
         }
         targets = {"smoke_min_speedup": TARGET_SMOKE_SPEEDUP}
     else:
@@ -536,6 +640,7 @@ def build_report(quick: bool = False, smoke: bool = False) -> Dict[str, object]:
                 r["speedup"] >= TARGET_DISTRIBUTED_SPEEDUP_N1000 and r["within_lemma4_budgets"]
                 for r in distributed_at_scale
             ),
+            "message_native_merge": all(r["ok"] for r in message_native_rows),
         }
         targets = {
             "stretch_n1000_min_speedup": TARGET_STRETCH_SPEEDUP_N1000,
@@ -546,7 +651,7 @@ def build_report(quick: bool = False, smoke: bool = False) -> Dict[str, object]:
         }
 
     return {
-        "schema": "bench_perf/v3",
+        "schema": "bench_perf/v4",
         "generated_by": "scripts/perf_report.py" + (" --smoke" if smoke else ""),
         "scipy_backend": HAVE_SCIPY,
         "cpus": os.cpu_count(),
@@ -555,6 +660,7 @@ def build_report(quick: bool = False, smoke: bool = False) -> Dict[str, object]:
         "adversary_step": adversary_rows,
         "parallel_sweep": parallel_rows,
         "distributed_repair": distributed_rows,
+        "message_native_merge": message_native_rows,
         "targets": targets,
         "targets_met": targets_met,
     }
@@ -576,7 +682,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="where to write the JSON report "
         "(default: BENCH_perf.json at repo root; /tmp for --smoke)",
     )
+    parser.add_argument(
+        "--fault-schedule",
+        default="drop,reorder",
+        help="comma-separated fault presets the message_native_merge gate "
+        f"replays (available: {', '.join(sorted(FAULT_PRESETS))}); the CI "
+        "matrix runs one preset per job",
+    )
     args = parser.parse_args(argv)
+
+    fault_presets = [p.strip() for p in args.fault_schedule.split(",") if p.strip()]
+    unknown = [p for p in fault_presets if p not in FAULT_PRESETS]
+    if unknown:
+        parser.error(f"unknown fault preset(s) {unknown}; available: {sorted(FAULT_PRESETS)}")
 
     output = args.output
     if output is None:
@@ -584,7 +702,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             Path("/tmp/bench_smoke.json") if args.smoke else REPO_ROOT / "BENCH_perf.json"
         )
 
-    report = build_report(quick=args.quick, smoke=args.smoke)
+    report = build_report(quick=args.quick, smoke=args.smoke, fault_presets=fault_presets)
     output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {output}")
     if not all(report["targets_met"].values()):

@@ -48,12 +48,16 @@ class SurvivorDegreeTracker:
         scans exactly.
     """
 
-    __slots__ = ("_largest", "_heap", "_cursor", "_seq", "_healer_ref", "_keys")
+    __slots__ = ("_largest", "_heap", "_cursor", "_journal_cursor", "_seq", "_healer_ref", "_keys")
 
     def __init__(self, largest: bool = True) -> None:
         self._largest = largest
         self._heap: List[Tuple[int, NodeKey, int, NodeId]] = []
         self._cursor = 0
+        #: Registered journal cursor: pins the undrained suffix against
+        #: :meth:`ForgivingGraph.compact_journals` (held weakly by the
+        #: journal, so a dropped tracker stops blocking compaction).
+        self._journal_cursor = None
         self._seq = 0
         self._healer_ref: Optional[weakref.ref] = None
         # NodeKeys are immutable per node; cache them so repeated journal
@@ -95,7 +99,10 @@ class SurvivorDegreeTracker:
         self._healer_ref = weakref.ref(healer)
         self._seq = 0
         self._keys.clear()
-        self._cursor = len(healer.degree_touch_log)
+        log = healer.degree_touch_log
+        self._cursor = len(log)
+        register = getattr(log, "register_cursor", None)
+        self._journal_cursor = register(self._cursor) if register is not None else None
         graph = actual_view_of(healer)
         degree = graph.degree
         entries: List[Tuple[int, NodeKey, int, NodeId]] = []
@@ -115,6 +122,8 @@ class SurvivorDegreeTracker:
         # created edge source); one push per distinct node per drain suffices.
         touched = set(log[self._cursor : len(log)])
         self._cursor = len(log)
+        if self._journal_cursor is not None:
+            self._journal_cursor.advance_to(self._cursor)
         graph = actual_view_of(healer)
         degree = graph.degree
         is_alive = healer.is_alive

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Sequence, Union
+from typing import Callable, Iterator, List, Optional, Union
 
 import numpy as np
 

@@ -30,7 +30,7 @@ paths pick identical victims at every step.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 import networkx as nx
 import numpy as np

@@ -11,9 +11,8 @@ from any healer exposing the shared protocol (``actual_graph`` /
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-import networkx as nx
 
 from ..core.ports import NodeId
 from ..core.views import healer_views

@@ -18,11 +18,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
-from ..core.ports import NodeId
 from .bounds import degree_bound, stretch_bound
 from .degrees import degree_report
 from .fastpaths import HealerSnapshot, MeasurementSession, snapshot_healer

@@ -24,15 +24,17 @@ from .unmerged_rt import UnmergedRTHealing
 __all__ = ["available_healers", "make_healer"]
 
 
-_HEALERS: Dict[str, Callable[[nx.Graph], object]] = {
-    "forgiving_graph": lambda graph: ForgivingGraph.from_graph(graph),
-    "distributed_forgiving_graph": lambda graph: DistributedForgivingGraph.from_graph(graph),
-    "forgiving_tree": lambda graph: ForgivingTreeHealing.from_graph(graph),
-    "no_heal": lambda graph: NoHealing.from_graph(graph),
-    "cycle_heal": lambda graph: CycleHealing.from_graph(graph),
-    "clique_heal": lambda graph: CliqueHealing.from_graph(graph),
-    "surrogate_heal": lambda graph: SurrogateHealing.from_graph(graph),
-    "unmerged_rt": lambda graph: UnmergedRTHealing.from_graph(graph),
+_HEALERS: Dict[str, Callable[..., object]] = {
+    "forgiving_graph": lambda graph, **options: ForgivingGraph.from_graph(graph, **options),
+    "distributed_forgiving_graph": lambda graph, **options: DistributedForgivingGraph.from_graph(
+        graph, **options
+    ),
+    "forgiving_tree": lambda graph, **options: ForgivingTreeHealing.from_graph(graph, **options),
+    "no_heal": lambda graph, **options: NoHealing.from_graph(graph, **options),
+    "cycle_heal": lambda graph, **options: CycleHealing.from_graph(graph, **options),
+    "clique_heal": lambda graph, **options: CliqueHealing.from_graph(graph, **options),
+    "surrogate_heal": lambda graph, **options: SurrogateHealing.from_graph(graph, **options),
+    "unmerged_rt": lambda graph, **options: UnmergedRTHealing.from_graph(graph, **options),
 }
 
 
@@ -41,7 +43,7 @@ def available_healers() -> List[str]:
     return sorted(_HEALERS)
 
 
-def make_healer(name: str, graph: nx.Graph):
+def make_healer(name: str, graph: nx.Graph, **options):
     """Instantiate the named healer on a copy of ``graph``.
 
     ``"forgiving_graph"`` builds the paper's algorithm
@@ -50,6 +52,11 @@ def make_healer(name: str, graph: nx.Graph):
     (:class:`repro.distributed.DistributedForgivingGraph`, whose deletions
     additionally yield Lemma 4 cost reports); every other name builds the
     corresponding baseline from :mod:`repro.baselines`.
+
+    Extra keyword ``options`` are forwarded to the healer's constructor
+    (e.g. ``fault_schedule=...`` for the distributed healer); a healer that
+    does not understand an option raises its natural ``TypeError`` rather
+    than ignoring it silently.
     """
     try:
         factory = _HEALERS[name]
@@ -57,4 +64,4 @@ def make_healer(name: str, graph: nx.Graph):
         raise ConfigurationError(
             f"unknown healer {name!r}; available: {', '.join(available_healers())}"
         ) from None
-    return factory(graph.copy())
+    return factory(graph.copy(), **options)

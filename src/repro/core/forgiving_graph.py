@@ -42,8 +42,8 @@ Typical usage::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
@@ -54,6 +54,7 @@ from .errors import (
     InvariantViolationError,
     UnknownNodeError,
 )
+from .journal import Journal
 from .ports import NodeId, Port
 from .reconstruction_tree import (
     ReconstructionTree,
@@ -145,18 +146,17 @@ class ForgivingGraph:
         # Degree-touch journal --------------------------------------------------------------
         # Append-only log of nodes whose healed degree may have changed, fed by
         # the same edge-delta hooks that maintain ``G``.  Incremental consumers
-        # (the adversary's heap trackers, see repro.adversary.incremental) keep
-        # a cursor into this list and refresh only the touched nodes, so their
+        # (the adversary's heap trackers, see repro.adversary.incremental)
+        # register a cursor and refresh only the touched nodes, so their
         # per-move cost is proportional to the repair delta instead of O(n).
-        self._degree_touch_log: List[NodeId] = []
+        self._degree_touch_log: Journal[NodeId] = Journal()
         # Edge-delta journal ----------------------------------------------------------------
         # Append-only log of healed-graph edge changes, written by the same
         # hooks: one (added, u, v) entry per edge of ``G`` that appears
         # (added=True) or disappears (added=False).  Mirrors the degree-touch
-        # journal design: consumers (the distributed layer's link sync) keep a
-        # cursor and apply exactly the delta of the last repair, never a full
-        # edge-set diff.
-        self._edge_delta_log: List[Tuple[bool, NodeId, NodeId]] = []
+        # journal design: consumers register a cursor and apply exactly the
+        # delta of the last operation, never a full edge-set diff.
+        self._edge_delta_log: Journal[Tuple[bool, NodeId, NodeId]] = Journal()
         # Auditing -------------------------------------------------------------------------
         self.events: List[HealingEvent] = []
         self._step = 0
@@ -404,29 +404,51 @@ class ForgivingGraph:
             self._edge_mult[key] = count - 1
 
     @property
-    def degree_touch_log(self) -> Sequence[NodeId]:
+    def degree_touch_log(self) -> Journal[NodeId]:
         """Append-only journal of nodes whose healed degree may have changed.
 
         Entries are appended whenever an edge of the incrementally-maintained
         healed graph ``G`` appears or disappears (and when a node is inserted,
         so isolated newcomers are observable too).  Consumers must treat the
-        log as read-only and track their own cursor; the log is never
-        truncated during the lifetime of the engine.
+        log as read-only, track their own absolute cursor, and *register* it
+        (:meth:`repro.core.journal.Journal.register_cursor`) so that
+        :meth:`compact_journals` retains the suffix they still need.
         """
         return self._degree_touch_log
 
     @property
-    def edge_delta_log(self) -> Sequence[Tuple[bool, NodeId, NodeId]]:
+    def edge_delta_log(self) -> Journal[Tuple[bool, NodeId, NodeId]]:
         """Append-only journal of healed-graph edge changes.
 
         One ``(added, u, v)`` entry per edge of ``G`` that appeared
         (``added=True``) or disappeared (``added=False``), written by the same
         incremental hooks that maintain ``G`` — so the suffix written during
-        one repair *is* that repair's exact edge delta.  Consumers (the
-        distributed layer's link sync) keep their own cursor, like with
-        :attr:`degree_touch_log`; the log is never truncated.
+        one repair *is* that repair's exact edge delta.  Consumers keep (and
+        register) their own cursor, like with :attr:`degree_touch_log`.
+
+        No in-tree consumer registers at the moment: the distributed layer's
+        link sync, its original consumer, became message-native in PR 4.
+        The journal remains the supported surface for external/future
+        incremental edge consumers, and since compaction drops everything
+        nobody registered for, an unconsumed journal costs only the appends
+        since the last :meth:`compact_journals` call.
         """
         return self._edge_delta_log
+
+    def compact_journals(self) -> Dict[str, int]:
+        """Truncate the journal prefixes every registered consumer has drained.
+
+        The journals are append-only per engine; without compaction a
+        multi-million-step session retains every entry forever.  Consumers
+        that registered a cursor pin their undrained suffix; history nobody
+        registered for is dropped.  Returns the number of entries dropped
+        per journal.  Called by :class:`repro.engine.AttackSession` on its
+        measurement cadence, and safe to call at any time.
+        """
+        return {
+            "degree_touch": self._degree_touch_log.compact(),
+            "edge_delta": self._edge_delta_log.compact(),
+        }
 
     def has_actual_edge(self, u: NodeId, v: NodeId) -> bool:
         """True when the healed network ``G`` currently has the edge ``(u, v)`` (O(1))."""

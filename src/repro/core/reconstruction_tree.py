@@ -35,7 +35,7 @@ import itertools
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from .errors import HaftStructureError, InvariantViolationError
-from .haft import is_complete, validate_haft
+from .haft import validate_haft
 from .ports import NodeId, Port, port_order_key
 
 __all__ = [

@@ -7,27 +7,38 @@ communication rounds (Figure 1's success metrics 3 and 4, bounded by
 Lemma 4).  This package provides
 
 * :mod:`repro.distributed.messages` — the message vocabulary of the protocol,
+* :mod:`repro.distributed.merge` — the message-native merge: piece
+  descriptors that travel in messages, the read-only strip planner, and
+  ``ComputeHaft`` on descriptors alone,
 * :mod:`repro.distributed.network` — a synchronous round-based
-  message-passing simulator with per-processor counters,
-* :mod:`repro.distributed.processor` — per-processor state: one
-  :class:`EdgeRecord` per ``G'`` edge with exactly the fields of Table 1,
-* :mod:`repro.distributed.protocol` — the repair protocol driving the
-  message exchanges (notification, BT_v formation, probing for primary
-  roots, bottom-up merging),
+  message-passing simulator with sourced links, repair scaffolding,
+  optional fault injection and per-processor counters,
+* :mod:`repro.distributed.faults` — seeded per-link drop/delay/reorder
+  policies and the named presets shared by E11, CI and the tests,
+* :mod:`repro.distributed.processor` — per-processor state (one
+  :class:`EdgeRecord` per ``G'`` edge with exactly the fields of Table 1)
+  plus the reactive repair behaviour driven by received messages,
+* :mod:`repro.distributed.protocol` — planning (each participant's
+  pre-failure local knowledge) and the synchronous round loop
+  (notification, BT_v formation, probing for primary roots, leader merge
+  and dissemination),
 * :mod:`repro.distributed.simulator` — :class:`DistributedForgivingGraph`,
   a drop-in healer that runs every repair through the message-passing
-  substrate and reports per-deletion communication costs.
+  substrate, reports per-deletion communication costs, and reconverges
+  after injected faults.
 
-The cost accounting is incremental end to end: link sync applies the
-engine's edge-delta journal and per-deletion reports come from a per-repair
-metrics window, so measuring a repair costs O(repair) — never O(n + m) —
-keeping the accounting within the protocol's own Lemma 4 asymptotics.
-
-The structural outcome of each repair is cross-checkable against the
-centralized reference engine (:class:`repro.core.ForgivingGraph`); the tests
-in ``tests/test_distributed_*`` do exactly that.
+The merge is message-native: the healed structure is decided by the merge
+leader from the descriptors that physically arrived and applied by owners
+from the instructions they physically received — so faulty links make
+processors disagree, and :meth:`DistributedForgivingGraph.reconverge`
+recovers.  The centralized reference engine is an *oracle*: the tests in
+``tests/test_distributed_*`` assert the message-built state converges to
+it exactly.  Cost accounting stays O(repair) end to end (per-repair metrics
+window, message-driven link sources), within Lemma 4's own asymptotics.
 """
 
+from .faults import FAULT_PRESETS, FaultSchedule, LinkFaultPolicy, fault_schedule
+from .merge import MergeOutcome, PieceSummary, merge_summaries, plan_strip
 from .messages import (
     AnchorLink,
     DeletionNotice,
@@ -41,8 +52,8 @@ from .messages import (
 )
 from .metrics import DeletionCostReport, MetricsWindow, NetworkMetrics
 from .network import Network
-from .processor import EdgeRecord, Processor
-from .simulator import DistributedForgivingGraph
+from .processor import EdgeRecord, Processor, RepairContext
+from .simulator import DistributedForgivingGraph, ReconvergenceReport
 
 __all__ = [
     "Message",
@@ -57,8 +68,18 @@ __all__ = [
     "Network",
     "Processor",
     "EdgeRecord",
+    "RepairContext",
     "NetworkMetrics",
     "MetricsWindow",
     "DeletionCostReport",
     "DistributedForgivingGraph",
+    "ReconvergenceReport",
+    "FaultSchedule",
+    "LinkFaultPolicy",
+    "fault_schedule",
+    "FAULT_PRESETS",
+    "PieceSummary",
+    "MergeOutcome",
+    "merge_summaries",
+    "plan_strip",
 ]

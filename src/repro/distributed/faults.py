@@ -1,0 +1,166 @@
+"""Fault injection for the message-passing substrate.
+
+The paper's model assumes reliable synchronous links; self-stabilizing work
+(Devismes et al.'s silent protocols, the PODS heterogeneous-overlay line)
+treats the interesting regime instead: messages may be *dropped*, *delayed*
+or *reordered*, and the protocol must detect the resulting inconsistency and
+reconverge.  This module provides the per-link fault policies the
+:class:`~repro.distributed.network.Network` applies at delivery time:
+
+* :class:`LinkFaultPolicy` — probabilities for one link (or the default),
+* :class:`FaultSchedule` — a seeded RNG plus policies; deterministic given
+  ``(seed, message sequence)``, so every faulty run is replayable,
+* :func:`fault_schedule` — named presets (``"drop"``, ``"delay"``,
+  ``"reorder"``, ``"chaos"``) used by the E11 experiment, the CI
+  fault-schedule smoke and the tests.
+
+Faults apply only to protocol traffic travelling through
+:meth:`Network.deliver_round`; the model-level notifications of Figure 1
+(deletion/insertion awareness) are delivered out of band and stay exempt,
+matching the paper's assumption that the adversary's moves themselves are
+observed reliably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+import numpy as np
+
+from ..core.ports import NodeId
+
+__all__ = ["LinkFaultPolicy", "FaultSchedule", "fault_schedule", "FAULT_PRESETS"]
+
+
+@dataclass(frozen=True)
+class LinkFaultPolicy:
+    """Fault probabilities for one link (all zero = reliable link)."""
+
+    #: Probability that a message on this link is silently dropped.
+    drop: float = 0.0
+    #: Probability that a message is delayed by 1..``max_delay`` extra rounds
+    #: (judged once, at send time — the delay is bounded by ``max_delay``).
+    delay: float = 0.0
+    #: Largest delay in rounds a delayed message can suffer.
+    max_delay: int = 3
+    #: Probability that a message on this link loses its delivery slot: all
+    #: such messages of a round are delivered in a shuffled order relative
+    #: to each other (within-round reordering).
+    reorder: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "delay", "reorder"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} probability must lie in [0, 1], got {value}")
+        if self.max_delay < 1:
+            raise ValueError("max_delay must be at least 1 round")
+
+    @property
+    def is_reliable(self) -> bool:
+        return self.drop == 0.0 and self.delay == 0.0 and self.reorder == 0.0
+
+
+RELIABLE = LinkFaultPolicy()
+
+
+class FaultSchedule:
+    """Seeded per-link fault decisions, deterministic and replayable.
+
+    Parameters
+    ----------
+    default:
+        Policy applied to links without a specific entry.
+    per_link:
+        Optional overrides keyed by the (unordered) endpoint pair.
+    seed:
+        RNG seed; the same seed and message sequence reproduce the same
+        drops/delays/shuffles exactly, which is what makes the CI
+        fault-schedule smoke and the reconvergence tests deterministic.
+    """
+
+    def __init__(
+        self,
+        default: LinkFaultPolicy = RELIABLE,
+        per_link: Optional[Dict[Tuple[NodeId, NodeId], LinkFaultPolicy]] = None,
+        seed: int = 0,
+        name: str = "custom",
+    ) -> None:
+        self.default = default
+        self.per_link: Dict[FrozenSet[NodeId], LinkFaultPolicy] = {
+            frozenset(pair): policy for pair, policy in (per_link or {}).items()
+        }
+        self.seed = seed
+        self.name = name
+        self._rng = np.random.default_rng(seed)
+        # Observability: how often each fault actually fired.
+        self.dropped = 0
+        self.delayed = 0
+        self.reordered_batches = 0
+
+    def policy_for(self, sender: NodeId, receiver: NodeId) -> LinkFaultPolicy:
+        return self.per_link.get(frozenset((sender, receiver)), self.default)
+
+    def judge(self, sender: NodeId, receiver: NodeId) -> int:
+        """Fate of one message: ``-1`` = drop, ``0`` = deliver now, ``k>0`` = delay ``k`` rounds."""
+        policy = self.policy_for(sender, receiver)
+        if policy.is_reliable:
+            return 0
+        roll = self._rng.random()
+        if roll < policy.drop:
+            self.dropped += 1
+            return -1
+        if roll < policy.drop + policy.delay:
+            self.delayed += 1
+            return int(self._rng.integers(1, policy.max_delay + 1))
+        return 0
+
+    def shuffle_round(self, links: "list[Tuple[NodeId, NodeId]]") -> Optional[np.ndarray]:
+        """A permutation of this round's delivery order, or ``None``.
+
+        ``links`` is the (sender, receiver) pair of each message in the
+        batch.  Every message whose link's policy rolls a reorder loses its
+        slot; the displaced messages are delivered in shuffled order among
+        themselves, so reordering respects the per-link policies.
+        """
+        if len(links) < 2:
+            return None
+        movable = []
+        for index, (sender, receiver) in enumerate(links):
+            policy = self.policy_for(sender, receiver)
+            if policy.reorder > 0.0 and self._rng.random() < policy.reorder:
+                movable.append(index)
+        if len(movable) < 2:
+            return None
+        self.reordered_batches += 1
+        permutation = np.arange(len(links))
+        permutation[movable] = permutation[self._rng.permutation(movable)]
+        return permutation
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultSchedule({self.name!r}, seed={self.seed}, default={self.default})"
+
+
+#: Named presets: the vocabulary shared by experiment E11, the CI
+#: fault-schedule matrix and the reconvergence tests.
+FAULT_PRESETS: Dict[str, LinkFaultPolicy] = {
+    "lossless": RELIABLE,
+    "drop": LinkFaultPolicy(drop=0.15),
+    "delay": LinkFaultPolicy(delay=0.25, max_delay=4),
+    "reorder": LinkFaultPolicy(reorder=0.5),
+    "chaos": LinkFaultPolicy(drop=0.1, delay=0.15, max_delay=3, reorder=0.3),
+}
+
+
+def fault_schedule(preset: str, seed: int = 0) -> Optional[FaultSchedule]:
+    """Build the named preset's schedule (``None`` for ``"lossless"``)."""
+    try:
+        policy = FAULT_PRESETS[preset]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault preset {preset!r}; available: {sorted(FAULT_PRESETS)}"
+        ) from None
+    if policy.is_reliable:
+        return None
+    return FaultSchedule(default=policy, seed=seed, name=preset)

@@ -1,0 +1,408 @@
+"""The message-native merge: healed structure computed from message payloads.
+
+Until PR 4 the distributed simulator replayed the *communication pattern* of
+a repair faithfully but took the *structural outcome* (which helper nodes
+exist, who simulates them, the shape of the merged reconstruction tree) from
+the embedded centralized engine — processors could never disagree.  This
+module removes that substitution:
+
+* :class:`PieceSummary` is the O(1)-word descriptor of one surviving
+  complete tree — exactly the information the paper's ``FindPrRoots`` probes
+  collect (root identity, leaf count, height, representative port).  It is
+  the payload of :class:`~repro.distributed.messages.PrimaryRootReport` /
+  :class:`~repro.distributed.messages.PrimaryRootList` messages, so the
+  merge leader only ever knows the pieces whose descriptors actually
+  *arrived*.
+
+* :func:`plan_strip` is the read-only twin of
+  :func:`repro.core.reconstruction_tree.extract_surviving_complete_trees`:
+  it inspects an affected RT *before* the deletion is applied and lays out
+  the repair's local knowledge — which complete pieces survive (as
+  summaries), which helpers are released ("marked red"), and which virtual
+  edges break.  Each item is attributed to the processor that knows it
+  locally, so the protocol can hand every participant exactly its own
+  pre-failure knowledge and nothing more.
+
+* :func:`merge_summaries` replays ``ComputeHaft`` (Algorithm A.9) — the
+  binary-addition combine plus the representative mechanism — purely on
+  summaries, producing a :class:`MergeOutcome`: the new helper nodes (with
+  simulating port, children, parent, representative) and the healed-graph
+  link sources they imply.  Given the full summary set it is provably
+  identical to the engine's :func:`~repro.core.reconstruction_tree.compute_haft`
+  (both sort by ``(num_leaves, port_order_key(representative))`` and combine
+  identically); given a *partial* set — messages were dropped — it yields a
+  self-consistent but divergent structure, which is what the simulator's
+  reconvergence loop detects and repairs.
+
+The centralized engine is retained only as an *oracle*: the equivalence
+tests assert that the message-native structure converges to it.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.ports import NodeId, Port, port_order_key
+from ..core.reconstruction_tree import (
+    ReconstructionTree,
+    RTHelper,
+    RTLeaf,
+    RTNode,
+    representative_of,
+)
+
+__all__ = [
+    "PieceSummary",
+    "StripPlan",
+    "MergedHelper",
+    "MergeOutcome",
+    "plan_strip",
+    "merge_summaries",
+    "link_source_key",
+    "real_source_key",
+    "trivial_summary",
+]
+
+#: Identifier words one serialized :class:`PieceSummary` occupies in a
+#: message (root port, representative port, leaf count, height).
+SUMMARY_WORDS = 4
+
+
+def link_source_key(parent_port: Port, child_port: Port) -> Tuple[str, Port, Port]:
+    """The source key a virtual RT edge contributes to a healed-graph link.
+
+    Mirrors the engine's edge-multiplicity bookkeeping: one source per
+    parent-child edge of a reconstruction tree, identified by the ports of
+    the two virtual nodes (a helper's ``simulated_by`` or a leaf's port).
+    """
+    return ("rt", parent_port, child_port)
+
+
+def real_source_key(u: NodeId, v: NodeId) -> Tuple[str, FrozenSet[NodeId]]:
+    """The source key a surviving real ``G'`` edge contributes to its link."""
+    return ("real", frozenset((u, v)))
+
+
+@dataclass(frozen=True)
+class PieceSummary:
+    """O(1)-word descriptor of one surviving complete tree (a primary root)."""
+
+    #: Port identifying the piece's root: a leaf's port or a helper's
+    #: ``simulated_by`` port.
+    root_port: Port
+    #: True when the root is a leaf (trivial single-leaf piece).
+    root_is_leaf: bool
+    #: Number of leaves of the piece (a power of two — the piece is complete).
+    num_leaves: int
+    #: Height of the piece (0 for a leaf).
+    height: int
+    #: The piece's representative leaf port (the one free processor that will
+    #: simulate the next helper created on top of it).
+    representative: Port
+
+
+def trivial_summary(neighbor: NodeId, victim: NodeId) -> PieceSummary:
+    """The single-leaf piece a directly-connected neighbour contributes."""
+    port = Port(neighbor, victim)
+    return PieceSummary(
+        root_port=port, root_is_leaf=True, num_leaves=1, height=0, representative=port
+    )
+
+
+def summary_of(node: RTNode) -> PieceSummary:
+    """Summarize a complete subtree root (reads only O(1) cached counters)."""
+    if isinstance(node, RTLeaf):
+        return PieceSummary(
+            root_port=node.port,
+            root_is_leaf=True,
+            num_leaves=1,
+            height=0,
+            representative=node.port,
+        )
+    return PieceSummary(
+        root_port=node.simulated_by,
+        root_is_leaf=False,
+        num_leaves=node.num_leaves,
+        height=node.height,
+        representative=representative_of(node).port,
+    )
+
+
+@dataclass
+class StripPlan:
+    """Read-only strip of one affected RT: the repair's pre-failure knowledge."""
+
+    #: Summaries of the surviving complete pieces, in discovery order.
+    summaries: List[PieceSummary] = field(default_factory=list)
+    #: For each summary, the index into the RT's probe path of the spine
+    #: processor that reports it (deeper pieces need the probe to travel
+    #: further before their descriptor starts flowing back).
+    spine_positions: List[int] = field(default_factory=list)
+    #: Ports whose helper is released ("marked red"), grouped by the owning
+    #: processor — releasing is a local action triggered by the probe.
+    released_by_processor: Dict[NodeId, List[Port]] = field(default_factory=dict)
+    #: Destroyed virtual edges as (source key, endpoint, endpoint) triples,
+    #: grouped by the surviving processor that owns the parent side and drops
+    #: the link source locally.  Edges incident to the dead processor are
+    #: omitted: its removal purges them wholesale.
+    glue_by_processor: Dict[NodeId, List[Tuple[Tuple, NodeId, NodeId]]] = field(
+        default_factory=dict
+    )
+
+
+def _node_port(node: RTNode) -> Port:
+    return node.port if isinstance(node, RTLeaf) else node.simulated_by
+
+
+def plan_strip(
+    rt: ReconstructionTree,
+    dead_processor: NodeId,
+    dead_nodes: Sequence[RTNode],
+    probe_path: Sequence[NodeId],
+) -> StripPlan:
+    """Lay out the strip of one affected RT without mutating it.
+
+    Mirrors :func:`extract_surviving_complete_trees` (same traversal, same
+    completeness test, same released set) but only *describes* the outcome:
+    the engine still performs the real dismantling when the oracle runs.
+    ``probe_path`` is the RT's right spine; every discovered item is
+    attributed to a spine position / owning processor so the protocol can
+    distribute the knowledge.
+    """
+    plan = StripPlan()
+    path_index = {proc: i for i, proc in enumerate(probe_path)}
+    last_position = max(len(probe_path) - 1, 0)
+
+    def position_of(processor: NodeId, depth: int) -> int:
+        if processor in path_index:
+            return path_index[processor]
+        return min(depth, last_position)
+
+    def add_piece(node: RTNode, depth: int) -> None:
+        plan.summaries.append(summary_of(node))
+        plan.spine_positions.append(position_of(node.processor, depth))
+
+    def release(helper: RTHelper) -> None:
+        if helper.processor != dead_processor:
+            plan.released_by_processor.setdefault(helper.processor, []).append(
+                helper.simulated_by
+            )
+
+    def record_cut(parent: RTNode, child: RTNode) -> None:
+        p, c = parent.processor, child.processor
+        if p == c or dead_processor in (p, c):
+            return  # self-projections carry no link; dead-incident links are purged
+        key = link_source_key(_node_port(parent), _node_port(child))
+        plan.glue_by_processor.setdefault(p, []).append((key, p, c))
+
+    def depth_of(node: RTNode) -> int:
+        depth = 0
+        cursor = node.parent
+        while cursor is not None:
+            depth += 1
+            cursor = cursor.parent
+        return depth
+
+    def collect_strip(node: RTNode, depth: int) -> None:
+        while True:
+            if node.num_leaves == (1 << node.height):
+                add_piece(node, depth)
+                return
+            release(node)
+            if node.left is not None:
+                record_cut(node, node.left)
+                add_piece(node.left, depth)
+            right = node.right
+            if right is None:
+                return
+            record_cut(node, right)
+            node = right
+            depth += 1
+
+    root = rt.root
+    if isinstance(root, RTLeaf):
+        if root.port.processor != dead_processor:
+            add_piece(root, 0)
+        return plan
+
+    if not dead_nodes:
+        collect_strip(root, 0)
+        return plan
+
+    dead_ids = {id(dead) for dead in dead_nodes}
+    broken: Dict[int, RTNode] = {id(dead): dead for dead in dead_nodes}
+    for dead in dead_nodes:
+        cursor = dead.parent
+        while cursor is not None and id(cursor) not in broken:
+            broken[id(cursor)] = cursor
+            cursor = cursor.parent
+    for node in broken.values():
+        if isinstance(node, RTLeaf):
+            continue
+        node_depth = depth_of(node)
+        for child in (node.left, node.right):
+            if child is not None:
+                record_cut(node, child)
+                if id(child) not in broken:
+                    collect_strip(child, node_depth + 1)
+        if id(node) not in dead_ids:
+            release(node)
+    return plan
+
+
+# --------------------------------------------------------------------------- #
+# ComputeHaft on summaries (the leader's local computation)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MergedHelper:
+    """One helper node the merge creates, described entirely by ports."""
+
+    #: Port whose processor simulates the helper.
+    port: Port
+    left_port: Port
+    left_is_leaf: bool
+    right_port: Port
+    right_is_leaf: bool
+    #: ``None`` for the root of the merged haft; filled for every other helper.
+    parent_port: Optional[Port]
+    height: int
+    num_leaves: int
+    #: Representative leaf port of the helper's subtree.
+    representative: Port
+
+
+@dataclass
+class MergeOutcome:
+    """Everything a repair must apply, derived purely from received summaries."""
+
+    victim: NodeId
+    #: The summaries this outcome was computed from (the leader's knowledge).
+    summaries: Tuple[PieceSummary, ...]
+    #: New helpers in creation order (matching the engine's ``compute_haft``).
+    helpers: List[MergedHelper] = field(default_factory=list)
+    #: Root of the merged haft (a piece root or a new helper port).
+    root_port: Optional[Port] = None
+    root_is_leaf: bool = False
+    #: New RT parent for every piece root that gained one:
+    #: ``(child_port, child_is_leaf, parent_port)``.
+    parent_updates: List[Tuple[Port, bool, Port]] = field(default_factory=list)
+
+    def helper_ports(self) -> Set[Port]:
+        return {helper.port for helper in self.helpers}
+
+    def link_sources(self) -> List[Tuple[Tuple, NodeId, NodeId]]:
+        """The healed-graph link sources the new helpers' child edges imply."""
+        sources: List[Tuple[Tuple, NodeId, NodeId]] = []
+        for helper in self.helpers:
+            for child_port in (helper.left_port, helper.right_port):
+                u, v = helper.port.processor, child_port.processor
+                if u != v:
+                    sources.append((link_source_key(helper.port, child_port), u, v))
+        return sources
+
+
+@dataclass
+class _Piece:
+    """Mutable merge-time wrapper around a summary or a freshly made helper."""
+
+    port: Port
+    is_leaf: bool
+    num_leaves: int
+    height: int
+    representative: Port
+
+
+def merge_summaries(victim: NodeId, summaries: Sequence[PieceSummary]) -> MergeOutcome:
+    """Run ``ComputeHaft`` on piece descriptors alone (Algorithm A.9).
+
+    This is the leader anchor's *local* computation (local work is free in
+    the paper's model): given the primary-root descriptors that reached it,
+    produce the complete merge outcome — every new helper with its simulating
+    port, children, parent and representative, ready to disseminate as
+    :class:`~repro.distributed.messages.HelperAssignment` /
+    :class:`~repro.distributed.messages.ParentUpdate` messages.
+
+    The combine replicates :func:`repro.core.reconstruction_tree.compute_haft`
+    step for step — same ``(num_leaves, port_order_key(representative))``
+    merge order, same equal-size binary-addition phase, same smallest-first
+    chain — so identical inputs yield the identical structure.
+    """
+    outcome = MergeOutcome(victim=victim, summaries=tuple(summaries))
+    if not summaries:
+        return outcome
+    pieces = [
+        _Piece(
+            port=s.root_port,
+            is_leaf=s.root_is_leaf,
+            num_leaves=s.num_leaves,
+            height=s.height,
+            representative=s.representative,
+        )
+        for s in dict.fromkeys(summaries)  # idempotent under retransmission
+    ]
+
+    def sort_key(piece: _Piece) -> Tuple[int, tuple]:
+        return (piece.num_leaves, port_order_key(piece.representative))
+
+    # A leaf and the helper simulated by the same port are *distinct* virtual
+    # nodes (a helper is always an ancestor of its own leaf), so parent
+    # lookups key on (port, is_leaf), never on the port alone.
+    parent_of: Dict[Tuple[Port, bool], Port] = {}
+    helper_records: List[Tuple[Port, _Piece, _Piece, _Piece]] = []
+
+    def make_helper(a: _Piece, b: _Piece) -> _Piece:
+        merged = _Piece(
+            port=a.representative,
+            is_leaf=False,
+            num_leaves=a.num_leaves + b.num_leaves,
+            height=1 + max(a.height, b.height),
+            representative=b.representative,
+        )
+        parent_of[(a.port, a.is_leaf)] = merged.port
+        parent_of[(b.port, b.is_leaf)] = merged.port
+        helper_records.append((merged.port, a, b, merged))
+        return merged
+
+    forest = sorted(pieces, key=sort_key)
+    if len(forest) > 1:
+        # Phase 1 — combine equal-sized complete trees (binary-addition carries).
+        i = 0
+        while i < len(forest) - 1:
+            a, b = forest[i], forest[i + 1]
+            if a.num_leaves == b.num_leaves:
+                merged = make_helper(a, b)
+                del forest[i : i + 2]
+                bisect.insort_left(forest, merged, key=sort_key)
+                i = max(i - 1, 0)
+            else:
+                i += 1
+        # Phase 2 — chain distinct sizes smallest-first (larger tree on the left).
+        root = forest[0]
+        for tree in forest[1:]:
+            root = make_helper(tree, root)
+    else:
+        root = forest[0]
+
+    for port, left, right, merged in helper_records:
+        outcome.helpers.append(
+            MergedHelper(
+                port=port,
+                left_port=left.port,
+                left_is_leaf=left.is_leaf,
+                right_port=right.port,
+                right_is_leaf=right.is_leaf,
+                parent_port=parent_of.get((port, False)),
+                height=merged.height,
+                num_leaves=merged.num_leaves,
+                representative=merged.representative,
+            )
+        )
+    for piece in pieces:
+        parent = parent_of.get((piece.port, piece.is_leaf))
+        if parent is not None:
+            outcome.parent_updates.append((piece.port, piece.is_leaf, parent))
+    outcome.root_port = root.port
+    outcome.root_is_leaf = root.is_leaf
+    return outcome

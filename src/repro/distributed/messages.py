@@ -18,9 +18,10 @@ Section 4.2 and the pseudocode of Appendix A:
 
 Message sizes are measured in *words* of ``O(log n)`` bits: a node or port
 identifier costs one word, so Lemma 4's "messages of size ``O(log n)``"
-corresponds to a constant number of words per message, except for
-:class:`PrimaryRootList`, whose payload is one word per primary root (at most
-``O(log n)`` of them).
+corresponds to a constant number of words per message.
+:class:`PrimaryRootReport` / :class:`PrimaryRootList` carry a few words per
+primary-root descriptor and are chunked at :data:`MAX_ROOTS_PER_MESSAGE`
+descriptors, so even they never exceed ``O(log n)`` bits per message.
 """
 
 from __future__ import annotations
@@ -109,28 +110,52 @@ class Probe(Message):
     target_port: Optional[Port] = None
     #: Hop count so far (for tracing; the paper's probes carry child counts).
     hops: int = 0
+    #: Which affected RT's spine this probe walks (plan-relative index).
+    rt_index: int = 0
+
+
+#: Identifier words per serialized primary-root descriptor (root port,
+#: representative port, leaf count, height) — see
+#: :class:`repro.distributed.merge.PieceSummary`.
+ROOT_DESCRIPTOR_WORDS = 4
+
+#: Largest number of descriptors one list message may carry; bigger payloads
+#: are chunked into several messages so every message stays ``O(log n)`` bits
+#: (Lemma 4's message-size bound).
+MAX_ROOTS_PER_MESSAGE = 12
 
 
 @dataclass
 class PrimaryRootReport(Message):
-    """A primary root confirms its identity (and subtree size) back to the anchor."""
+    """Primary-root descriptors flowing back up a probe path to the anchor.
+
+    The payload is the actual piece knowledge of the reporting processor
+    (``PieceSummary`` descriptors), pipelined hop-by-hop along the spine —
+    the merge leader ends up knowing exactly the pieces whose descriptors
+    survived the trip.
+    """
 
     deleted: NodeId = None
-    root_port: Optional[Port] = None
-    subtree_leaves: int = 0
+    roots: Tuple[object, ...] = ()
+    #: Which affected RT's spine this report travels on (plan-relative index).
+    rt_index: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.payload_words = 2 + ROOT_DESCRIPTOR_WORDS * len(self.roots)
 
 
 @dataclass
 class PrimaryRootList(Message):
-    """An anchor ships its list of primary roots to its ``BT_v`` parent (or child)."""
+    """An anchor ships its primary-root descriptors to its ``BT_v`` parent."""
 
     deleted: NodeId = None
-    roots: Tuple[Port, ...] = ()
+    roots: Tuple[object, ...] = ()
 
     def __post_init__(self) -> None:
         super().__post_init__()
-        # One word per primary root plus a couple of words of header.
-        self.payload_words = 2 + len(self.roots)
+        # A few descriptor words per primary root plus a header.
+        self.payload_words = 2 + ROOT_DESCRIPTOR_WORDS * len(self.roots)
 
 
 @dataclass
@@ -144,10 +169,13 @@ class ParentUpdate(Message):
     parent_port: Optional[Port] = None
     #: True when the update concerns the processor's helper node rather than its leaf.
     child_is_helper: bool = False
+    #: Merge-outcome epoch (see :class:`HelperAssignment`).
+    epoch: int = 0
 
     def __post_init__(self) -> None:
         super().__post_init__()
-        self.payload_words = 4
+        # deleted + child port + parent port + flag + epoch, one word each.
+        self.payload_words = 5
 
 
 @dataclass
@@ -156,7 +184,12 @@ class HelperAssignment(Message):
 
     ``helper_port`` identifies the helper (the processor owning that port
     simulates it); parent and children are given as ports of the virtual
-    nodes they refer to, or ``None``.
+    nodes they refer to, or ``None``.  ``epoch`` counts the merge leader's
+    outcome recomputations within one repair: when lost summaries surface
+    late, the leader re-merges and re-disseminates with a higher epoch, and
+    processors ignore instructions from epochs older than the newest they
+    have seen for the same repair (so a delayed stale ``create`` cannot
+    overwrite a corrective update).
     """
 
     deleted: NodeId = None
@@ -166,7 +199,15 @@ class HelperAssignment(Message):
     right_port: Optional[Port] = None
     #: False when the helper should be dropped ("marked red") instead of created.
     create: bool = True
+    #: Representative leaf port of the helper's subtree (Table 1 state).
+    representative_port: Optional[Port] = None
+    #: Cached subtree height / leaf count (Table 1 state).
+    height: int = 0
+    num_leaves: int = 0
+    epoch: int = 0
 
     def __post_init__(self) -> None:
         super().__post_init__()
-        self.payload_words = 6
+        # deleted + 5 ports + height + leaf count + epoch + create flag,
+        # one O(log n)-bit word each.
+        self.payload_words = 10

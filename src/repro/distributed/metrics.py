@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..analysis.bounds import repair_message_bound, repair_time_bound
 from ..core.ports import NodeId
@@ -41,6 +41,8 @@ class MetricsWindow:
     messages: int = 0
     bits: int = 0
     rounds: int = 0
+    #: Messages a fault dropped while the window was open.
+    dropped: int = 0
     #: Largest single message sent *within the window* (the per-repair value
     #: Lemma 4 bounds; the run-wide maximum stays on :class:`NetworkMetrics`).
     max_message_bits: int = 0
@@ -58,6 +60,10 @@ class MetricsWindow:
         """Account for communication rounds elapsed while the window is open."""
         self.rounds += rounds
 
+    def record_dropped(self) -> None:
+        """Account for one fault-dropped message while the window is open."""
+        self.dropped += 1
+
     def max_messages_per_node(self) -> int:
         """The busiest single sender's message count within the window."""
         return max(self.messages_by_node.values(), default=0)
@@ -70,6 +76,8 @@ class NetworkMetrics:
     total_messages: int = 0
     total_bits: int = 0
     total_rounds: int = 0
+    #: Messages lost to fault injection over the whole run.
+    total_dropped: int = 0
     #: Largest single message of the whole run (cumulative; per-repair maxima
     #: live on the :class:`MetricsWindow` of each repair).
     max_message_bits: int = 0
@@ -107,6 +115,12 @@ class NetworkMetrics:
         if self.window is not None:
             self.window.record_rounds(rounds)
 
+    def record_dropped(self) -> None:
+        """Account for one message lost to fault injection."""
+        self.total_dropped += 1
+        if self.window is not None:
+            self.window.record_dropped()
+
     def max_messages_per_node(self) -> int:
         """The busiest single node's message count (success metric 3 of Figure 1)."""
         return max(self.messages_sent_by_node.values(), default=0)
@@ -126,6 +140,7 @@ class NetworkMetrics:
             total_messages=self.total_messages,
             total_bits=self.total_bits,
             total_rounds=self.total_rounds,
+            total_dropped=self.total_dropped,
             max_message_bits=self.max_message_bits,
         )
         clone.messages_by_kind = defaultdict(int, self.messages_by_kind)
@@ -151,6 +166,11 @@ class DeletionCostReport:
     max_messages_per_node: int
     helpers_created: int
     helpers_released: int
+    #: Fault-tolerance accounting (all zero on a lossless network).
+    dropped_messages: int = 0
+    retransmissions: int = 0
+    reconvergence_rounds: int = 0
+    converged: bool = True
 
     @property
     def message_budget(self) -> float:
@@ -186,4 +206,8 @@ class DeletionCostReport:
             "max_messages_per_node": self.max_messages_per_node,
             "helpers_created": self.helpers_created,
             "helpers_released": self.helpers_released,
+            "dropped_messages": self.dropped_messages,
+            "retransmissions": self.retransmissions,
+            "reconvergence_rounds": self.reconvergence_rounds,
+            "converged": self.converged,
         }

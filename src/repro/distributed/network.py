@@ -12,21 +12,47 @@ so :meth:`Network.connect` / :meth:`Network.disconnect` /
 :meth:`Network.are_linked` are O(1) and :meth:`Network.neighbors` /
 :meth:`Network.remove_processor` are O(deg) — no operation on the repair
 path ever scans the full link set.  The network enforces that messages only
-travel along existing links (or links being created by the repair itself,
-which the protocol registers before use), and keeps the per-node and global
-counters that Lemma 4 bounds; :meth:`Network.begin_repair` /
-:meth:`Network.end_repair` bracket one repair with a
-:class:`~repro.distributed.metrics.MetricsWindow` so its cost report is
-assembled from O(repair) state instead of full counter snapshots.
+travel along existing links (or repair scaffolding, see below), and keeps
+the per-node and global counters that Lemma 4 bounds;
+:meth:`Network.begin_repair` / :meth:`Network.end_repair` bracket one repair
+with a :class:`~repro.distributed.metrics.MetricsWindow` so its cost report
+is assembled from O(repair) state instead of full counter snapshots.
+
+Two layers sit on top of the raw adjacency since the merge went
+message-native (PR 4):
+
+*Sourced links.*  A healed-graph link exists because one or more *sources*
+project onto it: the surviving real edge, and any number of RT virtual
+edges between the same two processors.  :meth:`add_link_source` /
+:meth:`remove_link_source` maintain one set of source keys per link —
+the distributed twin of the engine's edge-multiplicity counting — and the
+link itself appears/disappears as its source set becomes (non-)empty.
+Source updates are driven by received protocol messages (helper
+assignments) and local strip knowledge, *not* by the reference engine.
+Keyed sets (instead of bare counters) make the bookkeeping idempotent, so
+retransmitted messages cannot corrupt the topology.
+
+*Scaffolding.*  A repair creates temporary links for its own traffic (the
+``BT_v`` tree, probe hops, merge wiring).  While a scaffold is open
+(:meth:`begin_scaffold`), :meth:`send` auto-creates missing links and
+records them; :meth:`end_scaffold` drops every recorded link that did not
+acquire a source in the meantime — "delete the edges E_v" of Algorithm A.3,
+decided from the network's own source sets rather than an engine probe.
+
+Faults: an optional :class:`~repro.distributed.faults.FaultSchedule` is
+consulted at delivery time — messages can be dropped, delayed whole rounds,
+or delivered in shuffled order.  Sending is always accounted (the sender
+paid for the message); what faults change is whether and when the receiver
+learns anything.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.errors import ProtocolError, UnknownNodeError
 from ..core.ports import NodeId, NodeKey
+from .faults import FaultSchedule
 from .messages import Message
 from .metrics import MetricsWindow, NetworkMetrics
 from .processor import Processor
@@ -37,15 +63,30 @@ __all__ = ["Network"]
 class Network:
     """A synchronous message-passing network of :class:`Processor` objects."""
 
-    def __init__(self, strict_links: bool = True) -> None:
+    def __init__(
+        self,
+        strict_links: bool = True,
+        fault_schedule: Optional[FaultSchedule] = None,
+    ) -> None:
         self.processors: Dict[NodeId, Processor] = {}
         #: Adjacency: one set of linked neighbours per current processor.
         self._adjacency: Dict[NodeId, Set[NodeId]] = {}
+        #: Source keys per link (see module docstring); a link with sources
+        #: is part of the healed graph, a link without is scaffolding.
+        self._link_sources: Dict[frozenset, Set[Tuple]] = {}
         self._outbox: List[Message] = []
-        self._inbox: Deque[Message] = deque()
+        #: Messages a fault delayed: (deliver_at_round, message).
+        self._delayed: List[Tuple[int, Message]] = []
+        self._round = 0
         self.metrics = NetworkMetrics()
         #: When True, sending a message between unlinked processors raises.
         self.strict_links = strict_links
+        #: Optional fault injection applied at delivery time.
+        self.fault_schedule = fault_schedule
+        #: Links auto-created for the currently open repair scaffold (the
+        #: set is the O(1) membership twin of the recording list).
+        self._scaffold: Optional[List[Tuple[NodeId, NodeId]]] = None
+        self._scaffold_links: Set[frozenset] = set()
         #: Number of processors ever added (message sizing's ``n``).  Counted
         #: per addition, so removals never shrink it; the distributed healer
         #: cross-checks it against the engine's ``nodes_ever``.
@@ -57,18 +98,21 @@ class Network:
     def add_processor(self, node: NodeId) -> Processor:
         """Create (or return) the processor with identifier ``node``."""
         if node not in self.processors:
-            self.processors[node] = Processor(node)
+            processor = Processor(node)
+            processor.network = self
+            self.processors[node] = processor
             self._adjacency[node] = set()
             self.n_ever += 1
         return self.processors[node]
 
     def remove_processor(self, node: NodeId) -> None:
-        """Remove a processor and all its links (the adversary's deletion)."""
+        """Remove a processor, its links, and every link source it anchored."""
         if node not in self.processors:
             raise UnknownNodeError(node, "remove_processor")
         del self.processors[node]
         for neighbor in self._adjacency.pop(node, ()):
             self._adjacency[neighbor].discard(node)
+            self._link_sources.pop(frozenset((node, neighbor)), None)
 
     def has_processor(self, node: NodeId) -> bool:
         """True when ``node`` currently has a processor."""
@@ -91,10 +135,81 @@ class Network:
         adj_v = self._adjacency.get(v)
         if adj_v is not None:
             adj_v.discard(u)
+        self._link_sources.pop(frozenset((u, v)), None)
 
     def are_linked(self, u: NodeId, v: NodeId) -> bool:
         """True when a link currently exists between ``u`` and ``v``."""
         return v in self._adjacency.get(u, ())
+
+    # ------------------------------------------------------------------ #
+    # sourced links (the healed graph as the processors know it)
+    # ------------------------------------------------------------------ #
+    def add_link_source(self, key: Tuple, u: NodeId, v: NodeId) -> None:
+        """Record one source for the healed link ``(u, v)`` (idempotent).
+
+        Creates the link if this is its first source.  Dead endpoints are
+        tolerated silently: a message-driven update may race with the
+        adversary's removal, and the removal wins.
+        """
+        if u == v or u not in self.processors or v not in self.processors:
+            return
+        self._link_sources.setdefault(frozenset((u, v)), set()).add(key)
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+
+    def remove_link_source(self, key: Tuple, u: NodeId, v: NodeId) -> None:
+        """Drop one source of link ``(u, v)``; the link vanishes at zero sources
+        (unless an open repair scaffold is still using it)."""
+        link = frozenset((u, v))
+        sources = self._link_sources.get(link)
+        if sources is None:
+            return
+        sources.discard(key)
+        if not sources:
+            del self._link_sources[link]
+            if link not in self._scaffold_links:
+                adj_u = self._adjacency.get(u)
+                if adj_u is not None:
+                    adj_u.discard(v)
+                adj_v = self._adjacency.get(v)
+                if adj_v is not None:
+                    adj_v.discard(u)
+
+    def has_link_source(self, key: Tuple, u: NodeId, v: NodeId) -> bool:
+        """True when ``key`` currently sources the link ``(u, v)``."""
+        return key in self._link_sources.get(frozenset((u, v)), ())
+
+    def link_source_count(self, u: NodeId, v: NodeId) -> int:
+        """Number of sources of link ``(u, v)`` (the engine's edge multiplicity)."""
+        return len(self._link_sources.get(frozenset((u, v)), ()))
+
+    # ------------------------------------------------------------------ #
+    # repair scaffolding
+    # ------------------------------------------------------------------ #
+    def begin_scaffold(self) -> None:
+        """Open a scaffold: sends may auto-create links, all recorded."""
+        self._scaffold = []
+        self._scaffold_links = set()
+
+    def scaffold_link(self, u: NodeId, v: NodeId) -> None:
+        """Explicitly create (and record) a repair-local link."""
+        if u == v or self.are_linked(u, v):
+            return
+        self.connect(u, v)
+        if self._scaffold is not None:
+            self._scaffold.append((u, v))
+            self._scaffold_links.add(frozenset((u, v)))
+
+    def end_scaffold(self) -> int:
+        """Drop every scaffold link that acquired no source; returns how many."""
+        scaffold, self._scaffold = self._scaffold, None
+        self._scaffold_links = set()
+        dropped = 0
+        for u, v in scaffold or ():
+            if frozenset((u, v)) not in self._link_sources:
+                self.disconnect(u, v)
+                dropped += 1
+        return dropped
 
     def num_links(self) -> int:
         """Number of current links (O(n) sum of neighbour-set sizes)."""
@@ -138,21 +253,25 @@ class Network:
         In strict mode the sender and receiver must currently be linked —
         the paper's model only lets processors talk to their immediate
         neighbours (names of other vertices may be *carried* in messages,
-        but not used as direct destinations).
+        but not used as direct destinations).  While a repair scaffold is
+        open, a missing link is created and recorded instead: the repair is
+        entitled to wire its own temporary edges (Algorithm A.3), and the
+        scaffold teardown reclaims them.
         """
         if message.sender not in self.processors:
             raise ProtocolError(f"sender {message.sender!r} does not exist")
         if message.receiver not in self.processors:
             raise ProtocolError(f"receiver {message.receiver!r} does not exist")
-        if (
-            self.strict_links
-            and message.sender != message.receiver
-            and not self.are_linked(message.sender, message.receiver)
+        if message.sender != message.receiver and not self.are_linked(
+            message.sender, message.receiver
         ):
-            raise ProtocolError(
-                f"{message.kind} from {message.sender!r} to {message.receiver!r} "
-                "would travel between unlinked processors"
-            )
+            if self._scaffold is not None:
+                self.scaffold_link(message.sender, message.receiver)
+            elif self.strict_links:
+                raise ProtocolError(
+                    f"{message.kind} from {message.sender!r} to {message.receiver!r} "
+                    "would travel between unlinked processors"
+                )
         self._outbox.append(message)
         self.metrics.record_message(
             sender=message.sender,
@@ -161,22 +280,75 @@ class Network:
         )
 
     def deliver_round(self) -> int:
-        """Deliver every queued message to its receiver; returns how many were delivered."""
-        delivered = 0
-        batch, self._outbox = self._outbox, []
+        """Advance one synchronous round; returns how many messages were delivered.
+
+        The round's batch is this round's outbox plus any fault-delayed
+        messages that came due.  The fault schedule (if any) judges every
+        message — drop, delay, or deliver — and may shuffle the batch's
+        delivery order.  Handlers may respond with new messages; those are
+        sent within this round and therefore delivered in the next one.
+        """
+        self._round += 1
         self.metrics.record_rounds(1)
+        outbox, self._outbox = self._outbox, []
+        schedule = self.fault_schedule
+        if schedule is None:
+            batch = outbox
+        else:
+            # Fresh sends are judged exactly once, here; a message that drew
+            # a delay is delivered as-is when it comes due, so its fate stays
+            # within the policy's 1..max_delay contract.
+            batch = []
+            for message in outbox:
+                if message.sender != message.receiver:
+                    fate = schedule.judge(message.sender, message.receiver)
+                    if fate < 0:
+                        self.metrics.record_dropped()
+                        continue
+                    if fate > 0:
+                        self._delayed.append((self._round + fate, message))
+                        continue
+                batch.append(message)
+        if self._delayed:
+            batch = batch + [m for at, m in self._delayed if at <= self._round]
+            self._delayed = [(at, m) for at, m in self._delayed if at > self._round]
+        if schedule is not None:
+            permutation = schedule.shuffle_round([(m.sender, m.receiver) for m in batch])
+            if permutation is not None:
+                batch = [batch[i] for i in permutation]
+        delivered = 0
         for message in batch:
             processor = self.processors.get(message.receiver)
             if processor is None:
                 continue  # receiver died mid-round; the paper assumes one attack per round
-            processor.receive(message)
+            responses = processor.receive(message)
             delivered += 1
+            for response in responses or ():
+                self.send(response)
         return delivered
+
+    def tick(self, round_index: int, participants) -> int:
+        """Fire the round-``round_index`` timers of the given processors.
+
+        Synchronous protocols act on timeouts as well as on messages (an
+        anchor ships its list when the probe deadline passes, whether or not
+        every report made it back).  Returns how many messages the timers
+        produced.
+        """
+        produced = 0
+        for node in participants:
+            processor = self.processors.get(node)
+            if processor is None:
+                continue
+            for message in processor.tick(round_index) or ():
+                self.send(message)
+                produced += 1
+        return produced
 
     def run_until_quiet(self, max_rounds: int = 10_000) -> int:
         """Deliver rounds until no messages remain in flight; returns rounds used."""
         rounds = 0
-        while self._outbox:
+        while self.in_flight:
             if rounds >= max_rounds:
                 raise ProtocolError(f"protocol did not quiesce within {max_rounds} rounds")
             self.deliver_round()
@@ -187,3 +359,8 @@ class Network:
     def pending_messages(self) -> int:
         """Messages queued for the next round."""
         return len(self._outbox)
+
+    @property
+    def in_flight(self) -> int:
+        """Messages queued for the next round plus fault-delayed ones."""
+        return len(self._outbox) + len(self._delayed)

@@ -1,4 +1,4 @@
-"""Per-processor state: the fields of Table 1.
+"""Per-processor state and behaviour: Table 1 records plus the reactive repair.
 
 Each processor keeps one :class:`EdgeRecord` per ``G'`` edge it participates
 in.  The record has exactly the fields the paper lists in Table 1: the real
@@ -6,31 +6,58 @@ node's current endpoint, whether the processor is simulating a helper node
 for this edge, the real node's RT parent and representative, plus the helper
 node's parent / children / height / children-count / representative.
 
-All state changes are driven by received messages (plus the local knowledge
-of the processor's own insertions), so the collection of edge records across
-processors *is* the distributed representation of the virtual graph.  The
-test-suite reconstructs the virtual graph from these records and compares it
-with the centralized engine.
+Since the merge went message-native (PR 4) the processor is no longer a
+passive recorder: during a repair it *acts* on what it receives.  At repair
+start the protocol installs a :class:`RepairContext` — the processor's
+pre-failure local knowledge (its position on a probe path, the complete
+pieces it can vouch for, the helpers it must mark red, its place in the
+``BT_v`` anchor tree) — and from then on every state change is driven by
+incoming messages and round timers:
+
+* a :class:`~repro.distributed.messages.Probe` makes it strip its broken
+  fragments locally and forward the probe down the spine,
+* :class:`~repro.distributed.messages.PrimaryRootReport` descriptors are
+  pipelined back towards the anchor, each hop folding in its own pieces,
+* anchors batch what arrived into
+  :class:`~repro.distributed.messages.PrimaryRootList` messages up ``BT_v``
+  when their deadline round passes — with or without the laggards,
+* the *leader* anchor (the ``BT_v`` root) runs the merge
+  (:func:`repro.distributed.merge.merge_summaries`) on whatever descriptors
+  reached it and disseminates the outcome as
+  :class:`~repro.distributed.messages.HelperAssignment` /
+  :class:`~repro.distributed.messages.ParentUpdate` instructions; late
+  descriptors trigger a re-merge under a higher epoch.
+
+The collection of edge records plus the network's sourced links *is* the
+distributed representation of the healed structure; processors that missed
+messages simply hold stale records until the reconvergence loop
+(:meth:`repro.distributed.simulator.DistributedForgivingGraph.reconverge`)
+retransmits what they lack.  The test-suite reconstructs the structure from
+these records and compares it with the centralized engine — the engine is
+an oracle, never a participant.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core.ports import NodeId, Port
+from .merge import MergeOutcome, PieceSummary, link_source_key, merge_summaries
 from .messages import (
-    AnchorLink,
+    MAX_ROOTS_PER_MESSAGE,
     DeletionNotice,
     HelperAssignment,
     InsertionNotice,
     Message,
+    ParentUpdate,
     PrimaryRootList,
     PrimaryRootReport,
     Probe,
 )
 
-__all__ = ["EdgeRecord", "Processor"]
+__all__ = ["EdgeRecord", "Processor", "RepairContext", "SpineRole"]
 
 
 @dataclass
@@ -60,6 +87,9 @@ class EdgeRecord:
     helper_height: int = 0
     helper_children_count: int = 0
     helper_representative: Optional[Port] = None
+    #: The deletion whose repair created this helper (guards a late stale
+    #: ``create`` from clobbering a helper another repair installed).
+    helper_victim: Optional[NodeId] = None
 
     def clear_helper(self) -> None:
         """Drop the helper node simulated for this edge (it was 'marked red')."""
@@ -70,26 +100,90 @@ class EdgeRecord:
         self.helper_height = 0
         self.helper_children_count = 0
         self.helper_representative = None
+        self.helper_victim = None
+
+
+@dataclass
+class SpineRole:
+    """One processor's position on one affected RT's probe path."""
+
+    rt_index: int
+    position: int
+    prev_hop: Optional[NodeId] = None
+    next_hop: Optional[NodeId] = None
+    #: Pieces this processor vouches for on this spine (its local knowledge).
+    summaries: Tuple[PieceSummary, ...] = ()
+    #: Round by which a probed processor initiates the report wave itself if
+    #: nothing arrived from deeper down (lost probe / lost report).
+    report_round: int = 0
+    probed: bool = False
+    probe_forwarded: bool = False
+    report_sent: bool = False
+    #: Descriptors received from deeper hops, folded into the next report.
+    collected: Dict[PieceSummary, None] = field(default_factory=dict)
+
+
+@dataclass
+class RepairContext:
+    """Everything one processor knows locally about one repair."""
+
+    victim: NodeId
+    #: Spine roles, one per affected RT this processor sits on the path of.
+    spines: List[SpineRole] = field(default_factory=list)
+    #: Helper ports to mark red (a local action once the failure is learnt).
+    released: List[Port] = field(default_factory=list)
+    #: Link sources destroyed with the broken glue: (key, u, v) triples.
+    glue: List[Tuple[Tuple, NodeId, NodeId]] = field(default_factory=list)
+    #: Round at which off-spine strip knowledge self-applies (the failure
+    #: wave through the broken region is model-level); ``None`` when the
+    #: strip is driven by probe receipt only.
+    strip_round: Optional[int] = None
+    stripped: bool = False
+
+    # --- anchor role ------------------------------------------------------
+    is_anchor: bool = False
+    bt_parent: Optional[NodeId] = None
+    ship_round: Optional[int] = None
+    shipped: bool = False
+    #: Descriptors gathered at this anchor (own pieces, spine reports, and —
+    #: for interior BT_v nodes — children's lists), insertion-ordered.
+    gathered: Dict[PieceSummary, None] = field(default_factory=dict)
+
+    # --- leader role ------------------------------------------------------
+    is_leader: bool = False
+    decide_round: Optional[int] = None
+    outcome: Optional[MergeOutcome] = None
+    epoch: int = 0
+    #: Helper ports ever instructed by this leader during this repair (used
+    #: to retract assignments a re-merge superseded).
+    instructed: Dict[Port, None] = field(default_factory=dict)
 
 
 class Processor:
-    """A network processor: identifier, per-edge records, and a message log.
+    """A network processor: identifier, per-edge records, repair behaviour."""
 
-    The processor is deliberately passive: message handlers update the edge
-    records and append to the local log; the orchestration of the repair
-    (who probes, who merges with whom) is carried out by the protocol driver
-    in :mod:`repro.distributed.protocol`, faithful to the phases of the
-    paper, with every state change arriving through :meth:`receive`.
-    """
+    #: How many recent messages :attr:`received` retains per processor.
+    RECEIVE_TRACE_LIMIT = 128
 
     def __init__(self, node_id: NodeId) -> None:
         self.node_id = node_id
         #: One record per ``G'`` edge, keyed by the neighbour's identifier.
         self.edges: Dict[NodeId, EdgeRecord] = {}
-        #: All messages received, in arrival order (useful for tests/tracing).
-        self.received: List[Message] = []
+        #: The most recent messages received, in arrival order (a bounded
+        #: trace for tests/debugging — an unbounded log would dominate
+        #: memory over long sessions, since every repair and retransmission
+        #: lands here).  Totals live in :attr:`received_by_kind`.
+        self.received: Deque[Message] = deque(maxlen=self.RECEIVE_TRACE_LIMIT)
         #: Messages received per kind (cheap counters for assertions).
         self.received_by_kind: Dict[str, int] = {}
+        #: Back-reference set by :meth:`Network.add_processor`; lets message
+        #: handlers update the sourced link set.  ``None`` for standalone
+        #: processors (unit tests), where link effects are skipped.
+        self.network = None
+        #: Active repair contexts, keyed by the deleted node.
+        self.repairs: Dict[NodeId, RepairContext] = {}
+        #: Newest dissemination epoch seen per repair (stale-message guard).
+        self.repair_epochs: Dict[NodeId, int] = {}
 
     # ------------------------------------------------------------------ #
     # local knowledge
@@ -119,15 +213,190 @@ class Processor:
         return len(self.edges)
 
     # ------------------------------------------------------------------ #
+    # repair lifecycle
+    # ------------------------------------------------------------------ #
+    def install_repair(self, context: RepairContext) -> None:
+        """Hand the processor its pre-failure knowledge for one repair."""
+        self.repairs[context.victim] = context
+
+    def uninstall_repair(self, victim: NodeId) -> None:
+        self.repairs.pop(victim, None)
+        self.repair_epochs.pop(victim, None)
+
+    def apply_strip(self, context: RepairContext) -> None:
+        """Mark red / drop glue from local knowledge (free local work).
+
+        Idempotent: clearing a cleared record and discarding an absent link
+        source are no-ops, so a retransmitted probe cannot corrupt state.
+        """
+        context.stripped = True
+        for port in context.released:
+            record = self.edges.get(port.neighbor)
+            if record is not None and record.has_helper and record.helper_victim != context.victim:
+                record.clear_helper()
+        if self.network is not None:
+            for key, u, v in context.glue:
+                self.network.remove_link_source(key, u, v)
+
+    # ------------------------------------------------------------------ #
+    # round timers
+    # ------------------------------------------------------------------ #
+    def tick(self, round_index: int) -> List[Message]:
+        """Fire deadline-driven actions for the given round."""
+        out: List[Message] = []
+        for context in self.repairs.values():
+            if (
+                not context.stripped
+                and context.strip_round is not None
+                and round_index >= context.strip_round
+            ):
+                self.apply_strip(context)
+            for role in context.spines:
+                if (
+                    role.probed
+                    and not role.report_sent
+                    and round_index >= role.report_round
+                    and role.prev_hop is not None
+                ):
+                    out.extend(self._emit_report(context, role))
+            if (
+                context.is_anchor
+                and not context.shipped
+                and context.ship_round is not None
+                and round_index >= context.ship_round
+                and context.bt_parent is not None
+            ):
+                context.shipped = True
+                out.extend(self._emit_list(context, list(context.gathered)))
+            if (
+                context.is_leader
+                and context.outcome is None
+                and context.decide_round is not None
+                and round_index >= context.decide_round
+            ):
+                out.extend(self._decide(context))
+        return out
+
+    # ------------------------------------------------------------------ #
     # message handling
     # ------------------------------------------------------------------ #
-    def receive(self, message: Message) -> None:
-        """Dispatch an incoming message to its handler."""
+    def receive(self, message: Message) -> List[Message]:
+        """Dispatch an incoming message; returns any response messages."""
         self.received.append(message)
         self.received_by_kind[message.kind] = self.received_by_kind.get(message.kind, 0) + 1
         handler = getattr(self, f"_on_{message.kind}", None)
         if handler is not None:
-            handler(message)
+            return handler(message) or []
+        return []
+
+    # -- repair-flow helpers -----------------------------------------------
+    def _emit(self, message: Message, out: List[Message]) -> None:
+        """Queue a message, applying self-addressed ones locally for free."""
+        if message.receiver == self.node_id:
+            out.extend(self.receive(message))
+        else:
+            out.append(message)
+
+    def _emit_report(self, context: RepairContext, role: SpineRole) -> List[Message]:
+        """Send this hop's report wave (own pieces + everything collected)."""
+        role.report_sent = True
+        payload = list(dict.fromkeys([*role.summaries, *role.collected]))
+        out: List[Message] = []
+        for chunk in _chunks(payload, MAX_ROOTS_PER_MESSAGE) or [()]:
+            self._emit(
+                PrimaryRootReport(
+                    sender=self.node_id,
+                    receiver=role.prev_hop,
+                    deleted=context.victim,
+                    roots=tuple(chunk),
+                    rt_index=role.rt_index,
+                ),
+                out,
+            )
+        return out
+
+    def _emit_list(self, context: RepairContext, summaries: List[PieceSummary]) -> List[Message]:
+        """Ship descriptors up the ``BT_v`` tree (chunked)."""
+        out: List[Message] = []
+        for chunk in _chunks(summaries, MAX_ROOTS_PER_MESSAGE) or [()]:
+            self._emit(
+                PrimaryRootList(
+                    sender=self.node_id,
+                    receiver=context.bt_parent,
+                    deleted=context.victim,
+                    roots=tuple(chunk),
+                ),
+                out,
+            )
+        return out
+
+    def _decide(self, context: RepairContext) -> List[Message]:
+        """Leader: merge the gathered descriptors and disseminate the outcome."""
+        context.outcome = merge_summaries(context.victim, list(context.gathered))
+        return self._disseminate(context)
+
+    def _disseminate(self, context: RepairContext) -> List[Message]:
+        """Leader: instruct every owner per the current outcome (one epoch)."""
+        outcome = context.outcome
+        epoch = context.epoch
+        out: List[Message] = []
+        current_ports = outcome.helper_ports()
+        # Retract helpers instructed under a superseded (partial) outcome.
+        for port in list(context.instructed):
+            if port not in current_ports:
+                self._emit(
+                    HelperAssignment(
+                        sender=self.node_id,
+                        receiver=port.processor,
+                        deleted=context.victim,
+                        helper_port=port,
+                        create=False,
+                        epoch=epoch,
+                    ),
+                    out,
+                )
+        for helper in outcome.helpers:
+            context.instructed[helper.port] = None
+            self._emit(
+                HelperAssignment(
+                    sender=self.node_id,
+                    receiver=helper.port.processor,
+                    deleted=context.victim,
+                    helper_port=helper.port,
+                    parent_port=helper.parent_port,
+                    left_port=helper.left_port,
+                    right_port=helper.right_port,
+                    create=True,
+                    representative_port=helper.representative,
+                    height=helper.height,
+                    num_leaves=helper.num_leaves,
+                    epoch=epoch,
+                ),
+                out,
+            )
+        for child_port, child_is_leaf, parent_port in outcome.parent_updates:
+            self._emit(
+                ParentUpdate(
+                    sender=self.node_id,
+                    receiver=child_port.processor,
+                    deleted=context.victim,
+                    child_port=child_port,
+                    parent_port=parent_port,
+                    child_is_helper=not child_is_leaf,
+                    epoch=epoch,
+                ),
+                out,
+            )
+        return out
+
+    def _remerge(self, context: RepairContext) -> List[Message]:
+        """Leader: late descriptors arrived after a decision — re-merge."""
+        known = set(context.outcome.summaries)
+        if known == set(context.gathered):
+            return []
+        context.epoch += 1
+        context.outcome = merge_summaries(context.victim, list(context.gathered))
+        return self._disseminate(context)
 
     # -- handlers ----------------------------------------------------------
     def _on_InsertionNotice(self, message: InsertionNotice) -> None:
@@ -139,25 +408,99 @@ class Processor:
             record.neighbor_alive = False
             record.endpoint = None
 
-    def _on_AnchorLink(self, message: AnchorLink) -> None:
-        # BT_v formation is tracked by the protocol driver; the processor
-        # only needs to remember it took part (for the message accounting
-        # and for tests asserting who participated).
+    def _on_AnchorLink(self, message) -> None:
+        # BT_v formation is topological (the scaffold records the link); the
+        # processor only needs to remember it took part, which the message
+        # log already does.
         return
 
-    def _on_Probe(self, message: Probe) -> None:
-        return
+    def _on_Probe(self, message: Probe) -> List[Message]:
+        context = self.repairs.get(message.deleted)
+        if context is None:
+            return []
+        if not context.stripped:
+            self.apply_strip(context)
+        out: List[Message] = []
+        for role in context.spines:
+            if role.rt_index != message.rt_index:
+                continue
+            role.probed = True
+            if role.next_hop is not None and not role.probe_forwarded:
+                role.probe_forwarded = True
+                self._emit(
+                    Probe(
+                        sender=self.node_id,
+                        receiver=role.next_hop,
+                        deleted=context.victim,
+                        hops=message.hops + 1,
+                        rt_index=role.rt_index,
+                    ),
+                    out,
+                )
+            elif role.next_hop is None and not role.report_sent and role.prev_hop is not None:
+                # End of the spine: start the report wave immediately.
+                out.extend(self._emit_report(context, role))
+        return out
 
-    def _on_PrimaryRootReport(self, message: PrimaryRootReport) -> None:
-        return
+    def _on_PrimaryRootReport(self, message: PrimaryRootReport) -> List[Message]:
+        context = self.repairs.get(message.deleted)
+        if context is None:
+            return []
+        role = next(
+            (r for r in context.spines if r.rt_index == message.rt_index), None
+        )
+        if role is None or role.position == 0 or role.prev_hop is None:
+            # Anchor position (or no spine role): fold into the gathered set.
+            return self._absorb(context, list(message.roots))
+        fresh = [s for s in message.roots if s not in role.collected]
+        for summary in fresh:
+            role.collected[summary] = None
+        if not role.report_sent:
+            return self._emit_report(context, role)
+        # Late wave: relay the fresh descriptors without re-batching.
+        out: List[Message] = []
+        for chunk in _chunks(fresh, MAX_ROOTS_PER_MESSAGE):
+            self._emit(
+                PrimaryRootReport(
+                    sender=self.node_id,
+                    receiver=role.prev_hop,
+                    deleted=context.victim,
+                    roots=tuple(chunk),
+                    rt_index=role.rt_index,
+                ),
+                out,
+            )
+        return out
 
-    def _on_PrimaryRootList(self, message: PrimaryRootList) -> None:
-        return
+    def _on_PrimaryRootList(self, message: PrimaryRootList) -> List[Message]:
+        context = self.repairs.get(message.deleted)
+        if context is None:
+            return []
+        return self._absorb(context, list(message.roots))
 
-    def _on_ParentUpdate(self, message) -> None:
+    def _absorb(self, context: RepairContext, summaries: List[PieceSummary]) -> List[Message]:
+        fresh = [s for s in summaries if s not in context.gathered]
+        for summary in fresh:
+            context.gathered[summary] = None
+        if not fresh:
+            return []
+        if context.is_leader:
+            if context.outcome is not None:
+                return self._remerge(context)
+            return []
+        if context.shipped and context.bt_parent is not None:
+            return self._emit_list(context, fresh)
+        return []
+
+    def _on_ParentUpdate(self, message: ParentUpdate) -> None:
         port = message.child_port
         if port is None or port.processor != self.node_id:
             return
+        if message.deleted is not None:
+            newest = self.repair_epochs.get(message.deleted, -1)
+            if message.epoch < newest:
+                return  # stale instruction from a superseded merge epoch
+            self.repair_epochs[message.deleted] = max(newest, message.epoch)
         record = self.ensure_edge(port.neighbor)
         if message.child_is_helper:
             record.helper_parent = message.parent_port
@@ -170,15 +513,53 @@ class Processor:
         port = message.helper_port
         if port is None or port.processor != self.node_id:
             return
+        victim = message.deleted
+        if victim is not None:
+            newest = self.repair_epochs.get(victim, -1)
+            if message.epoch < newest:
+                return  # stale instruction from a superseded merge epoch
+            self.repair_epochs[victim] = max(newest, message.epoch)
         record = self.ensure_edge(port.neighbor)
         if not message.create:
-            record.clear_helper()
+            if record.has_helper and (victim is None or record.helper_victim == victim):
+                self._drop_helper_links(record, port)
+                record.clear_helper()
             return
+        if record.has_helper and record.helper_victim != victim:
+            # Another repair's helper lives here; a (necessarily partial)
+            # merge picked a busy port.  Refuse — the full merge never does.
+            return
+        if record.has_helper:
+            self._drop_helper_links(record, port)
         record.has_helper = True
+        record.helper_victim = victim
         record.helper_parent = message.parent_port
         record.helper_left = message.left_port
         record.helper_right = message.right_port
+        record.helper_height = message.height
+        record.helper_children_count = 2
+        record.helper_representative = message.representative_port
+        if self.network is not None:
+            for child in (message.left_port, message.right_port):
+                if child is not None:
+                    self.network.add_link_source(
+                        link_source_key(port, child), self.node_id, child.processor
+                    )
+
+    def _drop_helper_links(self, record: EdgeRecord, port: Port) -> None:
+        """Remove the link sources a previously applied assignment created."""
+        if self.network is None:
+            return
+        for child in (record.helper_left, record.helper_right):
+            if child is not None:
+                self.network.remove_link_source(
+                    link_source_key(port, child), self.node_id, child.processor
+                )
 
     # ------------------------------------------------------------------ #
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Processor({self.node_id!r}, edges={len(self.edges)})"
+
+
+def _chunks(items: List, size: int) -> List[List]:
+    return [items[i : i + size] for i in range(0, len(items), size)]

@@ -3,29 +3,39 @@
 :class:`DistributedForgivingGraph` exposes the same healer protocol as
 :class:`repro.core.ForgivingGraph` (``insert`` / ``delete`` /
 ``actual_graph`` / ``g_prime_view`` / ``alive_nodes`` ...), but every repair
-is replayed as explicit messages over a synchronous round-based network of
+runs as explicit messages over a synchronous round-based network of
 :class:`~repro.distributed.processor.Processor` objects, each holding the
 Table 1 per-edge state.  ``delete`` therefore returns a
 :class:`~repro.distributed.metrics.DeletionCostReport` with the quantities
 Lemma 4 bounds: total messages, bits, rounds, the largest message and the
 busiest processor.
 
-The structural repair decisions are made by an embedded reference engine
-(see the faithfulness note in :mod:`repro.distributed.protocol`), so the
-distributed state provably converges to the same reconstruction trees; the
-added value of this class is the cost accounting and the per-processor view,
-both of which the tests cross-check against the engine.
+The merge is **message-native** (PR 4): the structural outcome of each
+repair — which helper nodes exist, who simulates them, which healed links
+appear — is decided by the merge-leader processor from the primary-root
+descriptors that physically reached it, and applied by the owners from the
+instructions they physically received (see
+:mod:`repro.distributed.protocol`).  The embedded reference engine still
+executes every adversarial move, but only as an *oracle*: it maintains the
+``G'`` bookkeeping the adversary and the measurement layer read, and the
+equivalence tests compare the distributed state against it.  Nothing on the
+repair path consults the engine's merge outcome — under a lossless network
+the two provably coincide; under an injected
+:class:`~repro.distributed.faults.FaultSchedule` they *diverge*, and
+:meth:`reconverge` is the recovery protocol: participants retransmit the
+knowledge the audit finds missing (unreported fragments, unapplied
+assignments, unstripped helpers) until the distributed state reaches a
+fixed point again.
 
-The accounting is *incremental end to end*, matching the protocol's own
-asymptotics (Lemma 4 bounds each repair at ``O(d log n)`` messages, so the
-measurement layer must not be O(n + m) per deletion): link sync applies the
-engine's :attr:`~repro.core.ForgivingGraph.edge_delta_log` suffix — exactly
-the healed edges the repair added or removed — instead of diffing full edge
-sets, and per-deletion cost reports come from the network's per-repair
-:class:`~repro.distributed.metrics.MetricsWindow` instead of diffing full
-counter snapshots.  ``delete`` performs no full-graph work; the seed-era
-full-diff link sync is retained as ``_sync_links_reference`` for the
-equivalence tests and the perf report's baseline side.
+The accounting remains incremental end to end (Lemma 4 bounds each repair
+at ``O(d log n)`` messages, so the measurement layer must not be O(n + m)
+per deletion): planning reads zero-copy views and O(broken-region)
+structures, link maintenance is driven by O(repair) message effects on the
+network's sourced link set, and per-deletion cost reports come from the
+network's per-repair :class:`~repro.distributed.metrics.MetricsWindow`.
+The seed-era full-diff link sync survives as
+:meth:`_sync_links_reference` — now an oracle *resync* used by the
+equivalence tests and as a last-resort recovery path.
 
 The class is also a first-class engine citizen: it is registered in
 :mod:`repro.baselines.registry` as ``"distributed_forgiving_graph"``, it
@@ -36,6 +46,7 @@ exposes the degree-touch journal the incremental adversaries consume, and
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
@@ -44,27 +55,103 @@ from ..core.errors import InvariantViolationError
 from ..core.forgiving_graph import ForgivingGraph
 from ..core.ports import NodeId, Port
 from ..core.reconstruction_tree import RTHelper, RTLeaf
-from .messages import InsertionNotice
+from .faults import FaultSchedule
+from .merge import link_source_key, real_source_key
+from .messages import HelperAssignment, InsertionNotice, ParentUpdate, PrimaryRootList, Probe
 from .metrics import DeletionCostReport
 from .network import Network
-from .protocol import execute_repair, plan_repair
+from .protocol import RepairPlan, execute_repair, plan_repair
 
-__all__ = ["DistributedForgivingGraph"]
+__all__ = ["DistributedForgivingGraph", "ReconvergenceReport"]
+
+
+class _OracleQuarantine:
+    """Poison placeholder proving the repair path never reads the oracle's merge."""
+
+    @staticmethod
+    def _trip(what: str):
+        raise AssertionError(
+            f"message-native repair consulted the reference engine's merge outcome ({what})"
+        )
+
+    def __getattr__(self, name):
+        self._trip(name)
+
+    def __iter__(self):
+        self._trip("iter")
+
+    def __len__(self):
+        self._trip("len")
+
+    def __getitem__(self, index):
+        self._trip("getitem")
+
+    def __bool__(self):
+        self._trip("bool")
+
+
+@dataclass
+class ReconvergenceReport:
+    """Outcome of one reconvergence pass after a (possibly faulty) repair."""
+
+    victim: NodeId
+    converged: bool
+    rounds: int = 0
+    retransmissions: int = 0
+    #: Messages lost to faults *during* the reconvergence itself.
+    dropped: int = 0
+    audit_passes: int = 0
+
+
+@dataclass
+class _RepairRuntime:
+    """Per-repair state kept for auditing and recovery."""
+
+    plan: RepairPlan
+    participants: List[NodeId] = field(default_factory=list)
 
 
 class DistributedForgivingGraph:
-    """Forgiving Graph healer running on the message-passing substrate."""
+    """Forgiving Graph healer running on the message-passing substrate.
+
+    Parameters
+    ----------
+    check_invariants:
+        Forwarded to the embedded oracle engine.
+    fault_schedule:
+        Optional :class:`~repro.distributed.faults.FaultSchedule`; when set,
+        protocol messages can be dropped / delayed / reordered and each
+        deletion finishes with a reconvergence pass (see ``auto_reconverge``).
+    auto_reconverge:
+        Run :meth:`reconverge` at the end of every ``delete`` when a fault
+        schedule is active (on by default — the next adversarial move should
+        find the network consistent, matching the paper's one-attack-at-a-
+        time model).
+    quarantine_oracle:
+        After every oracle ``delete`` replace the engine's merge-outcome
+        attributes with poison objects that raise on access — a structural
+        proof that the measured repair path never reads them.  Used by the
+        perf report's ``message_native_merge`` gate and the tests.
+    """
 
     name = "distributed_forgiving_graph"
 
-    def __init__(self, check_invariants: bool = False) -> None:
+    def __init__(
+        self,
+        check_invariants: bool = False,
+        fault_schedule: Optional[FaultSchedule] = None,
+        auto_reconverge: bool = True,
+        quarantine_oracle: bool = False,
+    ) -> None:
         self._engine = ForgivingGraph(check_invariants=check_invariants)
-        self.network = Network(strict_links=True)
+        self.network = Network(strict_links=True, fault_schedule=fault_schedule)
         #: One cost report per deletion, in order.
         self.cost_reports: List[DeletionCostReport] = []
-        # Cursor into the engine's edge-delta journal: everything before it
-        # has already been applied to the network's link set.
-        self._edge_cursor = 0
+        #: One reconvergence report per reconverge() call, in order.
+        self.reconvergence_reports: List[ReconvergenceReport] = []
+        self.auto_reconverge = auto_reconverge
+        self.quarantine_oracle = quarantine_oracle
+        self._runtime: Optional[_RepairRuntime] = None
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -97,9 +184,10 @@ class DistributedForgivingGraph:
 
     def _bootstrap_edge(self, u: NodeId, v: NodeId) -> None:
         self._engine._add_initial_edge(u, v)
-        self._sync_links()  # the new G_0 edge is the engine's edge delta
         # Pre-processing (Figure 1): each endpoint starts knowing its G_0
-        # neighbours, i.e. runs Init(v) locally — no messages needed.
+        # neighbours, i.e. runs Init(v) locally — no messages needed.  The
+        # link is sourced by the real edge itself.
+        self.network.add_link_source(real_source_key(u, v), u, v)
         self.network.processors[u].ensure_edge(v)
         self.network.processors[v].ensure_edge(u)
 
@@ -128,20 +216,37 @@ class DistributedForgivingGraph:
 
     @property
     def engine(self) -> ForgivingGraph:
-        """The embedded reference engine (shares all structural state)."""
+        """The embedded reference engine (the equivalence oracle)."""
         return self._engine
+
+    @property
+    def fault_schedule(self) -> Optional[FaultSchedule]:
+        """The active fault schedule, if any."""
+        return self.network.fault_schedule
 
     def is_alive(self, node: NodeId) -> bool:
         """True when ``node`` is currently alive."""
         return self._engine.is_alive(node)
 
     def actual_graph(self) -> nx.Graph:
-        """The healed graph ``G`` (identical to the engine's view)."""
+        """The healed graph ``G`` (the oracle's view)."""
         return self._engine.actual_graph()
 
     def actual_view(self) -> nx.Graph:
         """Zero-copy read-only view of the healed graph ``G``."""
         return self._engine.actual_view()
+
+    def network_graph(self) -> nx.Graph:
+        """The healed graph as the *processors* know it: current link set.
+
+        This is the message-native counterpart of :meth:`actual_graph` —
+        under a lossless network the two are identical; under faults they
+        diverge until :meth:`reconverge` restores the fixed point.
+        """
+        graph = nx.Graph()
+        graph.add_nodes_from(self.network.processors)
+        graph.add_edges_from(self.network.links())
+        return graph
 
     def g_prime_view(self) -> nx.Graph:
         """The insertion-only graph ``G'``."""
@@ -165,6 +270,10 @@ class DistributedForgivingGraph:
         run their lazy-heap fast path against the distributed healer too)."""
         return self._engine.degree_touch_log
 
+    def compact_journals(self) -> Dict[str, int]:
+        """Compact the engine's journals (see :meth:`ForgivingGraph.compact_journals`)."""
+        return self._engine.compact_journals()
+
     def degree_increase_factor(self, node: Optional[NodeId] = None) -> float:
         """Worst ``deg(v, G) / deg(v, G')`` ratio (Theorem 1.1's metric)."""
         return self._engine.degree_increase_factor(node)
@@ -177,13 +286,17 @@ class DistributedForgivingGraph:
 
         The inserted processor knows its chosen neighbours locally and sends
         each of them one :class:`InsertionNotice` so they can create their
-        Table 1 edge record — the only communication insertions need.
+        Table 1 edge record — the only communication insertions need.  The
+        new links are sourced by the real edges (both endpoints know them at
+        attach time, Figure 1's model), so a lost notice cannot detach the
+        topology.
         """
         self._engine.insert(node, attach_to=attach_to)
         processor = self.network.add_processor(node)
-        self._sync_links()  # the attach edges are the insertion's edge delta
         for neighbor in dict.fromkeys(attach_to):
+            self.network.add_link_source(real_source_key(node, neighbor), node, neighbor)
             processor.ensure_edge(neighbor)
+            self.network.processors[neighbor].ensure_edge(node)
             self.network.send(
                 InsertionNotice(sender=node, receiver=neighbor, inserted=node)
             )
@@ -193,25 +306,38 @@ class DistributedForgivingGraph:
     def delete(self, node: NodeId) -> DeletionCostReport:
         """Adversarial deletion: heal the network and account for every message.
 
-        The whole accounting is O(repair): planning reads zero-copy views,
-        link sync applies the engine's edge delta, and the cost report is
-        read off the per-repair metrics window — no ``actual_graph()`` call,
-        no full edge-set diff, no full counter snapshot.
+        The repair is planned from pre-deletion local knowledge, executed as
+        messages, and measured off the per-repair metrics window — O(repair)
+        work throughout, and no oracle reads anywhere on the path.
         """
         degree = self._engine.g_prime_degree(node)
+        self._uninstall_runtime()
         plan = plan_repair(self._engine, node)
         self.network.begin_repair()
 
-        engine_report = self._engine.delete(node)
+        # The oracle executes the same move (it owns the G'/alive bookkeeping
+        # every consumer reads); its merge outcome is quarantined away from
+        # the message path when paranoia is requested.
+        self._engine.delete(node)
+        if self.quarantine_oracle:
+            self._engine.last_repair_rt = _OracleQuarantine()
+            self._engine.last_new_helpers = _OracleQuarantine()
+            self._engine.last_released_helper_ports = _OracleQuarantine()
 
-        # The processor is gone; the surviving links must match the healed graph.
         if self.network.has_processor(node):
             self.network.remove_processor(node)
-        self._sync_links()
-
-        rounds = execute_repair(self.network, self._engine, plan, engine_report)
+        rounds = execute_repair(self.network, plan)
 
         window = self.network.end_repair()
+        self._runtime = _RepairRuntime(
+            plan=plan,
+            participants=[p for p in plan.contexts if self.network.has_processor(p)],
+        )
+        recon: Optional[ReconvergenceReport] = None
+        if self.network.fault_schedule is not None and self.auto_reconverge:
+            recon = self.reconverge()
+
+        outcome = self._leader_outcome(plan)
         report = DeletionCostReport(
             deleted_node=node,
             degree=degree,
@@ -221,71 +347,265 @@ class DistributedForgivingGraph:
             rounds=rounds,
             max_message_bits=window.max_message_bits,
             max_messages_per_node=window.max_messages_per_node(),
-            helpers_created=engine_report.helpers_created,
-            helpers_released=engine_report.helpers_released,
+            helpers_created=len(outcome.helpers) if outcome is not None else 0,
+            helpers_released=sum(
+                len(context.released) for context in plan.contexts.values()
+            ),
+            # All of this deletion's losses: the repair window's plus any
+            # suffered while reconverging (the window closes before recovery).
+            dropped_messages=window.dropped
+            + (recon.dropped if recon is not None else 0),
+            retransmissions=recon.retransmissions if recon is not None else 0,
+            reconvergence_rounds=recon.rounds if recon is not None else 0,
+            converged=recon.converged if recon is not None else True,
         )
         self.cost_reports.append(report)
         return report
 
-    def _sync_links(self) -> None:
-        """Apply the engine's edge-delta journal suffix to the link set.
+    def _leader_outcome(self, plan: RepairPlan):
+        if plan.leader is None:
+            return None
+        context = plan.contexts.get(plan.leader)
+        return context.outcome if context is not None else None
 
-        O(delta) in the number of healed edges the last operation added or
-        removed: removals are applied unconditionally (dead endpoints are
-        tolerated — the processor's removal already dropped those links) and
-        additions connect only pairs of live processors, which is every edge
-        the repair glue can produce.
-        """
-        log = self._engine.edge_delta_log
-        if self._edge_cursor >= len(log):
+    def _uninstall_runtime(self) -> None:
+        """Retire the previous repair's contexts before planning the next one."""
+        runtime, self._runtime = self._runtime, None
+        if runtime is None:
             return
-        network = self.network
-        for added, u, v in log[self._edge_cursor :]:
-            if added:
-                if network.has_processor(u) and network.has_processor(v):
-                    network.connect(u, v)
-            else:
-                network.disconnect(u, v)
-        self._edge_cursor = len(log)
+        for node in runtime.participants:
+            processor = self.network.processors.get(node)
+            if processor is not None:
+                processor.uninstall_repair(runtime.plan.victim)
 
-    def _sync_links_reference(self) -> None:
-        """The retained seed-era link sync: a full healed-edge diff (O(n + m)).
+    # ------------------------------------------------------------------ #
+    # reconvergence (detect inconsistency, retransmit, repeat)
+    # ------------------------------------------------------------------ #
+    def reconverge(self, max_rounds: int = 600) -> ReconvergenceReport:
+        """Drive the last repair's distributed state back to a fixed point.
 
-        Rebuilds the healed graph, diffs its whole edge set against the
-        network's whole link set, and applies the difference.  Kept as the
-        ground truth the delta-driven :meth:`_sync_links` is equivalence-
-        tested against, and as the baseline side of the perf report's
-        ``distributed_repair`` section.  Leaves the delta cursor fully
-        drained so the two paths can be interleaved.
+        Audits the participants against the knowledge the protocol is
+        entitled to — each participant's own plan context and the leader's
+        current outcome, never the oracle — and retransmits exactly what the
+        audit finds missing: unstripped fragments get their probe again,
+        unreported pieces are re-offered to the leader (which re-merges and
+        re-disseminates under a higher epoch), unapplied or superseded
+        assignments are re-sent.  Repeats until an audit pass comes back
+        clean or ``max_rounds`` delivery rounds have been spent; with any
+        fault probability below one, termination is almost sure, and every
+        run is deterministic given the fault schedule's seed.
         """
-        healed_edges = {
-            frozenset(edge) for edge in self._engine.actual_graph().edges
-        }
-        current = {frozenset(link) for link in self.network.links()}
-        for link in current - healed_edges:
+        runtime = self._runtime
+        if runtime is None:
+            return ReconvergenceReport(victim=None, converged=True)
+        plan = runtime.plan
+        report = ReconvergenceReport(victim=plan.victim, converged=False)
+        dropped_before = self.network.metrics.total_dropped
+        while report.rounds < max_rounds:
+            resends = self._audit(plan)
+            report.audit_passes += 1
+            if not resends:
+                report.converged = True
+                break
+            self.network.begin_scaffold()
+            for message in resends:
+                if self.network.has_processor(message.sender) and self.network.has_processor(
+                    message.receiver
+                ):
+                    self.network.send(message)
+                    report.retransmissions += 1
+            while self.network.in_flight and report.rounds < max_rounds:
+                self.network.deliver_round()
+                report.rounds += 1
+            self.network.end_scaffold()
+        report.dropped = self.network.metrics.total_dropped - dropped_before
+        self.reconvergence_reports.append(report)
+        return report
+
+    def _audit(self, plan: RepairPlan) -> List:
+        """One audit pass: list the retransmissions the repair still needs."""
+        resends: List = []
+        network = self.network
+        victim = plan.victim
+        leader = plan.leader
+        leader_context = plan.contexts.get(leader) if leader is not None else None
+
+        # (1) Strip knowledge that never applied: resend the probe.
+        for node, context in plan.contexts.items():
+            if not context.stripped and (context.released or context.glue):
+                sender = leader if leader is not None else node
+                resends.append(
+                    Probe(sender=sender, receiver=node, deleted=victim, hops=0)
+                )
+
+        if leader_context is None:
+            return resends
+
+        # (2) Pieces the leader never learnt about: their owners re-offer them.
+        known = set(leader_context.gathered)
+        for summary in plan.all_summaries:
+            if summary not in known:
+                resends.append(
+                    PrimaryRootList(
+                        sender=summary.root_port.processor,
+                        receiver=leader,
+                        deleted=victim,
+                        roots=(summary,),
+                    )
+                )
+        outcome = leader_context.outcome
+        if outcome is None or set(outcome.summaries) != set(leader_context.gathered):
+            # The leader has (or just regained) more knowledge than its last
+            # merge used; nudge it to re-merge by re-offering anything known.
+            if outcome is not None and not any(
+                isinstance(m, PrimaryRootList) for m in resends
+            ):
+                refresh = next(iter(leader_context.gathered), None)
+                if refresh is not None:
+                    resends.append(
+                        PrimaryRootList(
+                            sender=leader, receiver=leader, deleted=victim, roots=(refresh,)
+                        )
+                    )
+            return resends
+
+        # (3) Outcome instructions that never applied (or were superseded).
+        epoch = leader_context.epoch
+        current_ports = outcome.helper_ports()
+        for helper in outcome.helpers:
+            record = self._record_of(helper.port)
+            applied = (
+                record is not None
+                and record.has_helper
+                and record.helper_victim == victim
+                and record.helper_left == helper.left_port
+                and record.helper_right == helper.right_port
+                and record.helper_parent == helper.parent_port
+            )
+            links_ok = all(
+                network.has_link_source(key, u, v)
+                for key, u, v in (
+                    (link_source_key(helper.port, child), helper.port.processor, child.processor)
+                    for child in (helper.left_port, helper.right_port)
+                )
+                if u != v
+            )
+            if not applied or not links_ok:
+                resends.append(
+                    HelperAssignment(
+                        sender=leader,
+                        receiver=helper.port.processor,
+                        deleted=victim,
+                        helper_port=helper.port,
+                        parent_port=helper.parent_port,
+                        left_port=helper.left_port,
+                        right_port=helper.right_port,
+                        create=True,
+                        representative_port=helper.representative,
+                        height=helper.height,
+                        num_leaves=helper.num_leaves,
+                        epoch=epoch,
+                    )
+                )
+        for child_port, child_is_leaf, parent_port in outcome.parent_updates:
+            record = self._record_of(child_port)
+            if record is None:
+                continue
+            applied = (
+                record.helper_parent == parent_port
+                if not child_is_leaf
+                else record.rt_parent == parent_port
+            )
+            if not applied:
+                resends.append(
+                    ParentUpdate(
+                        sender=leader,
+                        receiver=child_port.processor,
+                        deleted=victim,
+                        child_port=child_port,
+                        parent_port=parent_port,
+                        child_is_helper=not child_is_leaf,
+                        epoch=epoch,
+                    )
+                )
+        # (4) Assignments a re-merge superseded but that are still applied.
+        for port in leader_context.instructed:
+            if port in current_ports:
+                continue
+            record = self._record_of(port)
+            if record is not None and record.has_helper and record.helper_victim == victim:
+                resends.append(
+                    HelperAssignment(
+                        sender=leader,
+                        receiver=port.processor,
+                        deleted=victim,
+                        helper_port=port,
+                        create=False,
+                        epoch=epoch,
+                    )
+                )
+        return resends
+
+    def _record_of(self, port: Port):
+        processor = self.network.processors.get(port.processor)
+        if processor is None:
+            return None
+        return processor.edges.get(port.neighbor)
+
+    # ------------------------------------------------------------------ #
+    # oracle resync (the retained full-diff reference path)
+    # ------------------------------------------------------------------ #
+    def _sync_links_reference(self) -> None:
+        """Rebuild the sourced link set from the oracle — a full O(n + m) diff.
+
+        The seed-era link sync, retained as the ground truth the
+        message-native maintenance is equivalence-tested against (the tests
+        assert it is a *no-op* after lossless repairs) and as a last-resort
+        recovery: it reconstitutes every link source — real edges and RT
+        virtual edges — exactly as the message flow would have.
+        """
+        expected: Dict[frozenset, Set[Tuple]] = {}
+        engine = self._engine
+        alive = engine.alive_nodes
+        for u, v in engine.g_prime_graph_view().edges:
+            if u in alive and v in alive:
+                expected.setdefault(frozenset((u, v)), set()).add(real_source_key(u, v))
+        for rt in engine.reconstruction_trees():
+            for parent, child in rt.virtual_edges():
+                p, c = parent.processor, child.processor
+                if p != c:
+                    parent_port = parent.port if isinstance(parent, RTLeaf) else parent.simulated_by
+                    child_port = child.port if isinstance(child, RTLeaf) else child.simulated_by
+                    expected.setdefault(frozenset((p, c)), set()).add(
+                        link_source_key(parent_port, child_port)
+                    )
+        network = self.network
+        for link in {frozenset(pair) for pair in network.links()} - set(expected):
             u, v = tuple(link)
-            self.network.disconnect(u, v)
-        for link in healed_edges - current:
+            network.disconnect(u, v)
+        network._link_sources = expected
+        for link in expected:
             u, v = tuple(link)
-            if self.network.has_processor(u) and self.network.has_processor(v):
-                self.network.connect(u, v)
-        self._edge_cursor = len(self._engine.edge_delta_log)
+            if network.has_processor(u) and network.has_processor(v):
+                network.connect(u, v)
 
     # ------------------------------------------------------------------ #
     # consistency between distributed state and the reference engine
     # ------------------------------------------------------------------ #
     def verify_consistency(self) -> None:
-        """Check that the distributed state matches the reference engine.
+        """Check that the distributed state matches the reference oracle.
 
-        Three families of checks, all raising
+        Four families of checks, all raising
         :class:`InvariantViolationError` on mismatch: the network's
         addition-counted ``n_ever`` must equal the engine's ``nodes_ever``
         (the engine-driven cross-check of the message-sizing ``n``); the
-        delta-synced link set must equal the healed graph's edge set (what
-        the retained full-diff ``_sync_links_reference`` would produce); and
-        for every helper node the engine maintains, the simulating processor
-        must have ``has_helper`` set with the matching children pointers,
-        with no processor claiming a helper the engine does not know about.
+        message-maintained link set must equal the healed graph's edge set;
+        every link's *source multiplicity* must equal the engine's edge
+        multiplicity (the distributed twin of the incremental ``G``
+        bookkeeping); and for every helper node the engine maintains, the
+        simulating processor must have ``has_helper`` set with the matching
+        children pointers, with no processor claiming a helper the engine
+        does not know about.
         """
         if self.network.n_ever != self._engine.nodes_ever:
             raise InvariantViolationError(
@@ -302,6 +622,14 @@ class DistributedForgivingGraph:
                 f"link set diverges from the healed graph "
                 f"(missing={len(missing)}, unexpected={len(extra)})"
             )
+        for key, count in self._engine._edge_mult.items():
+            u, v = tuple(key)
+            have = self.network.link_source_count(u, v)
+            if have != count:
+                raise InvariantViolationError(
+                    f"link ({u!r}, {v!r}) has {have} message-tracked sources, "
+                    f"engine counts multiplicity {count}"
+                )
 
         engine_helpers: Dict[Port, RTHelper] = {}
         for rt in self._engine.reconstruction_trees():

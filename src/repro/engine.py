@@ -173,6 +173,7 @@ class AttackSession:
             healer_name=self.healer_name,
             session=self.measurement,
         )
+        self.compact_journals()
         self._peak_degree = max(self._peak_degree, report.degree_factor)
         self._peak_stretch = max(self._peak_stretch, report.stretch)
         if self.track_series:
@@ -239,11 +240,27 @@ class AttackSession:
             )
         self.finalize(start=start)
 
+    def compact_journals(self) -> Dict[str, int]:
+        """Compact the healer's incremental journals (degree-touch, edge-delta).
+
+        The journals are append-only per engine and would grow without bound
+        over a long session; the session compacts them on its measurement
+        cadence, so their retained size stays proportional to the interval
+        between measurements, not to the attack length.  Registered consumers
+        (the incremental adversaries) pin whatever they have not drained yet;
+        healers without journals report nothing.
+        """
+        compact = getattr(self.healer, "compact_journals", None)
+        if compact is None:
+            return {}
+        return compact()
+
     def finalize(self, start: Optional[float] = None) -> SessionResult:
         """Take the final measurement (if configured) and freeze the result."""
         if self._result is not None:
             return self._result
         final = self.measure_now() if self.measure_final else None
+        self.compact_journals()
         if start is None:
             start = self._start_time  # early-exited stream: real elapsed time
         elapsed = (time.perf_counter() - start) if start is not None else 0.0

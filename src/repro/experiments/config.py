@@ -8,11 +8,12 @@ seed) and regenerated with one call.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..adversary.strategies import available_deletion_strategies
 from ..baselines.registry import available_healers
 from ..core.errors import ConfigurationError
+from ..distributed.faults import FAULT_PRESETS
 from ..generators.graphs import GraphSpec, available_topologies
 
 __all__ = ["AttackConfig", "ExperimentConfig"]
@@ -24,7 +25,12 @@ class AttackConfig:
 
     ``delete_fraction`` expresses the attack length as a fraction of the
     initial node count; ``delete_probability`` mixes insertions in
-    (``1.0`` = pure deletion attack).
+    (``1.0`` = pure deletion attack).  ``fault_preset`` selects the network
+    conditions the repair protocol runs under (a named
+    :data:`repro.distributed.faults.FAULT_PRESETS` entry; meaningful only
+    for the message-passing healer, where dropped/delayed/reordered repair
+    messages force the reconvergence path) — the seeded schedule derives
+    from the experiment seed, so faulty runs stay deterministic.
     """
 
     strategy: str = "max_degree"
@@ -32,6 +38,7 @@ class AttackConfig:
     delete_probability: float = 1.0
     insertion_degree: int = 3
     min_survivors: int = 2
+    fault_preset: str = "lossless"
 
     def __post_init__(self) -> None:
         if self.strategy not in available_deletion_strategies():
@@ -45,6 +52,11 @@ class AttackConfig:
             raise ConfigurationError("delete_probability must lie in [0, 1]")
         if self.insertion_degree < 1:
             raise ConfigurationError("insertion_degree must be at least 1")
+        if self.fault_preset not in FAULT_PRESETS:
+            raise ConfigurationError(
+                f"unknown fault preset {self.fault_preset!r}; "
+                f"available: {sorted(FAULT_PRESETS)}"
+            )
 
     def steps_for(self, n: int) -> int:
         """Number of adversarial moves for an initial graph of ``n`` nodes."""
@@ -76,7 +88,7 @@ class ExperimentConfig:
 
     def describe(self) -> Dict[str, object]:
         """Flat description used as the left-hand columns of report tables."""
-        return {
+        description = {
             "experiment": self.name,
             "topology": self.graph.topology,
             "n0": self.graph.n,
@@ -85,3 +97,6 @@ class ExperimentConfig:
             "delete_probability": self.attack.delete_probability,
             "seed": self.seed,
         }
+        if self.attack.fault_preset != "lossless":
+            description["fault_preset"] = self.attack.fault_preset
+        return description

@@ -19,7 +19,7 @@ import csv
 import json
 import math
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
 __all__ = [
     "format_table",

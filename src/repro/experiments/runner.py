@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import networkx as nx
 
@@ -19,8 +19,10 @@ from ..adversary.schedule import AttackSchedule
 from ..adversary.strategies import RandomInsertion, make_deletion_strategy
 from ..analysis.invariants import GuaranteeReport
 from ..baselines.registry import make_healer
+from ..core.errors import ConfigurationError
+from ..distributed.faults import fault_schedule
 from ..engine import AttackSession, SessionResult
-from .config import AttackConfig, ExperimentConfig
+from .config import ExperimentConfig
 from .reporting import json_safe_value
 
 __all__ = [
@@ -115,9 +117,25 @@ def build_session(
     """Materialize the engine session for one (config, healer) pair.
 
     ``measure_every=0`` selects the session's automatic coarse interval.
+
+    A non-lossless ``attack.fault_preset`` builds the healer with the
+    corresponding seeded :class:`~repro.distributed.faults.FaultSchedule`
+    (derived from the experiment seed, so runs stay reproducible); only the
+    message-passing healer has a network to injure, so any other healer
+    name is rejected.
     """
     initial = graph if graph is not None else config.graph.build(seed=config.seed)
-    healer = make_healer(healer_name, initial)
+    healer_options = {}
+    if config.attack.fault_preset != "lossless":
+        if healer_name != "distributed_forgiving_graph":
+            raise ConfigurationError(
+                f"fault preset {config.attack.fault_preset!r} requires the "
+                f"'distributed_forgiving_graph' healer, not {healer_name!r}"
+            )
+        healer_options["fault_schedule"] = fault_schedule(
+            config.attack.fault_preset, seed=config.seed
+        )
+    healer = make_healer(healer_name, initial, **healer_options)
     schedule = build_schedule(config, initial.number_of_nodes())
     return AttackSession(
         healer,

@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from ..generators.graphs import GraphSpec
 from .config import AttackConfig, ExperimentConfig
 from .reporting import JsonlReporter, json_safe_row
-from .runner import AttackOutcome, run_attack, run_healer_comparison
+from .runner import run_attack, run_healer_comparison
 
 __all__ = [
     "SweepTask",
@@ -41,6 +41,7 @@ __all__ = [
     "sweep_graph_sizes",
     "sweep_healers",
     "sweep_strategies",
+    "sweep_fault_presets",
 ]
 
 Row = Dict[str, object]
@@ -231,5 +232,46 @@ def sweep_strategies(
             healer=healer,
         )
         for strategy in strategies
+    ]
+    return run_sweep(tasks, max_workers=max_workers, jsonl_path=jsonl_path, resume=resume)
+
+
+def sweep_fault_presets(
+    name: str,
+    topology: str,
+    n: int,
+    presets: Sequence[str],
+    delete_fraction: float = 0.4,
+    seed: int = 0,
+    stretch_sources: Optional[int] = 48,
+    max_workers: Optional[int] = None,
+    jsonl_path: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+) -> List[Row]:
+    """Run the message-passing healer under several network fault presets.
+
+    The fault axis of the sweep space (experiment E11): every task plays
+    the identical attack on the identical topology, differing only in the
+    seeded drop/delay/reorder schedule injected under the repair protocol —
+    so the rows isolate what faulty links cost and confirm the guarantees
+    survive reconvergence.
+    """
+    tasks = [
+        SweepTask(
+            config=ExperimentConfig(
+                name=name,
+                graph=GraphSpec(topology=topology, n=n),
+                attack=AttackConfig(
+                    strategy="max_degree",
+                    delete_fraction=delete_fraction,
+                    fault_preset=preset,
+                ),
+                healers=("distributed_forgiving_graph",),
+                seed=seed,
+                stretch_sources=stretch_sources,
+            ),
+            healer="distributed_forgiving_graph",
+        )
+        for preset in presets
     ]
     return run_sweep(tasks, max_workers=max_workers, jsonl_path=jsonl_path, resume=resume)

@@ -9,7 +9,7 @@ labels ``0 .. n-1`` so that experiments can insert fresh nodes with labels
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Union
+from typing import Callable, Dict, Union
 
 import networkx as nx
 import numpy as np

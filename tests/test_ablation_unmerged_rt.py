@@ -7,8 +7,6 @@ distances remain fine.
 """
 
 import networkx as nx
-import pytest
-
 from repro.adversary import MaxDegreeDeletion, deletion_only_schedule
 from repro.baselines import UnmergedRTHealing, available_healers, make_healer
 from repro.generators import make_graph

@@ -8,8 +8,6 @@ heterogeneous node identifiers, immediate re-attack of freshly healed areas).
 import math
 
 import networkx as nx
-import pytest
-
 from repro import ForgivingGraph
 from repro.analysis import check_connectivity_preserved, stretch_report
 from repro.generators import make_graph

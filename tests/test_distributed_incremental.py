@@ -1,18 +1,17 @@
-"""The incremental distributed accounting: delta link sync + O(delta) cost reports.
+"""The incremental distributed accounting: O(repair) link upkeep + cost reports.
 
-Pins the tentpole invariants of the incremental refactor of the distributed
-layer: ``DistributedForgivingGraph.delete`` performs no full-graph work (no
+Pins the accounting invariants of the distributed layer:
+``DistributedForgivingGraph.delete`` performs no full-graph work (no
 ``actual_graph()`` rebuild, no full edge-set diff, no full metrics
-snapshot), the delta-driven link sync is equivalent to the retained
-full-diff reference under randomized churn, per-deletion cost reports are
-isolated from each other (a later cheap repair never inherits an earlier
-repair's maxima), ``Network.n_ever`` counts additions, and the distributed
-healer is a first-class citizen of the unified engine (registry entry,
-``StepEvent.cost_report``, experiment runner).
+snapshot), the message-driven link maintenance is a fixed point of the
+retained full-diff oracle resync under randomized churn, per-deletion cost
+reports are isolated from each other (a later cheap repair never inherits
+an earlier repair's maxima), ``Network.n_ever`` counts additions, and the
+distributed healer is a first-class citizen of the unified engine (registry
+entry, ``StepEvent.cost_report``, experiment runner).
 """
 
 import numpy as np
-import pytest
 
 from repro.adversary import (
     MaxDegreeDeletion,
@@ -65,10 +64,10 @@ class TestNoFullGraphWork:
         assert d.is_alive(999)
 
 
-class TestDeltaSyncEquivalence:
-    def test_delta_sync_matches_full_diff_reference_under_churn(self):
-        """After every churn event the delta-synced link set is a fixed point
-        of the retained full-diff reference (same links, same consistency)."""
+class TestLinkMaintenanceEquivalence:
+    def test_message_driven_links_are_a_fixed_point_of_the_oracle_resync(self):
+        """After every churn event the message-maintained link set is a fixed
+        point of the retained full-diff oracle resync (same links and sources)."""
         rng = np.random.default_rng(11)
         d = DistributedForgivingGraph.from_graph(make_graph("erdos_renyi", 30, seed=11))
         fresh = 10_000

@@ -5,7 +5,6 @@ import pytest
 from repro.core.errors import ProtocolError, UnknownNodeError
 from repro.core.ports import Port
 from repro.distributed import (
-    AnchorLink,
     DeletionNotice,
     HelperAssignment,
     InsertionNotice,

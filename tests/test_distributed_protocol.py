@@ -5,7 +5,6 @@ import pytest
 from repro import ForgivingGraph
 from repro.core.errors import UnknownNodeError
 from repro.distributed.protocol import _balanced_tree_edges, plan_repair
-from repro.generators import make_graph
 
 
 class TestPlanRepair:

@@ -104,9 +104,9 @@ class TestTheorem2AndComparisons:
 
 
 class TestCatalogPlumbing:
-    def test_all_experiments_returns_ten_sections(self):
+    def test_all_experiments_returns_eleven_sections(self):
         sections = all_experiments("smoke")
-        assert len(sections) == 10
+        assert len(sections) == 11
         titles = [section[0] for section in sections]
         assert all(title.startswith("E") for title in titles)
         assert all(section[1] for section in sections)  # every section has rows

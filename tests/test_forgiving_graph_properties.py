@@ -9,7 +9,6 @@ internal structure after every single move.
 
 import math
 
-import networkx as nx
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Tests for parallel sweep execution and streaming JSONL reporting."""
 
 import json
-import math
 
 import pytest
 
