@@ -59,6 +59,23 @@ Workloads
     state equals the oracle under a lossless network, and that seeded
     drop/reorder fault schedules reconverge to the oracle (the
     ``--fault-schedule`` presets; the CI matrix runs one preset per job).
+
+``message_native_recovery``
+    Correctness gate (PR 5): the same attacks with the repair plan's
+    *global knowledge* additionally poisoned (the per-participant context
+    map and the all-pieces union — reading either raises), run under
+    lossless and every fault preset.  Passing proves ``reconverge()``
+    reached the fixed point on gossip digests alone, that the retained
+    plan-based audit would indeed have raised, that the recovered state
+    equals the oracle, and that the digest traffic stayed within its
+    Lemma-4-style per-sweep budgets.
+
+``network_delivery``
+    The batched ``Network.deliver_round`` (one recycled per-round buffer,
+    in-place fault compaction, reorder machinery skipped when no policy can
+    reorder) against the retained ``deliver_round_reference`` allocation
+    pattern, on identical distributed attacks; the per-deletion cost
+    reports must agree exactly.
 """
 
 from __future__ import annotations
@@ -86,9 +103,10 @@ from repro.adversary.strategies import (
 )
 from repro.analysis import stretch_report, stretch_report_reference
 from repro.analysis.fastpaths import HAVE_SCIPY
-from repro.distributed import DistributedForgivingGraph
+from repro.distributed import DistributedForgivingGraph, Network
 from repro.distributed.faults import FAULT_PRESETS, fault_schedule
-from repro.distributed.metrics import DeletionCostReport
+from repro.distributed.messages import DeletionNotice
+from repro.distributed.metrics import DeletionCostReport, aggregate_recovery
 from repro.experiments import AttackConfig, ExperimentConfig, SweepTask, run_sweep
 from repro.generators import GraphSpec, make_graph
 
@@ -206,6 +224,17 @@ class SeedAccountingDistributedGraph(DistributedForgivingGraph):
 # --------------------------------------------------------------------------- #
 # workloads
 # --------------------------------------------------------------------------- #
+def _cost_report_key(report: DeletionCostReport):
+    """The fields two replays of the identical repair must agree on exactly."""
+    return (
+        report.deleted_node,
+        report.messages,
+        report.bits,
+        report.rounds,
+        report.max_messages_per_node,
+    )
+
+
 def _churned_engine(n: int, seed: int, engine_cls=ForgivingGraph) -> ForgivingGraph:
     """An engine over a seeded ER graph with n/4 random deletions applied."""
     fg = engine_cls.from_graph(make_graph("erdos_renyi", n, seed=seed))
@@ -422,8 +451,9 @@ def bench_distributed_repair(
     fast_seconds, fast_healer = attack(DistributedForgivingGraph)
 
     fast_healer.verify_consistency()
-    key = lambda r: (r.deleted_node, r.messages, r.bits, r.rounds, r.max_messages_per_node)
-    if [key(r) for r in fast_healer.cost_reports] != [key(r) for r in seed_healer.cost_reports]:
+    if [_cost_report_key(r) for r in fast_healer.cost_reports] != [
+        _cost_report_key(r) for r in seed_healer.cost_reports
+    ]:
         raise AssertionError(f"seed and fast distributed accounting disagree at n={n}")
 
     repairs = max(len(fast_healer.cost_reports), 1)
@@ -518,6 +548,172 @@ def bench_message_native(
     }
 
 
+#: The full recovery-gate matrix: the acceptance bar is "digest recovery
+#: reaches the fixed point under lossless *and* all faults", so the list is
+#: derived from the preset registry itself (a preset added to
+#: ``FAULT_PRESETS`` joins the gate automatically).  Local full runs and
+#: the dedicated CI leg replay all of it; the other CI smoke legs pass
+#: ``--recovery-schedule`` to run a cheap subset instead of repeating the
+#: whole matrix per job.
+RECOVERY_GATE_PRESETS = list(FAULT_PRESETS)
+
+
+def bench_message_native_recovery(
+    n: int,
+    presets: Optional[List[str]] = None,
+    deletions: Optional[int] = None,
+    seed: int = 20090214,
+) -> Dict[str, object]:
+    """The message-native recovery gate: reconvergence without global knowledge.
+
+    Runs a deletion attack per fault preset with *both* quarantines armed —
+    the engine's merge outcome and the repair plan's global knowledge
+    (context map + all-pieces union) are poison, so every repair and every
+    recovery provably runs on messages alone.  The lossless run drives
+    ``reconverge()`` by hand after each deletion, isolating the pure
+    detection cost (one silent sweep, zero retransmissions).  Per preset the
+    gate checks: every recovery converged, the retained plan-based audit
+    would indeed raise, the recovered state equals the oracle, and the
+    digest traffic stayed within its Lemma-4-style per-sweep budgets.
+    """
+    if presets is None:
+        presets = RECOVERY_GATE_PRESETS
+    if deletions is None:
+        deletions = n // 2
+    graph = make_graph("power_law", n, seed=seed)
+
+    rows: List[Dict[str, object]] = []
+    for preset in presets:
+        healer = DistributedForgivingGraph.from_graph(
+            graph,
+            fault_schedule=fault_schedule(preset, seed=seed),
+            quarantine_oracle=True,
+            quarantine_plan_audit=True,
+        )
+        strategy = MaxDegreeDeletion()
+        for _ in range(deletions):
+            victim = strategy.choose_victim(healer)
+            if victim is None or healer.num_alive <= 3:
+                break
+            healer.delete(victim)
+            if healer.fault_schedule is None:
+                healer.reconverge()  # lossless: measure pure detection cost
+        audit_poisoned = False
+        try:
+            healer.audit_reference()
+        except AssertionError:
+            audit_poisoned = True
+        consistent = True
+        try:
+            healer.verify_consistency()
+        except Exception:
+            consistent = False
+        row: Dict[str, object] = {"preset": preset, "repairs": len(healer.cost_reports)}
+        row.update(aggregate_recovery(healer.recovery_reports))
+        row["plan_audit_poisoned"] = audit_poisoned
+        row["consistent_with_oracle"] = consistent
+        rows.append(row)
+
+    return {
+        "n": n,
+        "presets": rows,
+        "ok": all(
+            row["all_converged"]
+            and row["within_digest_budgets"]
+            and row["within_round_budgets"]
+            and row["plan_audit_poisoned"]
+            and row["consistent_with_oracle"]
+            and row["recoveries"] > 0
+            for row in rows
+        ),
+    }
+
+
+def bench_network_delivery(n: int, seed: int = 20090214) -> Dict[str, object]:
+    """Time the batched delivery round against the retained reference path.
+
+    Equivalence is checked end-to-end: both paths play the identical faulty
+    (chaos) distributed attack — same RNG consumption, so the per-deletion
+    cost reports must agree exactly.  Timing then isolates the delivery
+    machinery itself: a message flood through ``deliver_round`` under a
+    drop-only schedule, the regime the batching targets (the reference path
+    allocates fresh batch/survivor lists and builds the reorder machinery's
+    link list every round; the batched path recycles one buffer, compacts
+    fault survivors in place and skips the shuffle entirely because no
+    policy can reorder).
+    """
+    equivalence_graph = make_graph("power_law", min(n, 150), seed=seed)
+
+    def attack(batched: bool):
+        healer = DistributedForgivingGraph.from_graph(
+            equivalence_graph, fault_schedule=fault_schedule("chaos", seed=seed)
+        )
+        healer.network.batched_delivery = batched
+        strategy = MaxDegreeDeletion()
+        for _ in range(equivalence_graph.number_of_nodes() // 2):
+            victim = strategy.choose_victim(healer)
+            if victim is None or healer.num_alive <= 3:
+                break
+            healer.delete(victim)
+        return healer
+
+    if [_cost_report_key(r) for r in attack(True).cost_reports] != [
+        _cost_report_key(r) for r in attack(False).cost_reports
+    ]:
+        raise AssertionError(f"batched and reference delivery disagree at n={n}")
+
+    width = 64  # messages enqueued per round
+    # Floor the flood length so even the smoke-scale timing denominator is
+    # tens of milliseconds — large enough that one scheduler preemption on a
+    # shared CI runner cannot flip the no-regression gate.
+    rounds = max(n, 500)
+
+    def flood(batched: bool):
+        # One lossy link in an otherwise reliable network: the common faulty
+        # regime, and the one where the reference path's per-round overhead
+        # (fresh batch lists, a second per-message policy lookup inside the
+        # always-invoked shuffle machinery) is pure waste — no policy can
+        # reorder, so the batched path skips all of it.
+        from repro.distributed.faults import FaultSchedule, LinkFaultPolicy
+
+        schedule = FaultSchedule(
+            per_link={(0, 1): LinkFaultPolicy(drop=0.3)},
+            seed=seed,
+            name="one-lossy-link",
+        )
+        network = Network(strict_links=False, fault_schedule=schedule)
+        network.batched_delivery = batched
+        for p in range(width):
+            network.add_processor(p)
+        start = time.perf_counter()
+        for _ in range(rounds):
+            for p in range(width):
+                network.send(
+                    DeletionNotice(sender=p, receiver=(p + 1) % width, deleted=-1)
+                )
+            network.deliver_round()
+        return time.perf_counter() - start, network
+
+    _, reference = flood(False)  # warm-up + metrics capture
+    _, batched = flood(True)
+    for field in ("total_messages", "total_bits", "total_dropped", "total_rounds"):
+        if getattr(batched.metrics, field) != getattr(reference.metrics, field):
+            raise AssertionError(f"flood metrics diverge on {field} at n={n}")
+    # Best of two fresh runs per side (plus the warm-up above), so a single
+    # scheduler hiccup cannot decide the comparison.
+    seed_seconds = min(flood(False)[0] for _ in range(2))
+    fast_seconds = min(flood(True)[0] for _ in range(2))
+
+    return {
+        "n": n,
+        "flood_rounds": rounds,
+        "flood_messages": batched.metrics.total_messages,
+        "seed_seconds": round(seed_seconds, 4),
+        "fast_seconds": round(fast_seconds, 4),
+        "speedup": round(seed_seconds / fast_seconds, 2) if fast_seconds else float("inf"),
+    }
+
+
 # --------------------------------------------------------------------------- #
 # report
 # --------------------------------------------------------------------------- #
@@ -525,24 +721,33 @@ def build_report(
     quick: bool = False,
     smoke: bool = False,
     fault_presets: Optional[List[str]] = None,
+    recovery_presets: Optional[List[str]] = None,
 ) -> Dict[str, object]:
     if fault_presets is None:
         fault_presets = ["drop", "reorder"]
+    if recovery_presets is None:
+        recovery_presets = list(RECOVERY_GATE_PRESETS)
     if smoke:
         sizes = [300]
         sweep_sizes = [120]
         distributed_sizes = [150]
         message_native_sizes = [80]
+        recovery_sizes = [80]
+        delivery_sizes = [150]
     elif quick:
         sizes = [100, 1000]
         sweep_sizes = [400]
         distributed_sizes = [100, 1000]
         message_native_sizes = [100]
+        recovery_sizes = [100]
+        delivery_sizes = [100, 1000]
     else:
         sizes = [100, 1000, 5000]
         sweep_sizes = [400, 1000]
         distributed_sizes = [100, 1000]
         message_native_sizes = [100, 400]
+        recovery_sizes = [100, 400]
+        delivery_sizes = [100, 1000]
 
     stretch_rows: List[Dict[str, object]] = []
     churn_rows: List[Dict[str, object]] = []
@@ -600,6 +805,31 @@ def build_report(
             )
         )
         message_native_rows.append(row)
+    recovery_rows: List[Dict[str, object]] = []
+    for n in recovery_sizes:
+        print(
+            f"[message_native_recovery] n={n} presets={','.join(recovery_presets)} ...",
+            flush=True,
+        )
+        row = bench_message_native_recovery(n, presets=recovery_presets)
+        print(
+            f"  {'ok' if row['ok'] else 'FAILED'}; "
+            + "; ".join(
+                f"{p['preset']}: {p['sweeps']} sweeps, {p['digest_messages']} digests, "
+                f"{p['retransmissions']} retrans"
+                for p in row["presets"]
+            )
+        )
+        recovery_rows.append(row)
+    delivery_rows: List[Dict[str, object]] = []
+    for n in delivery_sizes:
+        print(f"[network_delivery] n={n} ...", flush=True)
+        row = bench_network_delivery(n)
+        print(
+            f"  reference={row['seed_seconds']}s batched={row['fast_seconds']}s "
+            f"-> {row['speedup']}x"
+        )
+        delivery_rows.append(row)
 
     if smoke:
         # CI guard: every fast path at least breaks even on a tiny workload.
@@ -614,6 +844,10 @@ def build_report(
                 for r in distributed_rows
             ),
             "message_native_smoke": all(r["ok"] for r in message_native_rows),
+            "message_native_recovery": all(r["ok"] for r in recovery_rows),
+            "network_delivery_smoke": all(
+                r["speedup"] >= TARGET_SMOKE_SPEEDUP for r in delivery_rows
+            ),
         }
         targets = {"smoke_min_speedup": TARGET_SMOKE_SPEEDUP}
     else:
@@ -641,6 +875,10 @@ def build_report(
                 for r in distributed_at_scale
             ),
             "message_native_merge": all(r["ok"] for r in message_native_rows),
+            "message_native_recovery": all(r["ok"] for r in recovery_rows),
+            "network_delivery": all(
+                r["speedup"] >= TARGET_SMOKE_SPEEDUP for r in delivery_rows
+            ),
         }
         targets = {
             "stretch_n1000_min_speedup": TARGET_STRETCH_SPEEDUP_N1000,
@@ -648,10 +886,14 @@ def build_report(
             "adversary_min_choose_speedup": TARGET_ADVERSARY_SPEEDUP,
             "parallel_min_speedup": TARGET_PARALLEL_SPEEDUP,
             "distributed_n1000_min_speedup": TARGET_DISTRIBUTED_SPEEDUP_N1000,
+            # No-regression floor: the batching must never lose ground; the
+            # merge/recovery gates are boolean correctness gates (no
+            # threshold to record).
+            "network_delivery_min_speedup": TARGET_SMOKE_SPEEDUP,
         }
 
     return {
-        "schema": "bench_perf/v4",
+        "schema": "bench_perf/v5",
         "generated_by": "scripts/perf_report.py" + (" --smoke" if smoke else ""),
         "scipy_backend": HAVE_SCIPY,
         "cpus": os.cpu_count(),
@@ -661,6 +903,8 @@ def build_report(
         "parallel_sweep": parallel_rows,
         "distributed_repair": distributed_rows,
         "message_native_merge": message_native_rows,
+        "message_native_recovery": recovery_rows,
+        "network_delivery": delivery_rows,
         "targets": targets,
         "targets_met": targets_met,
     }
@@ -686,15 +930,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--fault-schedule",
         default="drop,reorder",
         help="comma-separated fault presets the message_native_merge gate "
-        f"replays (available: {', '.join(sorted(FAULT_PRESETS))}); the CI "
-        "matrix runs one preset per job",
+        f"replays ('all' = every preset; available: {', '.join(sorted(FAULT_PRESETS))}); "
+        "the CI matrix runs one preset per job",
+    )
+    parser.add_argument(
+        "--recovery-schedule",
+        default="all",
+        help="comma-separated presets the message_native_recovery gate "
+        "replays ('all' = lossless + every fault preset; the generic CI "
+        "smoke legs pass a cheap subset, the dedicated recovery leg runs "
+        "the full matrix)",
     )
     args = parser.parse_args(argv)
 
-    fault_presets = [p.strip() for p in args.fault_schedule.split(",") if p.strip()]
-    unknown = [p for p in fault_presets if p not in FAULT_PRESETS]
-    if unknown:
-        parser.error(f"unknown fault preset(s) {unknown}; available: {sorted(FAULT_PRESETS)}")
+    def parse_presets(value: str, flag: str, everything: List[str]) -> List[str]:
+        """Split a comma list of preset names, validating against the registry."""
+        if value.strip() == "all":
+            return list(everything)
+        presets = [p.strip() for p in value.split(",") if p.strip()]
+        unknown = [p for p in presets if p not in FAULT_PRESETS]
+        if unknown:
+            parser.error(
+                f"unknown {flag} preset(s) {unknown}; available: {sorted(FAULT_PRESETS)}"
+            )
+        return presets
+
+    # The merge gate always runs lossless unconditionally, so its 'all' is
+    # the faulty presets only; the recovery gate's 'all' includes lossless
+    # (its lossless row isolates the pure detection cost).
+    fault_presets = parse_presets(
+        args.fault_schedule,
+        "--fault-schedule",
+        [p for p in FAULT_PRESETS if p != "lossless"],
+    )
+    recovery_presets = parse_presets(
+        args.recovery_schedule, "--recovery-schedule", RECOVERY_GATE_PRESETS
+    )
 
     output = args.output
     if output is None:
@@ -702,7 +973,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             Path("/tmp/bench_smoke.json") if args.smoke else REPO_ROOT / "BENCH_perf.json"
         )
 
-    report = build_report(quick=args.quick, smoke=args.smoke, fault_presets=fault_presets)
+    report = build_report(
+        quick=args.quick,
+        smoke=args.smoke,
+        fault_presets=fault_presets,
+        recovery_presets=recovery_presets,
+    )
     output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {output}")
     if not all(report["targets_met"].values()):

@@ -22,19 +22,27 @@ Lemma 4).  This package provides
   pre-failure local knowledge) and the synchronous round loop
   (notification, BT_v formation, probing for primary roots, leader merge
   and dissemination),
+* :mod:`repro.distributed.recovery` — the gossip-digest anti-entropy
+  recovery: participants gossip compact digests of their own repair state
+  and retransmit only what their neighbours' digests show missing, with
+  its own :class:`RecoveryCostReport` cost ledger,
 * :mod:`repro.distributed.simulator` — :class:`DistributedForgivingGraph`,
   a drop-in healer that runs every repair through the message-passing
   substrate, reports per-deletion communication costs, and reconverges
   after injected faults.
 
-The merge is message-native: the healed structure is decided by the merge
-leader from the descriptors that physically arrived and applied by owners
-from the instructions they physically received — so faulty links make
-processors disagree, and :meth:`DistributedForgivingGraph.reconverge`
-recovers.  The centralized reference engine is an *oracle*: the tests in
+The merge *and* the recovery are message-native: the healed structure is
+decided by the merge leader from the descriptors that physically arrived
+and applied by owners from the instructions they physically received — so
+faulty links make processors disagree — and
+:meth:`DistributedForgivingGraph.reconverge` heals the divergence with
+digest gossip, never a global audit (the plan-based audit survives only as
+the :meth:`~DistributedForgivingGraph.audit_reference` oracle).  The
+centralized reference engine is an *oracle*: the tests in
 ``tests/test_distributed_*`` assert the message-built state converges to
 it exactly.  Cost accounting stays O(repair) end to end (per-repair metrics
-window, message-driven link sources), within Lemma 4's own asymptotics.
+window, message-driven link sources, per-sweep digest budgets), within
+Lemma 4's own asymptotics.
 """
 
 from .faults import FAULT_PRESETS, FaultSchedule, LinkFaultPolicy, fault_schedule
@@ -42,17 +50,26 @@ from .merge import MergeOutcome, PieceSummary, merge_summaries, plan_strip
 from .messages import (
     AnchorLink,
     DeletionNotice,
+    Digest,
+    DigestRequest,
     HelperAssignment,
     InsertionNotice,
     Message,
     ParentUpdate,
+    PortDigest,
     PrimaryRootList,
     PrimaryRootReport,
     Probe,
 )
-from .metrics import DeletionCostReport, MetricsWindow, NetworkMetrics
+from .metrics import (
+    DeletionCostReport,
+    MetricsWindow,
+    NetworkMetrics,
+    RecoveryCostReport,
+)
 from .network import Network
 from .processor import EdgeRecord, Processor, RepairContext
+from .recovery import run_recovery
 from .simulator import DistributedForgivingGraph, ReconvergenceReport
 
 __all__ = [
@@ -65,6 +82,9 @@ __all__ = [
     "PrimaryRootList",
     "ParentUpdate",
     "HelperAssignment",
+    "Digest",
+    "DigestRequest",
+    "PortDigest",
     "Network",
     "Processor",
     "EdgeRecord",
@@ -72,6 +92,8 @@ __all__ = [
     "NetworkMetrics",
     "MetricsWindow",
     "DeletionCostReport",
+    "RecoveryCostReport",
+    "run_recovery",
     "DistributedForgivingGraph",
     "ReconvergenceReport",
     "FaultSchedule",

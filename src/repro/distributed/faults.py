@@ -93,6 +93,12 @@ class FaultSchedule:
         }
         self.seed = seed
         self.name = name
+        #: True when some policy can reorder at all — lets the network skip
+        #: the per-round shuffle machinery entirely otherwise (judging a
+        #: zero-probability reorder consumes no RNG, so skipping is exact).
+        self.has_reorder = default.reorder > 0.0 or any(
+            policy.reorder > 0.0 for policy in self.per_link.values()
+        )
         self._rng = np.random.default_rng(seed)
         # Observability: how often each fault actually fired.
         self.dropped = 0

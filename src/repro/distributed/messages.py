@@ -14,7 +14,14 @@ Section 4.2 and the pseudocode of Appendix A:
   with their ``BT_v`` parent/children (Algorithm A.7),
 * :class:`HelperAssignment` — the merge instruction telling a processor to
   instantiate (or drop) a helper node with given parent/children
-  (Algorithms A.8/A.9).
+  (Algorithms A.8/A.9),
+* :class:`Digest` / :class:`DigestRequest` — the anti-entropy recovery
+  protocol (PR 5, in the style of self-stabilizing silent protocols): each
+  repair participant periodically gossips a compact digest of its *own*
+  repair state (probe seen?  pieces vouched for?  assignments applied?)
+  along the spine/anchor links, and the merge leader pulls
+  :class:`PortDigest` record summaries from the owners it instructed, so
+  divergence is detected from messages instead of a global audit.
 
 Message sizes are measured in *words* of ``O(log n)`` bits: a node or port
 identifier costs one word, so Lemma 4's "messages of size ``O(log n)``"
@@ -43,6 +50,9 @@ __all__ = [
     "PrimaryRootList",
     "ParentUpdate",
     "HelperAssignment",
+    "Digest",
+    "DigestRequest",
+    "PortDigest",
     "words_to_bits",
 ]
 
@@ -211,3 +221,103 @@ class HelperAssignment(Message):
         # deleted + 5 ports + height + leaf count + epoch + create flag,
         # one O(log n)-bit word each.
         self.payload_words = 10
+
+
+# --------------------------------------------------------------------------- #
+# anti-entropy recovery (gossip digests)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PortDigest:
+    """Compact Table 1 record summary for one port, as its owner knows it.
+
+    The payload of a :class:`Digest` answering a :class:`DigestRequest`:
+    the owner reads *only its own* edge record (and the link sources it
+    itself created) and summarizes whether the requested port currently
+    simulates a helper for the repair in question, with which pointers.
+    The merge leader compares these against its own outcome and retransmits
+    exactly the instructions the digest shows missing or superseded.
+    """
+
+    port: Port
+    #: True when the owner simulates a helper *for this repair* on the port.
+    helper_for_victim: bool = False
+    helper_left: Optional[Port] = None
+    helper_right: Optional[Port] = None
+    helper_parent: Optional[Port] = None
+    #: The real node's RT parent (the leaf-side pointer ParentUpdate sets).
+    rt_parent: Optional[Port] = None
+    #: True when the helper's child link sources exist in the owner's view.
+    links_ok: bool = True
+
+
+#: Identifier words per serialized :class:`PortDigest` (port + 4 pointer
+#: ports + 2 flags packed into one word).
+RECORD_DESCRIPTOR_WORDS = 6
+
+#: Largest number of ports a :class:`DigestRequest` may name; larger pulls
+#: are chunked so the request stays ``O(log n)`` bits.
+MAX_PORTS_PER_REQUEST = 16
+
+
+@dataclass
+class Digest(Message):
+    """One participant's compact repair-state digest (anti-entropy gossip).
+
+    Four shapes share the one message type:
+
+    * *spine digest* (``rt_index`` set): sent to the spine predecessor —
+      carries whether the probe ever arrived (``probed``), whether the local
+      strip applied, and the piece descriptors this processor vouches for or
+      collected from deeper hops.  An unprobed digest makes the predecessor
+      resend the probe; piece payloads flow back like late report waves.
+    * *anchor digest* (``rt_index`` is ``None``, ``pieces`` set): sent up the
+      ``BT_v`` tree — re-offers the anchor's gathered descriptors so pieces
+      lost on the way to the leader surface again (the leader re-merges and
+      re-disseminates under a higher epoch when they do).
+    * *record digest* (``records`` set): the reply to a
+      :class:`DigestRequest` — per-port Table 1 summaries the leader diffs
+      against its outcome,
+    * *acknowledgement* (``ack`` set): the receiver of a digest chunk echoes
+      it back, so the sender stops re-offering knowledge that provably
+      arrived — later sweeps shrink to exactly what is still unconfirmed,
+      and at the fixed point the protocol is silent.
+
+    All payloads are bounded: pieces and records are chunked exactly like
+    the repair's own list messages, so every digest stays ``O(log n)`` bits.
+    """
+
+    deleted: NodeId = None
+    #: Which affected RT's spine this digest describes (None otherwise).
+    rt_index: Optional[int] = None
+    probed: bool = True
+    stripped: bool = True
+    #: True when this digest echoes a received chunk back to its sender.
+    ack: bool = False
+    pieces: Tuple[object, ...] = ()
+    records: Tuple[PortDigest, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.payload_words = (
+            3
+            + ROOT_DESCRIPTOR_WORDS * len(self.pieces)
+            + RECORD_DESCRIPTOR_WORDS * len(self.records)
+        )
+
+
+@dataclass
+class DigestRequest(Message):
+    """The merge leader pulls record digests for ports it instructed.
+
+    The named ports all come from the leader's *own* knowledge — its merge
+    outcome's helper assignments and parent updates — never from another
+    processor's context; the owner answers with one :class:`PortDigest` per
+    port it actually owns.
+    """
+
+    deleted: NodeId = None
+    ports: Tuple[Port, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.payload_words = 2 + len(self.ports)

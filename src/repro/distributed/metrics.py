@@ -13,6 +13,14 @@ nodes seen so far:
 from O(repair) state instead of diffing full counter snapshots);
 :class:`DeletionCostReport` is the per-deletion record the experiments and
 benchmarks consume (experiment E5 in DESIGN.md).
+
+Recovery has its own ledger (PR 5): the gossip-digest anti-entropy protocol
+(:mod:`repro.distributed.recovery`) runs inside its own window, and
+:class:`RecoveryCostReport` splits its traffic into *digest* cost (the
+price of detection — paid even when nothing was lost) and *retransmission*
+cost (the price of the faults), with Lemma-4-style per-sweep budgets.
+Each faulty deletion's :class:`DeletionCostReport` embeds the
+:class:`RecoveryCostReport` of its recovery pass.
 """
 
 from __future__ import annotations
@@ -24,7 +32,18 @@ from typing import Dict, Optional
 from ..analysis.bounds import repair_message_bound, repair_time_bound
 from ..core.ports import NodeId
 
-__all__ = ["MetricsWindow", "NetworkMetrics", "DeletionCostReport"]
+__all__ = [
+    "MetricsWindow",
+    "NetworkMetrics",
+    "DeletionCostReport",
+    "RecoveryCostReport",
+    "DIGEST_KINDS",
+    "aggregate_recovery",
+]
+
+#: Message kinds that belong to the anti-entropy detection layer; everything
+#: else sent during a recovery window is a retransmission of repair traffic.
+DIGEST_KINDS = frozenset({"Digest", "DigestRequest"})
 
 
 @dataclass
@@ -47,14 +66,30 @@ class MetricsWindow:
     #: Lemma 4 bounds; the run-wide maximum stays on :class:`NetworkMetrics`).
     max_message_bits: int = 0
     messages_by_node: Dict[NodeId, int] = field(default_factory=lambda: defaultdict(int))
+    #: Per-kind message/bit counts within the window (one entry per message
+    #: type that actually occurred — O(repair) state, like everything else
+    #: here).  The recovery ledger uses these to split digest traffic from
+    #: retransmitted repair traffic.
+    messages_by_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    bits_by_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
 
-    def record_message(self, sender: NodeId, bits: int) -> None:
+    def record_message(self, sender: NodeId, bits: int, kind: str = "") -> None:
         """Account for one message sent while the window is open."""
         self.messages += 1
         self.bits += bits
         if bits > self.max_message_bits:
             self.max_message_bits = bits
         self.messages_by_node[sender] += 1
+        self.messages_by_kind[kind] += 1
+        self.bits_by_kind[kind] += bits
+
+    def count_for_kinds(self, kinds) -> int:
+        """Messages of the given kinds sent within the window."""
+        return sum(self.messages_by_kind.get(kind, 0) for kind in kinds)
+
+    def bits_for_kinds(self, kinds) -> int:
+        """Bits of the given kinds sent within the window."""
+        return sum(self.bits_by_kind.get(kind, 0) for kind in kinds)
 
     def record_rounds(self, rounds: int) -> None:
         """Account for communication rounds elapsed while the window is open."""
@@ -107,7 +142,7 @@ class NetworkMetrics:
         self.messages_sent_by_node[sender] += 1
         self.bits_sent_by_node[sender] += bits
         if self.window is not None:
-            self.window.record_message(sender, bits)
+            self.window.record_message(sender, bits, kind=kind)
 
     def record_rounds(self, rounds: int) -> None:
         """Account for ``rounds`` parallel communication rounds."""
@@ -150,6 +185,112 @@ class NetworkMetrics:
 
 
 @dataclass
+class RecoveryCostReport:
+    """Communication cost of one anti-entropy recovery pass (PR 5).
+
+    The gossip-digest protocol has two separable costs:
+
+    * **detection** — the :class:`~repro.distributed.messages.Digest` /
+      :class:`~repro.distributed.messages.DigestRequest` traffic each sweep
+      pays whether or not anything was lost (``digest_messages`` /
+      ``digest_bits``), and
+    * **repair** — the protocol messages retransmitted because a digest
+      showed them missing (``retransmissions`` / ``retransmission_bits``).
+
+    ``sweeps`` counts gossip passes (every participant digests once per
+    sweep); ``rounds`` counts the delivery rounds they consumed.  One sweep's
+    digest traffic is bounded by the same ``O(d log n)`` counting as the
+    repair itself (each participant's digest is proportional to its own
+    local knowledge), which :attr:`within_digest_budget` checks explicitly.
+    """
+
+    victim: NodeId
+    #: Degree of the repaired deletion's victim (the ``d`` of the budgets).
+    degree: int
+    #: Number of nodes seen so far (the ``n`` of the budgets).
+    n_ever: int
+    converged: bool
+    #: Gossip passes driven (one digest emission per participant per sweep).
+    sweeps: int = 0
+    #: Delivery rounds consumed across all sweeps.
+    rounds: int = 0
+    digest_messages: int = 0
+    digest_bits: int = 0
+    #: Largest single message sent during recovery (digest or retransmission).
+    max_message_bits: int = 0
+    retransmissions: int = 0
+    retransmission_bits: int = 0
+    #: Messages lost to faults during the recovery itself.
+    dropped: int = 0
+    #: Messages still in flight when the recovery gave up (0 when converged;
+    #: a non-zero value means ``max_rounds`` hit mid-delivery and the
+    #: leftover traffic was discarded *loudly* instead of leaking into the
+    #: next repair).
+    in_flight_leftover: int = 0
+
+    @property
+    def digest_message_budget(self) -> float:
+        """Per-pass ``O(d log n)`` budget scaled by the number of sweeps."""
+        return max(self.sweeps, 1) * repair_message_bound(max(self.degree, 1), self.n_ever)
+
+    @property
+    def round_budget(self) -> float:
+        """Per-pass ``O(log d log n)`` budget scaled by the number of sweeps."""
+        return max(self.sweeps, 1) * repair_time_bound(max(self.degree, 1), self.n_ever)
+
+    @property
+    def within_digest_budget(self) -> bool:
+        """True when the detection traffic fits its Lemma-4-style budget."""
+        return self.digest_messages <= self.digest_message_budget + 1e-9
+
+    @property
+    def within_round_budget(self) -> bool:
+        """True when the recovery rounds fit their Lemma-4-style budget."""
+        return self.rounds <= self.round_budget + 1e-9
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten to a dict for the table reporters."""
+        return {
+            "victim": self.victim,
+            "degree": self.degree,
+            "n_ever": self.n_ever,
+            "converged": self.converged,
+            "sweeps": self.sweeps,
+            "rounds": self.rounds,
+            "digest_messages": self.digest_messages,
+            "digest_bits": self.digest_bits,
+            "digest_budget": round(self.digest_message_budget, 1),
+            "retransmissions": self.retransmissions,
+            "retransmission_bits": self.retransmission_bits,
+            "dropped": self.dropped,
+            "in_flight_leftover": self.in_flight_leftover,
+        }
+
+
+def aggregate_recovery(reports) -> Dict[str, object]:
+    """Fold a run's :class:`RecoveryCostReport` list into one summary row.
+
+    The shared core every recovery consumer reports (experiment E12, the
+    perf report's ``message_native_recovery`` gate); callers add their own
+    extra columns on top, so a field added here reaches all of them at
+    once.
+    """
+    reports = list(reports)
+    return {
+        "recoveries": len(reports),
+        "sweeps": sum(r.sweeps for r in reports),
+        "rounds": sum(r.rounds for r in reports),
+        "digest_messages": sum(r.digest_messages for r in reports),
+        "digest_bits": sum(r.digest_bits for r in reports),
+        "retransmissions": sum(r.retransmissions for r in reports),
+        "dropped_in_recovery": sum(r.dropped for r in reports),
+        "all_converged": all(r.converged for r in reports),
+        "within_digest_budgets": all(r.within_digest_budget for r in reports),
+        "within_round_budgets": all(r.within_round_budget for r in reports),
+    }
+
+
+@dataclass
 class DeletionCostReport:
     """Communication cost of a single deletion repair."""
 
@@ -171,6 +312,10 @@ class DeletionCostReport:
     retransmissions: int = 0
     reconvergence_rounds: int = 0
     converged: bool = True
+    #: Full ledger of this deletion's anti-entropy recovery pass, when one
+    #: ran (the scalar fields above are its headline numbers, kept flat for
+    #: the table reporters and for back-compat).
+    recovery: Optional[RecoveryCostReport] = None
 
     @property
     def message_budget(self) -> float:
@@ -210,4 +355,7 @@ class DeletionCostReport:
             "retransmissions": self.retransmissions,
             "reconvergence_rounds": self.reconvergence_rounds,
             "converged": self.converged,
+            "recovery_sweeps": self.recovery.sweeps if self.recovery else 0,
+            "digest_messages": self.recovery.digest_messages if self.recovery else 0,
+            "digest_bits": self.recovery.digest_bits if self.recovery else 0,
         }

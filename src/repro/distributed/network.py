@@ -48,6 +48,7 @@ learns anything.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.errors import ProtocolError, UnknownNodeError
@@ -77,6 +78,16 @@ class Network:
         self._outbox: List[Message] = []
         #: Messages a fault delayed: (deliver_at_round, message).
         self._delayed: List[Tuple[int, Message]] = []
+        #: Recycled per-round delivery buffer: each round swaps the outbox
+        #: against this spare list instead of allocating fresh ones (the
+        #: ROADMAP's "one allocation per round, not per message" item).
+        self._spare_outbox: List[Message] = []
+        #: When False, the delivery machinery uses the retained seed-era
+        #: reference paths (fresh per-round allocations in
+        #: :meth:`deliver_round_reference`, a per-message log for sizing in
+        #: :meth:`send`) — the equivalence baseline the batched fast path is
+        #: benchmarked against (``network_delivery`` in BENCH_perf.json).
+        self.batched_delivery = True
         self._round = 0
         self.metrics = NetworkMetrics()
         #: When True, sending a message between unlinked processors raises.
@@ -91,6 +102,13 @@ class Network:
         #: per addition, so removals never shrink it; the distributed healer
         #: cross-checks it against the engine's ``nodes_ever``.
         self.n_ever = 0
+        #: Identifiers that have ever had a processor (see
+        #: :meth:`ever_had_processor`).
+        self._ever_ids: Set[NodeId] = set()
+        #: Cached identifier word size ``max(ceil(log2(max(n_ever, 2))), 1)``:
+        #: recomputed once per processor addition instead of once per message
+        #: (the seed path recomputed the log for every single send).
+        self._word_bits = 1
 
     # ------------------------------------------------------------------ #
     # topology management
@@ -102,8 +120,22 @@ class Network:
             processor.network = self
             self.processors[node] = processor
             self._adjacency[node] = set()
+            self._ever_ids.add(node)
             self.n_ever += 1
+            self._word_bits = max(
+                int(math.ceil(math.log2(max(self.n_ever, 2)))), 1
+            )
         return self.processors[node]
+
+    def ever_had_processor(self, node: NodeId) -> bool:
+        """True when ``node`` has had a processor at some point (alive or not).
+
+        Distinguishes a *crashed* peer (messages to it are dropped by the
+        senders, who observed the failure per Figure 1's model) from a
+        receiver that never existed (still a protocol bug worth failing
+        fast on in :meth:`send`).
+        """
+        return node in self._ever_ids
 
     def remove_processor(self, node: NodeId) -> None:
         """Remove a processor, its links, and every link source it anchored."""
@@ -273,10 +305,18 @@ class Network:
                     "would travel between unlinked processors"
                 )
         self._outbox.append(message)
+        # ``payload_words * _word_bits`` equals ``message.size_bits(n_ever)``
+        # exactly (same formula, log cached per topology change instead of
+        # recomputed per message); the batched-vs-reference equivalence
+        # checks compare the resulting bit counts verbatim.
         self.metrics.record_message(
             sender=message.sender,
             kind=message.kind,
-            bits=message.size_bits(max(self.n_ever, 2)),
+            bits=(
+                message.payload_words * self._word_bits
+                if self.batched_delivery
+                else message.size_bits(max(self.n_ever, 2))
+            ),
         )
 
     def deliver_round(self) -> int:
@@ -287,6 +327,69 @@ class Network:
         message — drop, delay, or deliver — and may shuffle the batch's
         delivery order.  Handlers may respond with new messages; those are
         sent within this round and therefore delivered in the next one.
+
+        The fast path recycles one per-round buffer (the outbox swaps
+        against a spare list, fault survivors are compacted in place, and
+        the reorder machinery only runs when some policy can actually
+        reorder), so a round costs zero list allocations instead of several;
+        the seed-era allocation pattern survives as
+        :meth:`deliver_round_reference` and both paths are replayable to
+        identical results (fault decisions consume the RNG identically).
+        """
+        if not self.batched_delivery:
+            return self.deliver_round_reference()
+        self._round += 1
+        self.metrics.record_rounds(1)
+        batch, spare = self._outbox, self._spare_outbox
+        spare.clear()  # last round's batch (kept until now so a mid-round
+        self._outbox = spare  # exception can never lead to redelivery)
+        self._spare_outbox = batch
+        schedule = self.fault_schedule
+        if schedule is not None and batch:
+            # Fresh sends are judged exactly once, here; a message that drew
+            # a delay is delivered as-is when it comes due, so its fate stays
+            # within the policy's 1..max_delay contract.  Survivors are
+            # compacted into the batch's own prefix — no second list.
+            kept = 0
+            for message in batch:
+                if message.sender != message.receiver:
+                    fate = schedule.judge(message.sender, message.receiver)
+                    if fate < 0:
+                        self.metrics.record_dropped()
+                        continue
+                    if fate > 0:
+                        self._delayed.append((self._round + fate, message))
+                        continue
+                batch[kept] = message
+                kept += 1
+            del batch[kept:]
+        if self._delayed:
+            due = [m for at, m in self._delayed if at <= self._round]
+            if due:
+                self._delayed = [(at, m) for at, m in self._delayed if at > self._round]
+                batch.extend(due)
+        if schedule is not None and schedule.has_reorder and len(batch) > 1:
+            permutation = schedule.shuffle_round([(m.sender, m.receiver) for m in batch])
+            if permutation is not None:
+                batch[:] = [batch[i] for i in permutation]
+        delivered = 0
+        for message in batch:
+            processor = self.processors.get(message.receiver)
+            if processor is None:
+                continue  # receiver died mid-round; the paper assumes one attack per round
+            responses = processor.receive(message)
+            delivered += 1
+            for response in responses or ():
+                self.send(response)
+        return delivered
+
+    def deliver_round_reference(self) -> int:
+        """The seed-era delivery round: fresh list allocations per round.
+
+        Retained as the reference the batched fast path is equivalence-tested
+        and benchmarked against (``network_delivery`` in BENCH_perf.json).
+        Identical observable behaviour: same delivery order, same fault
+        decisions (the RNG is consumed in the same sequence), same metrics.
         """
         self._round += 1
         self.metrics.record_rounds(1)
@@ -295,9 +398,6 @@ class Network:
         if schedule is None:
             batch = outbox
         else:
-            # Fresh sends are judged exactly once, here; a message that drew
-            # a delay is delivered as-is when it comes due, so its fate stays
-            # within the policy's 1..max_delay contract.
             batch = []
             for message in outbox:
                 if message.sender != message.receiver:
@@ -320,12 +420,25 @@ class Network:
         for message in batch:
             processor = self.processors.get(message.receiver)
             if processor is None:
-                continue  # receiver died mid-round; the paper assumes one attack per round
+                continue
             responses = processor.receive(message)
             delivered += 1
             for response in responses or ():
                 self.send(response)
         return delivered
+
+    def drop_in_flight(self) -> int:
+        """Discard every queued and fault-delayed message; returns how many.
+
+        Used by the recovery driver when its round budget runs out
+        mid-delivery: the leftover traffic is *counted* into the recovery
+        report and removed, because delivering it during a later repair
+        could apply stale instructions.
+        """
+        count = len(self._outbox) + len(self._delayed)
+        self._outbox.clear()
+        self._delayed.clear()
+        return count
 
     def tick(self, round_index: int, participants) -> int:
         """Fire the round-``round_index`` timers of the given processors.

@@ -30,11 +30,18 @@ incoming messages and round timers:
 
 The collection of edge records plus the network's sourced links *is* the
 distributed representation of the healed structure; processors that missed
-messages simply hold stale records until the reconvergence loop
-(:meth:`repro.distributed.simulator.DistributedForgivingGraph.reconverge`)
-retransmits what they lack.  The test-suite reconstructs the structure from
-these records and compares it with the centralized engine — the engine is
-an oracle, never a participant.
+messages simply hold stale records until the anti-entropy recovery
+(:mod:`repro.distributed.recovery`, PR 5) heals them: on every gossip sweep
+the processor derives compact :class:`~repro.distributed.messages.Digest`
+messages from its *own* repair context and Table 1 records (probe seen?
+pieces vouched for?  assignments applied, with which pointers?), pushes
+them along its spine/anchor links, and retransmits exactly what incoming
+digests show missing — a predecessor resends the probe an unprobed
+successor's digest reveals, the leader re-merges under a higher epoch when
+digests surface unreported pieces and re-instructs owners whose record
+digests diverge from its outcome.  The test-suite reconstructs the
+structure from these records and compares it with the centralized engine —
+the engine is an oracle, never a participant.
 """
 
 from __future__ import annotations
@@ -46,12 +53,16 @@ from typing import Deque, Dict, List, Optional, Tuple
 from ..core.ports import NodeId, Port
 from .merge import MergeOutcome, PieceSummary, link_source_key, merge_summaries
 from .messages import (
+    MAX_PORTS_PER_REQUEST,
     MAX_ROOTS_PER_MESSAGE,
     DeletionNotice,
+    Digest,
+    DigestRequest,
     HelperAssignment,
     InsertionNotice,
     Message,
     ParentUpdate,
+    PortDigest,
     PrimaryRootList,
     PrimaryRootReport,
     Probe,
@@ -121,6 +132,10 @@ class SpineRole:
     report_sent: bool = False
     #: Descriptors received from deeper hops, folded into the next report.
     collected: Dict[PieceSummary, None] = field(default_factory=dict)
+    #: Pieces the predecessor has acknowledged knowing (recovery gossip):
+    #: once everything this hop vouches for is in here, its knowledge has
+    #: provably reached the previous hop and its digests go quiet.
+    confirmed: Dict[PieceSummary, None] = field(default_factory=dict)
 
 
 @dataclass
@@ -148,6 +163,9 @@ class RepairContext:
     #: Descriptors gathered at this anchor (own pieces, spine reports, and —
     #: for interior BT_v nodes — children's lists), insertion-ordered.
     gathered: Dict[PieceSummary, None] = field(default_factory=dict)
+    #: Gathered pieces the ``BT_v`` parent has acknowledged knowing
+    #: (recovery gossip) — the anchor-level twin of ``SpineRole.confirmed``.
+    pieces_confirmed: Dict[PieceSummary, None] = field(default_factory=dict)
 
     # --- leader role ------------------------------------------------------
     is_leader: bool = False
@@ -157,6 +175,10 @@ class RepairContext:
     #: Helper ports ever instructed by this leader during this repair (used
     #: to retract assignments a re-merge superseded).
     instructed: Dict[Port, None] = field(default_factory=dict)
+    #: Ports whose record digest matched the current outcome (recovery
+    #: gossip); cleared on every re-merge, since a new epoch's instructions
+    #: must be re-confirmed.
+    confirmed_ports: Dict[Port, None] = field(default_factory=dict)
 
 
 class Processor:
@@ -291,11 +313,30 @@ class Processor:
 
     # -- repair-flow helpers -----------------------------------------------
     def _emit(self, message: Message, out: List[Message]) -> None:
-        """Queue a message, applying self-addressed ones locally for free."""
+        """Queue a message, applying self-addressed ones locally for free.
+
+        Messages to *crashed* processors are dropped here: in Figure 1's
+        model a processor observes its neighbours' failures, so it never
+        wastes a send on a peer it knows to be gone (this is what lets the
+        recovery protocol survive a participant crashing mid-recovery).  A
+        receiver that never existed is not waived — the message goes out and
+        :meth:`Network.send` keeps its fail-fast ``ProtocolError``.
+        """
         if message.receiver == self.node_id:
             out.extend(self.receive(message))
-        else:
-            out.append(message)
+            return
+        network = self.network
+        if (
+            network is not None
+            and not network.has_processor(message.receiver)
+            and network.ever_had_processor(message.receiver)
+        ):
+            return
+        out.append(message)
+
+    def _peer_alive(self, node: NodeId) -> bool:
+        """Liveness of a peer, as the model lets neighbours observe it."""
+        return self.network is None or self.network.has_processor(node)
 
     def _emit_report(self, context: RepairContext, role: SpineRole) -> List[Message]:
         """Send this hop's report wave (own pieces + everything collected)."""
@@ -396,6 +437,8 @@ class Processor:
             return []
         context.epoch += 1
         context.outcome = merge_summaries(context.victim, list(context.gathered))
+        # A new epoch's instructions must be confirmed afresh.
+        context.confirmed_ports.clear()
         return self._disseminate(context)
 
     # -- handlers ----------------------------------------------------------
@@ -446,13 +489,27 @@ class Processor:
         context = self.repairs.get(message.deleted)
         if context is None:
             return []
-        role = next(
-            (r for r in context.spines if r.rt_index == message.rt_index), None
+        return self._fold_pieces(context, message.rt_index, list(message.roots))
+
+    def _fold_pieces(
+        self, context: RepairContext, rt_index: Optional[int], summaries: List[PieceSummary]
+    ) -> List[Message]:
+        """Fold piece descriptors that arrived on a spine (report or digest).
+
+        At the anchor position (or with no matching spine role) descriptors
+        join the gathered set; mid-spine they join the hop's collected set
+        and fresh ones are relayed towards the anchor like a late report
+        wave.
+        """
+        role = (
+            next((r for r in context.spines if r.rt_index == rt_index), None)
+            if rt_index is not None
+            else None
         )
         if role is None or role.position == 0 or role.prev_hop is None:
             # Anchor position (or no spine role): fold into the gathered set.
-            return self._absorb(context, list(message.roots))
-        fresh = [s for s in message.roots if s not in role.collected]
+            return self._absorb(context, summaries)
+        fresh = [s for s in summaries if s not in role.collected]
         for summary in fresh:
             role.collected[summary] = None
         if not role.report_sent:
@@ -555,6 +612,348 @@ class Processor:
                 self.network.remove_link_source(
                     link_source_key(port, child), self.node_id, child.processor
                 )
+
+    # ------------------------------------------------------------------ #
+    # anti-entropy recovery (gossip digests)
+    # ------------------------------------------------------------------ #
+    def recovery_tick(self, victim: NodeId) -> List[Message]:
+        """Emit this processor's digests for one gossip sweep of one repair.
+
+        Everything emitted here derives from *local* knowledge only — the
+        repair context this processor was handed at repair start (its own
+        spine roles, its own gathered pieces, the leader's own outcome) and
+        its own Table 1 records.  Three flows per sweep:
+
+        * one spine digest per spine role towards the predecessor (probe
+          status + the vouched-for/collected pieces the predecessor has not
+          acknowledged yet),
+        * one anchor digest up the ``BT_v`` tree (the gathered descriptors
+          the parent has not acknowledged yet),
+        * the leader pulls :class:`~repro.distributed.messages.PortDigest`
+          record summaries for the not-yet-confirmed ports of the owners
+          its outcome instructs.
+
+        Receivers acknowledge every digest chunk (see :meth:`_on_Digest`),
+        so confirmed knowledge drops out of later sweeps: at the fixed point
+        the protocol is *silent* — a sweep emits nothing at all.
+        """
+        context = self.repairs.get(victim)
+        if context is None:
+            return []
+        out: List[Message] = []
+        for role in context.spines:
+            if role.prev_hop is None:
+                continue
+            pending = [
+                s
+                for s in dict.fromkeys([*role.summaries, *role.collected])
+                if s not in role.confirmed
+            ]
+            if role.probed and not pending:
+                continue
+            for chunk in _chunks(pending, MAX_ROOTS_PER_MESSAGE) or [()]:
+                self._emit(
+                    Digest(
+                        sender=self.node_id,
+                        receiver=role.prev_hop,
+                        deleted=victim,
+                        rt_index=role.rt_index,
+                        probed=role.probed,
+                        stripped=context.stripped,
+                        pieces=tuple(chunk),
+                    ),
+                    out,
+                )
+        if context.is_anchor and context.bt_parent is not None:
+            pending = [s for s in context.gathered if s not in context.pieces_confirmed]
+            for chunk in _chunks(pending, MAX_ROOTS_PER_MESSAGE):
+                self._emit(
+                    Digest(
+                        sender=self.node_id,
+                        receiver=context.bt_parent,
+                        deleted=victim,
+                        stripped=context.stripped,
+                        pieces=tuple(chunk),
+                    ),
+                    out,
+                )
+        if context.is_leader and context.outcome is not None:
+            targets: Dict[NodeId, Dict[Port, None]] = {}
+            for port in self._leader_target_ports(context):
+                if port not in context.confirmed_ports:
+                    targets.setdefault(port.processor, {})[port] = None
+            for owner, ports in targets.items():
+                for chunk in _chunks(list(ports), MAX_PORTS_PER_REQUEST):
+                    self._emit(
+                        DigestRequest(
+                            sender=self.node_id,
+                            receiver=owner,
+                            deleted=victim,
+                            ports=tuple(chunk),
+                        ),
+                        out,
+                    )
+        return out
+
+    @staticmethod
+    def _leader_target_ports(context: RepairContext) -> List[Port]:
+        """Every port the leader's own outcome obliges it to confirm."""
+        ports: Dict[Port, None] = {}
+        for helper in context.outcome.helpers:
+            ports[helper.port] = None
+        for child_port, _child_is_leaf, _parent in context.outcome.parent_updates:
+            ports[child_port] = None
+        for port in context.instructed:
+            ports[port] = None
+        return list(ports)
+
+    def recovery_satisfied(self, victim: NodeId) -> bool:
+        """True when this processor's recovery obligations are all confirmed.
+
+        Computed from local state only: probe seen on every spine role,
+        strip applied, every vouched-for piece acknowledged by the previous
+        hop, every gathered piece acknowledged by the ``BT_v`` parent, and —
+        for the leader — a record digest confirming every instructed port.
+        Obligations towards crashed peers are waived (their knowledge died
+        with them; Figure 1's model lets neighbours observe the crash).
+        """
+        context = self.repairs.get(victim)
+        if context is None:
+            return True
+        if not context.stripped and (context.released or context.glue):
+            return False
+        for role in context.spines:
+            if role.prev_hop is None or not self._peer_alive(role.prev_hop):
+                continue
+            if not role.probed:
+                return False
+            if any(
+                s not in role.confirmed for s in (*role.summaries, *role.collected)
+            ):
+                return False
+        if (
+            context.is_anchor
+            and context.bt_parent is not None
+            and self._peer_alive(context.bt_parent)
+            and any(s not in context.pieces_confirmed for s in context.gathered)
+        ):
+            return False
+        if context.is_leader:
+            if context.outcome is None:
+                return False
+            if set(context.outcome.summaries) != set(context.gathered):
+                return False
+            for port in self._leader_target_ports(context):
+                if port not in context.confirmed_ports and self._peer_alive(
+                    port.processor
+                ):
+                    return False
+        return True
+
+    def _on_Digest(self, message: Digest) -> List[Message]:
+        out: List[Message] = []
+        context = self.repairs.get(message.deleted)
+        if message.records:
+            if context is not None and context.is_leader and context.outcome is not None:
+                out.extend(self._diff_record_digests(context, message.records))
+            return out
+        if context is None:
+            return out
+        if message.ack:
+            # The receiver of one of our digests echoed the chunk back:
+            # that knowledge has provably arrived — stop re-offering it.
+            if message.rt_index is not None:
+                role = next(
+                    (
+                        r
+                        for r in context.spines
+                        if r.rt_index == message.rt_index and r.prev_hop == message.sender
+                    ),
+                    None,
+                )
+                if role is not None:
+                    for summary in message.pieces:
+                        role.confirmed[summary] = None
+            elif message.sender == context.bt_parent:
+                for summary in message.pieces:
+                    context.pieces_confirmed[summary] = None
+            return out
+        if message.rt_index is not None and not (message.probed and message.stripped):
+            role = next(
+                (r for r in context.spines if r.rt_index == message.rt_index), None
+            )
+            if role is not None and role.next_hop == message.sender:
+                # The successor never saw the probe (or saw it without its
+                # strip applying) — resending it is this hop's local duty
+                # (the original travelled through here too), and probe
+                # receipt is idempotent: it strips and nothing else twice.
+                self._emit(
+                    Probe(
+                        sender=self.node_id,
+                        receiver=message.sender,
+                        deleted=context.victim,
+                        hops=role.position + 1,
+                        rt_index=message.rt_index,
+                    ),
+                    out,
+                )
+        if message.pieces:
+            out.extend(self._fold_pieces(context, message.rt_index, list(message.pieces)))
+        if message.pieces or message.rt_index is not None:
+            # Acknowledge the chunk so the sender's future digests shrink;
+            # an unprobed empty digest is acked too (the resent probe may
+            # yet be lost — the ack only confirms the *pieces* arrived).
+            self._emit(
+                Digest(
+                    sender=self.node_id,
+                    receiver=message.sender,
+                    deleted=message.deleted,
+                    rt_index=message.rt_index,
+                    ack=True,
+                    pieces=message.pieces,
+                ),
+                out,
+            )
+        return out
+
+    def _on_DigestRequest(self, message: DigestRequest) -> List[Message]:
+        # One reply per request: the leader already chunks its requests at
+        # MAX_PORTS_PER_REQUEST, so the answering record set fits one digest.
+        entries = [
+            self._port_digest(port, message.deleted)
+            for port in message.ports
+            if port.processor == self.node_id
+        ]
+        out: List[Message] = []
+        if entries:
+            self._emit(
+                Digest(
+                    sender=self.node_id,
+                    receiver=message.sender,
+                    deleted=message.deleted,
+                    records=tuple(entries),
+                ),
+                out,
+            )
+        return out
+
+    def _port_digest(self, port: Port, victim: NodeId) -> PortDigest:
+        """Summarize one of this processor's own Table 1 records for a digest."""
+        record = self.edges.get(port.neighbor)
+        if record is None:
+            return PortDigest(port=port, links_ok=False)
+        helper_for_victim = record.has_helper and record.helper_victim == victim
+        links_ok = True
+        if helper_for_victim and self.network is not None:
+            for child in (record.helper_left, record.helper_right):
+                if (
+                    child is not None
+                    and child.processor != self.node_id
+                    and not self.network.has_link_source(
+                        link_source_key(port, child), self.node_id, child.processor
+                    )
+                ):
+                    links_ok = False
+        return PortDigest(
+            port=port,
+            helper_for_victim=helper_for_victim,
+            helper_left=record.helper_left,
+            helper_right=record.helper_right,
+            helper_parent=record.helper_parent,
+            rt_parent=record.rt_parent,
+            links_ok=links_ok,
+        )
+
+    def _diff_record_digests(
+        self, context: RepairContext, records: Tuple[PortDigest, ...]
+    ) -> List[Message]:
+        """Leader: diff pulled record digests against the current outcome.
+
+        Retransmits exactly what a digest shows missing or stale: an
+        assignment whose pointers (or link sources) diverge is re-sent under
+        the current epoch, a helper a re-merge superseded is retracted, and
+        a parent pointer that never applied gets its update again.  A port
+        whose record matches the outcome on every count joins
+        ``confirmed_ports`` and drops out of future pulls.
+        """
+        outcome = context.outcome
+        epoch = context.epoch
+        victim = context.victim
+        out: List[Message] = []
+        helpers_by_port = {helper.port: helper for helper in outcome.helpers}
+        parents_by_child = {
+            (child, child_is_leaf): parent
+            for child, child_is_leaf, parent in outcome.parent_updates
+        }
+        for record in records:
+            port_ok = True
+            helper = helpers_by_port.get(record.port)
+            if helper is not None:
+                applied = (
+                    record.helper_for_victim
+                    and record.helper_left == helper.left_port
+                    and record.helper_right == helper.right_port
+                    and record.helper_parent == helper.parent_port
+                    and record.links_ok
+                )
+                if not applied:
+                    port_ok = False
+                    context.instructed[helper.port] = None
+                    self._emit(
+                        HelperAssignment(
+                            sender=self.node_id,
+                            receiver=record.port.processor,
+                            deleted=victim,
+                            helper_port=helper.port,
+                            parent_port=helper.parent_port,
+                            left_port=helper.left_port,
+                            right_port=helper.right_port,
+                            create=True,
+                            representative_port=helper.representative,
+                            height=helper.height,
+                            num_leaves=helper.num_leaves,
+                            epoch=epoch,
+                        ),
+                        out,
+                    )
+            elif record.helper_for_victim and record.port in context.instructed:
+                # Applied under a superseded (partial) outcome: retract it.
+                port_ok = False
+                self._emit(
+                    HelperAssignment(
+                        sender=self.node_id,
+                        receiver=record.port.processor,
+                        deleted=victim,
+                        helper_port=record.port,
+                        create=False,
+                        epoch=epoch,
+                    ),
+                    out,
+                )
+            for child_is_leaf in (True, False):
+                parent = parents_by_child.get((record.port, child_is_leaf))
+                if parent is None:
+                    continue
+                actual = record.rt_parent if child_is_leaf else record.helper_parent
+                if actual != parent:
+                    port_ok = False
+                    self._emit(
+                        ParentUpdate(
+                            sender=self.node_id,
+                            receiver=record.port.processor,
+                            deleted=victim,
+                            child_port=record.port,
+                            parent_port=parent,
+                            child_is_helper=not child_is_leaf,
+                            epoch=epoch,
+                        ),
+                        out,
+                    )
+            if port_ok:
+                context.confirmed_ports[record.port] = None
+            else:
+                context.confirmed_ports.pop(record.port, None)
+        return out
 
     # ------------------------------------------------------------------ #
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

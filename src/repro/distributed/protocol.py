@@ -42,6 +42,14 @@ every anchor must have shipped).  :func:`execute_repair` advances the
 network round by round until all deadlines passed and no messages remain in
 flight; the number of rounds it took is the repair's recovery time, checked
 against Lemma 4's ``O(log d log n)`` budget.
+
+Under a fault schedule a repair can end with processors disagreeing; the
+follow-up is *anti-entropy* (:mod:`repro.distributed.recovery`, PR 5): the
+same per-participant contexts installed here double as the local state the
+gossip-digest recovery derives its digests from, so no new knowledge is
+handed out for recovery — each processor recovers from exactly what this
+plan gave it plus the messages that reached it, with the cost ledgered
+separately in a :class:`~repro.distributed.metrics.RecoveryCostReport`.
 """
 
 from __future__ import annotations

@@ -21,11 +21,19 @@ executes every adversarial move, but only as an *oracle*: it maintains the
 equivalence tests compare the distributed state against it.  Nothing on the
 repair path consults the engine's merge outcome — under a lossless network
 the two provably coincide; under an injected
-:class:`~repro.distributed.faults.FaultSchedule` they *diverge*, and
-:meth:`reconverge` is the recovery protocol: participants retransmit the
-knowledge the audit finds missing (unreported fragments, unapplied
-assignments, unstripped helpers) until the distributed state reaches a
-fixed point again.
+:class:`~repro.distributed.faults.FaultSchedule` they *diverge*.
+
+The recovery is message-native too (PR 5): :meth:`reconverge` is now a thin
+driver over the gossip-digest anti-entropy protocol of
+:mod:`repro.distributed.recovery` — each participant derives a compact
+digest from its *own* repair context and Table 1 records, gossips it along
+spine/anchor links as real ``Digest`` / ``DigestRequest`` messages through
+:meth:`Network.deliver_round` (so faults hit recovery traffic as well), and
+retransmits only what its neighbours' digests show missing, until a sweep
+is silent.  The old plan-based global audit survives as
+:meth:`_audit_reference` — an oracle for ``verify_consistency``-style
+checks, never consulted by the recovery (``quarantine_plan_audit`` poisons
+the plan's global knowledge to prove it structurally).
 
 The accounting remains incremental end to end (Lemma 4 bounds each repair
 at ``O(d log n)`` messages, so the measurement layer must not be O(n + m)
@@ -58,21 +66,21 @@ from ..core.reconstruction_tree import RTHelper, RTLeaf
 from .faults import FaultSchedule
 from .merge import link_source_key, real_source_key
 from .messages import HelperAssignment, InsertionNotice, ParentUpdate, PrimaryRootList, Probe
-from .metrics import DeletionCostReport
+from .metrics import DeletionCostReport, RecoveryCostReport
 from .network import Network
 from .protocol import RepairPlan, execute_repair, plan_repair
+from .recovery import run_recovery
 
 __all__ = ["DistributedForgivingGraph", "ReconvergenceReport"]
 
 
-class _OracleQuarantine:
-    """Poison placeholder proving the repair path never reads the oracle's merge."""
+class _Quarantine:
+    """Poison placeholder: any read of the quarantined state raises."""
 
-    @staticmethod
-    def _trip(what: str):
-        raise AssertionError(
-            f"message-native repair consulted the reference engine's merge outcome ({what})"
-        )
+    _message = "quarantined state was read"
+
+    def _trip(self, what: str):
+        raise AssertionError(f"{self._message} ({what})")
 
     def __getattr__(self, name):
         self._trip(name)
@@ -90,24 +98,46 @@ class _OracleQuarantine:
         self._trip("bool")
 
 
-@dataclass
-class ReconvergenceReport:
-    """Outcome of one reconvergence pass after a (possibly faulty) repair."""
+class _OracleQuarantine(_Quarantine):
+    """Poison proving the repair path never reads the oracle's merge."""
 
-    victim: NodeId
-    converged: bool
-    rounds: int = 0
-    retransmissions: int = 0
-    #: Messages lost to faults *during* the reconvergence itself.
-    dropped: int = 0
-    audit_passes: int = 0
+    _message = "message-native repair consulted the reference engine's merge outcome"
+
+
+class _PlanAuditQuarantine(_Quarantine):
+    """Poison proving the recovery path never reads the plan's global knowledge.
+
+    The repair plan's ``contexts`` map (every participant's knowledge) and
+    ``all_summaries`` union are exactly what no single processor of the
+    paper's model holds; the digest recovery must work without them, so the
+    ``message_native_recovery`` gate replaces both with this poison before
+    any reconvergence runs.
+    """
+
+    _message = (
+        "message-native recovery consulted the repair plan's global knowledge"
+    )
+
+
+#: Back-compat alias: reconvergence now returns the full recovery ledger.
+ReconvergenceReport = RecoveryCostReport
 
 
 @dataclass
 class _RepairRuntime:
-    """Per-repair state kept for auditing and recovery."""
+    """Per-repair state kept for recovery driving and reference audits.
+
+    ``victim`` / ``leader`` / ``degree`` / ``helpers_released`` are copied
+    out of the plan at repair time so that nothing on the recovery or
+    reporting path needs to read the plan again once its global knowledge
+    has been quarantined.
+    """
 
     plan: RepairPlan
+    victim: NodeId
+    leader: Optional[NodeId]
+    degree: int
+    helpers_released: int
     participants: List[NodeId] = field(default_factory=list)
 
 
@@ -132,6 +162,13 @@ class DistributedForgivingGraph:
         attributes with poison objects that raise on access — a structural
         proof that the measured repair path never reads them.  Used by the
         perf report's ``message_native_merge`` gate and the tests.
+    quarantine_plan_audit:
+        After every repair replace the plan's *global* knowledge (the
+        per-participant context map and the all-pieces union — exactly what
+        no single processor holds) with poison objects, so any reconvergence
+        that follows provably runs on gossip digests alone.  Used by the
+        perf report's ``message_native_recovery`` gate and the tests; the
+        plan-based :meth:`_audit_reference` naturally raises under it.
     """
 
     name = "distributed_forgiving_graph"
@@ -142,16 +179,23 @@ class DistributedForgivingGraph:
         fault_schedule: Optional[FaultSchedule] = None,
         auto_reconverge: bool = True,
         quarantine_oracle: bool = False,
+        quarantine_plan_audit: bool = False,
     ) -> None:
         self._engine = ForgivingGraph(check_invariants=check_invariants)
         self.network = Network(strict_links=True, fault_schedule=fault_schedule)
         #: One cost report per deletion, in order.
         self.cost_reports: List[DeletionCostReport] = []
-        #: One reconvergence report per reconverge() call, in order.
-        self.reconvergence_reports: List[ReconvergenceReport] = []
+        #: One recovery ledger per reconverge() call, in order.
+        self.recovery_reports: List[RecoveryCostReport] = []
         self.auto_reconverge = auto_reconverge
         self.quarantine_oracle = quarantine_oracle
+        self.quarantine_plan_audit = quarantine_plan_audit
         self._runtime: Optional[_RepairRuntime] = None
+
+    @property
+    def reconvergence_reports(self) -> List[RecoveryCostReport]:
+        """Back-compat alias for :attr:`recovery_reports`."""
+        return self.recovery_reports
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -331,13 +375,25 @@ class DistributedForgivingGraph:
         window = self.network.end_repair()
         self._runtime = _RepairRuntime(
             plan=plan,
+            victim=plan.victim,
+            leader=plan.leader,
+            degree=degree,
+            helpers_released=sum(
+                len(context.released) for context in plan.contexts.values()
+            ),
             participants=[p for p in plan.contexts if self.network.has_processor(p)],
         )
-        recon: Optional[ReconvergenceReport] = None
+        if self.quarantine_plan_audit:
+            # From here on the plan's global knowledge is poison: the
+            # recovery below (and any manual reconverge) must run on gossip
+            # digests alone.
+            plan.contexts = _PlanAuditQuarantine()
+            plan.all_summaries = _PlanAuditQuarantine()
+        recon: Optional[RecoveryCostReport] = None
         if self.network.fault_schedule is not None and self.auto_reconverge:
             recon = self.reconverge()
 
-        outcome = self._leader_outcome(plan)
+        outcome = self._leader_outcome()
         report = DeletionCostReport(
             deleted_node=node,
             degree=degree,
@@ -348,9 +404,7 @@ class DistributedForgivingGraph:
             max_message_bits=window.max_message_bits,
             max_messages_per_node=window.max_messages_per_node(),
             helpers_created=len(outcome.helpers) if outcome is not None else 0,
-            helpers_released=sum(
-                len(context.released) for context in plan.contexts.values()
-            ),
+            helpers_released=self._runtime.helpers_released,
             # All of this deletion's losses: the repair window's plus any
             # suffered while reconverging (the window closes before recovery).
             dropped_messages=window.dropped
@@ -358,14 +412,24 @@ class DistributedForgivingGraph:
             retransmissions=recon.retransmissions if recon is not None else 0,
             reconvergence_rounds=recon.rounds if recon is not None else 0,
             converged=recon.converged if recon is not None else True,
+            recovery=recon,
         )
         self.cost_reports.append(report)
         return report
 
-    def _leader_outcome(self, plan: RepairPlan):
-        if plan.leader is None:
+    def _leader_outcome(self):
+        """The leader's current merge outcome, read through its processor.
+
+        Reporting reads the leader's *own* context as installed on its
+        processor (never the plan's context map, which may be quarantined).
+        """
+        runtime = self._runtime
+        if runtime is None or runtime.leader is None:
             return None
-        context = plan.contexts.get(plan.leader)
+        processor = self.network.processors.get(runtime.leader)
+        if processor is None:
+            return None
+        context = processor.repairs.get(runtime.victim)
         return context.outcome if context is not None else None
 
     def _uninstall_runtime(self) -> None:
@@ -376,54 +440,71 @@ class DistributedForgivingGraph:
         for node in runtime.participants:
             processor = self.network.processors.get(node)
             if processor is not None:
-                processor.uninstall_repair(runtime.plan.victim)
+                processor.uninstall_repair(runtime.victim)
 
     # ------------------------------------------------------------------ #
-    # reconvergence (detect inconsistency, retransmit, repeat)
+    # reconvergence (gossip-digest anti-entropy, message-native)
     # ------------------------------------------------------------------ #
-    def reconverge(self, max_rounds: int = 600) -> ReconvergenceReport:
+    def reconverge(self, max_rounds: int = 600, max_sweeps: int = 40) -> RecoveryCostReport:
         """Drive the last repair's distributed state back to a fixed point.
 
-        Audits the participants against the knowledge the protocol is
-        entitled to — each participant's own plan context and the leader's
-        current outcome, never the oracle — and retransmits exactly what the
-        audit finds missing: unstripped fragments get their probe again,
-        unreported pieces are re-offered to the leader (which re-merges and
-        re-disseminates under a higher epoch), unapplied or superseded
-        assignments are re-sent.  Repeats until an audit pass comes back
-        clean or ``max_rounds`` delivery rounds have been spent; with any
-        fault probability below one, termination is almost sure, and every
-        run is deterministic given the fault schedule's seed.
+        A thin driver over :func:`repro.distributed.recovery.run_recovery`:
+        participants gossip compact digests of their *own* repair state
+        along spine/anchor links (real messages through
+        ``Network.deliver_round``, so faults hit recovery traffic too) and
+        retransmit exactly what their neighbours' digests show missing; the
+        leader re-merges under a higher epoch when digests surface
+        unreported pieces.  A sweep that carried digests only is the silent
+        fixed point.  With any fault probability below one, termination is
+        almost sure, every run is deterministic given the fault schedule's
+        seed, and exhausting ``max_rounds`` mid-delivery is reported
+        (``converged=False`` plus the discarded in-flight count), never
+        silently swallowed.
         """
         runtime = self._runtime
         if runtime is None:
-            return ReconvergenceReport(victim=None, converged=True)
-        plan = runtime.plan
-        report = ReconvergenceReport(victim=plan.victim, converged=False)
-        dropped_before = self.network.metrics.total_dropped
-        while report.rounds < max_rounds:
-            resends = self._audit(plan)
-            report.audit_passes += 1
-            if not resends:
-                report.converged = True
-                break
-            self.network.begin_scaffold()
-            for message in resends:
-                if self.network.has_processor(message.sender) and self.network.has_processor(
-                    message.receiver
-                ):
-                    self.network.send(message)
-                    report.retransmissions += 1
-            while self.network.in_flight and report.rounds < max_rounds:
-                self.network.deliver_round()
-                report.rounds += 1
-            self.network.end_scaffold()
-        report.dropped = self.network.metrics.total_dropped - dropped_before
-        self.reconvergence_reports.append(report)
+            return RecoveryCostReport(
+                victim=None, degree=0, n_ever=self._engine.nodes_ever, converged=True
+            )
+        report = run_recovery(
+            self.network,
+            victim=runtime.victim,
+            participants=runtime.participants,
+            degree=runtime.degree,
+            n_ever=self._engine.nodes_ever,
+            leader=runtime.leader,
+            max_rounds=max_rounds,
+            max_sweeps=max_sweeps,
+        )
+        self.recovery_reports.append(report)
         return report
 
-    def _audit(self, plan: RepairPlan) -> List:
-        """One audit pass: list the retransmissions the repair still needs."""
+    # ------------------------------------------------------------------ #
+    # the retained plan-based audit (an oracle, never on the recovery path)
+    # ------------------------------------------------------------------ #
+    def audit_reference(self) -> List:
+        """Run the plan-based global audit for the last repair (oracle only).
+
+        Returns the retransmissions the old god's-eye audit would still
+        want — an empty list certifies the digest recovery reached the same
+        fixed point the global audit recognizes.  Used by the equivalence
+        tests as a ``verify_consistency``-style check; it reads the plan's
+        global knowledge, so it *raises* under ``quarantine_plan_audit``
+        (which is exactly the structural proof the recovery gate wants).
+        """
+        runtime = self._runtime
+        if runtime is None:
+            return []
+        return self._audit_reference(runtime.plan)
+
+    def _audit_reference(self, plan: RepairPlan) -> List:
+        """One global audit pass: the retransmissions the repair still needs.
+
+        The seed-era detection, retained as an oracle: it walks *every*
+        participant's plan context and the full piece union — knowledge no
+        single processor of the paper's model holds — which is why the
+        digest protocol replaced it on the recovery path.
+        """
         resends: List = []
         network = self.network
         victim = plan.victim

@@ -70,7 +70,10 @@ class StepEvent:
     report: Optional[GuaranteeReport] = None
     #: Communication cost of this deletion's repair, when the healer accounts
     #: for it (the distributed healer's ``DeletionCostReport``; ``None`` for
-    #: insertions and for healers without message accounting).
+    #: insertions and for healers without message accounting).  When the
+    #: deletion ran under a fault schedule the report's ``recovery`` field
+    #: carries the full gossip-digest ``RecoveryCostReport`` ledger, so
+    #: stream consumers see digest/retransmission costs per move.
     cost_report: Optional[object] = None
 
 

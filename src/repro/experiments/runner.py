@@ -10,8 +10,9 @@ rows ready for :mod:`repro.experiments.reporting`.
 from __future__ import annotations
 
 import math
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
@@ -180,13 +181,44 @@ def run_attack(
     return AttackOutcome.from_session_result(config, session.run())
 
 
+def _comparison_task(payload: Tuple[ExperimentConfig, str, nx.Graph, bool]) -> AttackOutcome:
+    """One healer of a comparison (module-level so worker processes can pickle it).
+
+    The worker receives its *own copy* of the base graph (pickling across
+    the process boundary is the deep copy), so every healer still faces the
+    identical initial topology without sharing a mutable object.
+    """
+    config, healer_name, graph, track_series = payload
+    return run_attack(config, healer_name, graph=graph, track_series=track_series)
+
+
 def run_healer_comparison(
     config: ExperimentConfig,
     track_series: bool = False,
+    max_workers: Optional[int] = None,
 ) -> List[AttackOutcome]:
-    """Run every healer named in the config against the *same* initial graph and attack."""
+    """Run every healer named in the config against the *same* initial graph and attack.
+
+    The base graph is built exactly once.  Serially (``max_workers`` of
+    ``None``/``0``/``1``, the default) every healer gets it directly — the
+    seed behaviour, retained so single-core runs pay no copying.  With
+    ``max_workers > 1`` the healers fan out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor` in copy-per-worker
+    mode: each worker deep-copies the base graph (the pickling across the
+    process boundary), so all healers still face the identical topology and
+    the rows are bit-identical to the serial path (equivalence-pinned by
+    ``tests/test_sweeps_and_streaming.py``) while E9-style comparisons
+    scale with cores.  Results come back in config order regardless of
+    completion order.
+    """
     graph = config.graph.build(seed=config.seed)
-    return [
-        run_attack(config, healer_name, graph=graph, track_series=track_series)
-        for healer_name in config.healers
+    if max_workers is None or max_workers <= 1:
+        return [
+            run_attack(config, healer_name, graph=graph, track_series=track_series)
+            for healer_name in config.healers
+        ]
+    payloads = [
+        (config, healer_name, graph, track_series) for healer_name in config.healers
     ]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(_comparison_task, payloads))

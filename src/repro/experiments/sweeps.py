@@ -187,12 +187,15 @@ def sweep_healers(
     seed: int = 0,
     stretch_sources: Optional[int] = 48,
     graph_params: Optional[Dict[str, float]] = None,
+    max_workers: Optional[int] = None,
 ) -> List[Row]:
     """Compare several healers on the identical initial graph and attack (E9).
 
-    Stays serial on purpose: all healers must face the *same* initial graph
-    object, which :func:`repro.experiments.runner.run_healer_comparison`
-    builds exactly once.
+    All healers must face the *same* initial graph, which
+    :func:`repro.experiments.runner.run_healer_comparison` builds exactly
+    once; serial by default, ``max_workers > 1`` selects its copy-per-worker
+    parallel mode (each worker gets a deep copy of that one graph, rows stay
+    bit-identical to the serial path).
     """
     config = ExperimentConfig(
         name=name,
@@ -202,7 +205,10 @@ def sweep_healers(
         seed=seed,
         stretch_sources=stretch_sources,
     )
-    return [outcome.as_row() for outcome in run_healer_comparison(config)]
+    return [
+        outcome.as_row()
+        for outcome in run_healer_comparison(config, max_workers=max_workers)
+    ]
 
 
 def sweep_strategies(

@@ -1,4 +1,4 @@
-"""Integration tests: the experiment catalog (E1–E10) at smoke scale.
+"""Integration tests: the experiment catalog (E1–E12) at smoke scale.
 
 These are the end-to-end checks that the claims recorded in EXPERIMENTS.md
 actually regenerate: every experiment runs, produces rows, and the rows
@@ -21,6 +21,7 @@ from repro.experiments.catalog import (
     experiment_e8_paper_figures,
     experiment_e9_healer_comparison,
     experiment_e10_churn,
+    experiment_e12_recovery_cost,
 )
 
 
@@ -102,11 +103,30 @@ class TestTheorem2AndComparisons:
         assert all(row["stretch"] <= row["stretch_bound"] + 1e-9 for row in rows)
         assert all(row["insertions"] > 0 and row["deletions"] > 0 for row in rows)
 
+    def test_e12_recovery_cost_claims_hold(self):
+        _title, rows, _ = experiment_e12_recovery_cost("smoke")
+        by_preset = {row["fault_preset"]: row for row in rows}
+        assert set(by_preset) == {"lossless", "drop", "delay", "reorder", "chaos"}
+        for row in rows:
+            # Every preset runs with the plan audit poisoned; converging and
+            # matching the oracle certifies message-native recovery.
+            assert row["all_converged"]
+            assert row["consistent_with_oracle"]
+            assert row["within_digest_budgets"] and row["within_round_budgets"]
+            assert row["recoveries"] == row["repairs"] > 0
+            assert row["digest_messages"] > 0
+        # Lossless pays pure detection: one sweep per repair, nothing resent.
+        lossless = by_preset["lossless"]
+        assert lossless["retransmissions"] == 0
+        assert lossless["sweeps"] == lossless["repairs"]
+        # Lossy presets genuinely pay for their faults.
+        assert by_preset["drop"]["retransmissions"] > 0
+
 
 class TestCatalogPlumbing:
-    def test_all_experiments_returns_eleven_sections(self):
+    def test_all_experiments_returns_twelve_sections(self):
         sections = all_experiments("smoke")
-        assert len(sections) == 11
+        assert len(sections) == 12
         titles = [section[0] for section in sections]
         assert all(title.startswith("E") for title in titles)
         assert all(section[1] for section in sections)  # every section has rows

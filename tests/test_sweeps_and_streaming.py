@@ -162,3 +162,44 @@ class TestRunSweep:
         )
         assert [row["n0"] for row in rows] == [16, 24]
         assert len(read_jsonl(tmp_path / "sizes.jsonl")) == 2
+
+
+class TestParallelHealerComparison:
+    """Copy-per-worker parallel mode of run_healer_comparison (the E9 scaler)."""
+
+    def comparison_config(self):
+        return ExperimentConfig(
+            name="unit-healer-cmp",
+            graph=GraphSpec(topology="power_law", n=32),
+            attack=AttackConfig(strategy="max_degree", delete_fraction=0.3),
+            healers=("forgiving_graph", "cycle_heal", "no_heal"),
+            seed=6,
+            stretch_sources=8,
+        )
+
+    def test_parallel_comparison_matches_serial(self):
+        from repro.experiments import run_healer_comparison
+
+        config = self.comparison_config()
+        serial = [o.as_row() for o in run_healer_comparison(config)]
+        parallel = [
+            o.as_row() for o in run_healer_comparison(config, max_workers=2)
+        ]
+        strip = lambda row: {k: v for k, v in row.items() if k != "seconds"}
+        assert [strip(r) for r in serial] == [strip(r) for r in parallel]
+        assert [r["healer"] for r in parallel] == list(config.healers)
+
+    def test_sweep_healers_forwards_max_workers(self):
+        from repro.experiments import sweep_healers
+
+        serial = sweep_healers(
+            "unit-healer-sweep", "power_law", 32,
+            healers=("forgiving_graph", "no_heal"), seed=6, stretch_sources=8,
+        )
+        parallel = sweep_healers(
+            "unit-healer-sweep", "power_law", 32,
+            healers=("forgiving_graph", "no_heal"), seed=6, stretch_sources=8,
+            max_workers=2,
+        )
+        strip = lambda row: {k: v for k, v in row.items() if k != "seconds"}
+        assert [strip(r) for r in serial] == [strip(r) for r in parallel]
