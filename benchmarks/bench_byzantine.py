@@ -1,0 +1,85 @@
+"""Byzantine accountability benchmarks: what does honest traffic pay?
+
+The byzantine detection machinery (PR 6) is designed so honest runs pay
+essentially nothing: message seals are lazy (a never-sealed message passes
+``seal_valid`` on a dict lookup), descriptor checksums hash once per object
+and cache the verdict, and cross-witnessing is one dict probe per admitted
+descriptor.  These benchmarks make that claim visible alongside the
+experiment benchmarks — the accountable lossless attack next to the same
+attack with the transcript disabled, plus the full byzantine attack so the
+cost of detection-under-lies stays tracked.  The pass/fail version of the
+claim lives in ``scripts/perf_report.py`` (``byzantine_containment`` gate).
+
+Every item here carries the ``perf`` marker (added by conftest) and stays
+out of the tier-1 run.
+"""
+
+import pytest
+
+from repro.adversary.strategies import MaxDegreeDeletion
+from repro.distributed import DistributedForgivingGraph
+from repro.distributed.faults import fault_schedule
+from repro.generators import make_graph
+
+from conftest import run_once
+
+SIZES = [100, 400]
+
+
+def run_attack(n: int, seed: int = 20090214, *, preset=None, accountable=True):
+    graph = make_graph("power_law", n, seed=seed)
+    schedule = fault_schedule(preset, seed=seed) if preset else None
+    healer = DistributedForgivingGraph.from_graph(
+        graph, fault_schedule=schedule, quarantine_plan_audit=preset is not None
+    )
+    if not accountable:
+        healer.network.transcript = None  # receive()-time verification off
+    strategy = MaxDegreeDeletion()
+    for _ in range(n // 2):
+        victim = strategy.choose_victim(healer)
+        if victim is None or healer.num_alive <= 3:
+            break
+        healer.delete(victim)
+    return healer
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_lossless_attack_accountability_off(benchmark, n):
+    """Baseline: the lossless attack with the transcript disabled."""
+    healer = run_once(benchmark, run_attack, n, accountable=False)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["repairs"] = len(healer.cost_reports)
+    assert healer.network.transcript is None
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_lossless_attack_accountability_on(benchmark, n):
+    """The same attack verifying every sealed kind and descriptor checksum.
+
+    Compare against ``test_lossless_attack_accountability_off`` at the same
+    n: the whole checksum/witness machinery should be lost in the noise.
+    """
+    healer = run_once(benchmark, run_attack, n, accountable=True)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["repairs"] = len(healer.cost_reports)
+    # Honest traffic never triggers an accusation.
+    assert len(healer.network.transcript) == 0
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_byzantine_attack_with_detection(benchmark, n):
+    """The byzantine preset end to end: lies, accusations, quarantines.
+
+    Not a like-for-like timing against the lossless rows (the workload
+    itself differs once processors are quarantined) — this row tracks the
+    absolute cost of the detect-accuse-quarantine-recover cycle.
+    """
+    healer = run_once(benchmark, run_attack, n, preset="byzantine")
+    network = healer.network
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["repairs"] = len(healer.cost_reports)
+    benchmark.extra_info["lies_delivered"] = network.injection_log.total_delivered
+    benchmark.extra_info["accused"] = len(network.transcript.accused)
+    assert set(network.transcript.accused) == (
+        network.injection_log.origins_with_delivered_lies
+    )

@@ -70,6 +70,17 @@ Workloads
     equals the oracle, and that the digest traffic stayed within its
     Lemma-4-style per-sweep budgets.
 
+``byzantine_containment``
+    Correctness gate (PR 6): deletion attacks with *byzantine* processors
+    corrupting the payloads they send (descriptors, digest records,
+    assignments — the ``--byzantine-schedule`` presets), both quarantines
+    armed.  Passing proves the accountability transcript matches the
+    oracle-side injection log exactly — every delivered lie accused, only
+    genuine liars accused, zero accusations on honest runs under every
+    delivery preset — that recovery still reaches its fixed point around
+    the quarantined, and that verification costs essentially nothing on
+    the honest lossless path (the smoke-floor timing check).
+
 ``network_delivery``
     The batched ``Network.deliver_round`` (one recycled per-round buffer,
     in-place fault compaction, reorder machinery skipped when no policy can
@@ -104,9 +115,17 @@ from repro.adversary.strategies import (
 from repro.analysis import stretch_report, stretch_report_reference
 from repro.analysis.fastpaths import HAVE_SCIPY
 from repro.distributed import DistributedForgivingGraph, Network
-from repro.distributed.faults import FAULT_PRESETS, fault_schedule
+from repro.distributed.faults import (
+    BYZANTINE_PRESETS,
+    DELIVERY_PRESETS,
+    fault_schedule,
+)
 from repro.distributed.messages import DeletionNotice
-from repro.distributed.metrics import DeletionCostReport, aggregate_recovery
+from repro.distributed.metrics import (
+    DeletionCostReport,
+    aggregate_byzantine,
+    aggregate_recovery,
+)
 from repro.experiments import AttackConfig, ExperimentConfig, SweepTask, run_sweep
 from repro.generators import GraphSpec, make_graph
 
@@ -549,13 +568,16 @@ def bench_message_native(
 
 
 #: The full recovery-gate matrix: the acceptance bar is "digest recovery
-#: reaches the fixed point under lossless *and* all faults", so the list is
-#: derived from the preset registry itself (a preset added to
-#: ``FAULT_PRESETS`` joins the gate automatically).  Local full runs and
-#: the dedicated CI leg replay all of it; the other CI smoke legs pass
+#: reaches the fixed point under lossless *and* all delivery faults", so the
+#: list is derived from the delivery registry itself (a preset added to
+#: ``DELIVERY_PRESETS`` joins the gate automatically).  The byzantine
+#: presets stay out: this gate scores against the oracle, and quarantining
+#: a liar leaves a deliberate, permanent divergence — the dedicated
+#: ``byzantine_containment`` gate covers them.  Local full runs and the
+#: dedicated CI leg replay all of it; the other CI smoke legs pass
 #: ``--recovery-schedule`` to run a cheap subset instead of repeating the
 #: whole matrix per job.
-RECOVERY_GATE_PRESETS = list(FAULT_PRESETS)
+RECOVERY_GATE_PRESETS = list(DELIVERY_PRESETS)
 
 
 def bench_message_native_recovery(
@@ -626,6 +648,141 @@ def bench_message_native_recovery(
             and row["recoveries"] > 0
             for row in rows
         ),
+    }
+
+
+#: The byzantine-gate matrix: lies over reliable links and lies combined
+#: with the chaos delivery policy (``BYZANTINE_PRESETS`` is the registry).
+BYZANTINE_GATE_PRESETS = list(BYZANTINE_PRESETS)
+
+
+def bench_byzantine_containment(
+    n: int,
+    presets: Optional[List[str]] = None,
+    deletions: Optional[int] = None,
+    seed: int = 20090214,
+) -> Dict[str, object]:
+    """The byzantine containment gate: accountable detection, no collateral.
+
+    Three checks, all message-native (both quarantines armed, so detection
+    provably used neither the oracle's merge nor the plan's global
+    knowledge):
+
+    1. **Byzantine runs** — per byzantine preset, the accountability
+       transcript is scored against the oracle-side injection log: every
+       processor whose corrupted payload was actually *delivered* is
+       accused (dropped lies never reached a verifier and don't count),
+       only genuinely byzantine processors are ever accused, every
+       recovery still reaches its silent fixed point around the
+       quarantined, and the containment radius is reported.
+    2. **Honest controls** — the same attack under every delivery preset
+       produces zero accusations: drops, delays and reorders are never
+       mistaken for lies.
+    3. **Overhead** — on the lossless path, the attack with accountability
+       enabled must not lose more than the smoke floor against the same
+       attack with the transcript disabled (seals are lazy and descriptor
+       checksums hash once per object, so honest traffic is verified
+       essentially for free).
+    """
+    if presets is None:
+        presets = BYZANTINE_GATE_PRESETS
+    if deletions is None:
+        deletions = n // 2
+    graph = make_graph("power_law", n, seed=seed)
+
+    def attack(healer) -> None:
+        strategy = MaxDegreeDeletion()
+        for _ in range(deletions):
+            victim = strategy.choose_victim(healer)
+            if victim is None or healer.num_alive <= 3:
+                break
+            healer.delete(victim)
+
+    rows: List[Dict[str, object]] = []
+    for preset in presets:
+        schedule = fault_schedule(preset, seed=seed)
+        healer = DistributedForgivingGraph.from_graph(
+            graph,
+            fault_schedule=schedule,
+            quarantine_oracle=True,
+            quarantine_plan_audit=True,
+        )
+        attack(healer)
+        transcript = healer.network.transcript
+        injection = healer.network.injection_log
+        accused = set(transcript.accused)
+        row: Dict[str, object] = {
+            "preset": preset,
+            "repairs": len(healer.cost_reports),
+            "all_converged": all(r.converged for r in healer.cost_reports),
+            "every_delivered_lie_accused": (
+                accused == injection.origins_with_delivered_lies
+            ),
+            "only_byzantine_accused": all(
+                schedule.is_byzantine(node) for node in accused
+            ),
+            "quarantined": len(healer.network.quarantined),
+        }
+        row.update(
+            aggregate_byzantine([r.byzantine for r in healer.cost_reports])
+        )
+        row["ok"] = bool(
+            row["all_converged"]
+            and row["every_delivered_lie_accused"]
+            and row["only_byzantine_accused"]
+            and row["false_accusations"] == 0
+            and row["lies_delivered"] > 0  # the run genuinely exercised lies
+            and row["accusations"] > 0
+            and row["max_containment_radius"] >= 1
+        )
+        rows.append(row)
+
+    honest_rows: List[Dict[str, object]] = []
+    for preset in DELIVERY_PRESETS:
+        healer = DistributedForgivingGraph.from_graph(
+            graph,
+            fault_schedule=fault_schedule(preset, seed=seed),
+            quarantine_oracle=True,
+        )
+        attack(healer)
+        transcript = healer.network.transcript
+        honest_rows.append(
+            {
+                "preset": preset,
+                "repairs": len(healer.cost_reports),
+                "accusations": len(transcript) if transcript is not None else 0,
+            }
+        )
+
+    def timed_attack(accountable: bool) -> float:
+        healer = DistributedForgivingGraph.from_graph(graph)
+        if not accountable:
+            healer.network.transcript = None  # receive()-time verification off
+        start = time.perf_counter()
+        attack(healer)
+        return time.perf_counter() - start
+
+    timed_attack(True)  # warm-up
+    # Best of two fresh runs per side, so one scheduler hiccup cannot
+    # decide the comparison (same guard as the delivery flood).
+    plain_seconds = min(timed_attack(False) for _ in range(2))
+    checked_seconds = min(timed_attack(True) for _ in range(2))
+    overhead_speedup = (
+        round(plain_seconds / checked_seconds, 2)
+        if checked_seconds
+        else float("inf")
+    )
+
+    return {
+        "n": n,
+        "presets": rows,
+        "honest_controls": honest_rows,
+        "plain_seconds": round(plain_seconds, 4),
+        "checked_seconds": round(checked_seconds, 4),
+        "overhead_speedup": overhead_speedup,
+        "ok": all(row["ok"] for row in rows)
+        and all(row["accusations"] == 0 for row in honest_rows)
+        and overhead_speedup >= TARGET_SMOKE_SPEEDUP,
     }
 
 
@@ -722,17 +879,21 @@ def build_report(
     smoke: bool = False,
     fault_presets: Optional[List[str]] = None,
     recovery_presets: Optional[List[str]] = None,
+    byzantine_presets: Optional[List[str]] = None,
 ) -> Dict[str, object]:
     if fault_presets is None:
         fault_presets = ["drop", "reorder"]
     if recovery_presets is None:
         recovery_presets = list(RECOVERY_GATE_PRESETS)
+    if byzantine_presets is None:
+        byzantine_presets = list(BYZANTINE_GATE_PRESETS)
     if smoke:
         sizes = [300]
         sweep_sizes = [120]
         distributed_sizes = [150]
         message_native_sizes = [80]
         recovery_sizes = [80]
+        byzantine_sizes = [80]
         delivery_sizes = [150]
     elif quick:
         sizes = [100, 1000]
@@ -740,6 +901,7 @@ def build_report(
         distributed_sizes = [100, 1000]
         message_native_sizes = [100]
         recovery_sizes = [100]
+        byzantine_sizes = [100]
         delivery_sizes = [100, 1000]
     else:
         sizes = [100, 1000, 5000]
@@ -747,6 +909,7 @@ def build_report(
         distributed_sizes = [100, 1000]
         message_native_sizes = [100, 400]
         recovery_sizes = [100, 400]
+        byzantine_sizes = [100, 400]
         delivery_sizes = [100, 1000]
 
     stretch_rows: List[Dict[str, object]] = []
@@ -821,6 +984,24 @@ def build_report(
             )
         )
         recovery_rows.append(row)
+    byzantine_rows: List[Dict[str, object]] = []
+    for n in byzantine_sizes if byzantine_presets else []:
+        print(
+            f"[byzantine_containment] n={n} presets={','.join(byzantine_presets)} ...",
+            flush=True,
+        )
+        row = bench_byzantine_containment(n, presets=byzantine_presets)
+        print(
+            f"  {'ok' if row['ok'] else 'FAILED'}; overhead "
+            f"{row['checked_seconds']}s vs {row['plain_seconds']}s "
+            f"({row['overhead_speedup']}x); "
+            + "; ".join(
+                f"{p['preset']}: {p['lies_delivered']} lies delivered, "
+                f"{p['accused']} accused, radius {p['max_containment_radius']}"
+                for p in row["presets"]
+            )
+        )
+        byzantine_rows.append(row)
     delivery_rows: List[Dict[str, object]] = []
     for n in delivery_sizes:
         print(f"[network_delivery] n={n} ...", flush=True)
@@ -845,6 +1026,7 @@ def build_report(
             ),
             "message_native_smoke": all(r["ok"] for r in message_native_rows),
             "message_native_recovery": all(r["ok"] for r in recovery_rows),
+            "byzantine_containment": all(r["ok"] for r in byzantine_rows),
             "network_delivery_smoke": all(
                 r["speedup"] >= TARGET_SMOKE_SPEEDUP for r in delivery_rows
             ),
@@ -876,6 +1058,7 @@ def build_report(
             ),
             "message_native_merge": all(r["ok"] for r in message_native_rows),
             "message_native_recovery": all(r["ok"] for r in recovery_rows),
+            "byzantine_containment": all(r["ok"] for r in byzantine_rows),
             "network_delivery": all(
                 r["speedup"] >= TARGET_SMOKE_SPEEDUP for r in delivery_rows
             ),
@@ -893,7 +1076,7 @@ def build_report(
         }
 
     return {
-        "schema": "bench_perf/v5",
+        "schema": "bench_perf/v6",
         "generated_by": "scripts/perf_report.py" + (" --smoke" if smoke else ""),
         "scipy_backend": HAVE_SCIPY,
         "cpus": os.cpu_count(),
@@ -904,6 +1087,7 @@ def build_report(
         "distributed_repair": distributed_rows,
         "message_native_merge": message_native_rows,
         "message_native_recovery": recovery_rows,
+        "byzantine_containment": byzantine_rows,
         "network_delivery": delivery_rows,
         "targets": targets,
         "targets_met": targets_met,
@@ -929,42 +1113,67 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--fault-schedule",
         default="drop,reorder",
-        help="comma-separated fault presets the message_native_merge gate "
-        f"replays ('all' = every preset; available: {', '.join(sorted(FAULT_PRESETS))}); "
+        help="comma-separated delivery presets the message_native_merge gate "
+        f"replays ('all' = every one; available: {', '.join(sorted(DELIVERY_PRESETS))}); "
         "the CI matrix runs one preset per job",
     )
     parser.add_argument(
         "--recovery-schedule",
         default="all",
         help="comma-separated presets the message_native_recovery gate "
-        "replays ('all' = lossless + every fault preset; the generic CI "
+        "replays ('all' = lossless + every delivery preset; the generic CI "
         "smoke legs pass a cheap subset, the dedicated recovery leg runs "
         "the full matrix)",
     )
+    parser.add_argument(
+        "--byzantine-schedule",
+        default="all",
+        help="comma-separated presets the byzantine_containment gate "
+        f"replays ('all' = {', '.join(BYZANTINE_GATE_PRESETS)}; 'none' "
+        "skips the gate — the generic CI smoke legs skip it, the "
+        "dedicated byzantine leg runs the full matrix)",
+    )
     args = parser.parse_args(argv)
 
-    def parse_presets(value: str, flag: str, everything: List[str]) -> List[str]:
-        """Split a comma list of preset names, validating against the registry."""
+    def parse_presets(
+        value: str, flag: str, everything: List[str], registry: Dict[str, object]
+    ) -> List[str]:
+        """Split a comma list of preset names, validating against a registry."""
         if value.strip() == "all":
             return list(everything)
+        if value.strip() == "none":
+            return []
         presets = [p.strip() for p in value.split(",") if p.strip()]
-        unknown = [p for p in presets if p not in FAULT_PRESETS]
+        unknown = [p for p in presets if p not in registry]
         if unknown:
             parser.error(
-                f"unknown {flag} preset(s) {unknown}; available: {sorted(FAULT_PRESETS)}"
+                f"unknown {flag} preset(s) {unknown}; available: {sorted(registry)}"
             )
         return presets
 
-    # The merge gate always runs lossless unconditionally, so its 'all' is
-    # the faulty presets only; the recovery gate's 'all' includes lossless
-    # (its lossless row isolates the pure detection cost).
+    # The merge and recovery gates score against the oracle, so they accept
+    # delivery presets only (quarantining a liar leaves a deliberate,
+    # permanent divergence — the byzantine gate owns those presets).  The
+    # merge gate always runs lossless unconditionally, so its 'all' is the
+    # faulty presets only; the recovery gate's 'all' includes lossless (its
+    # lossless row isolates the pure detection cost).
     fault_presets = parse_presets(
         args.fault_schedule,
         "--fault-schedule",
-        [p for p in FAULT_PRESETS if p != "lossless"],
+        [p for p in DELIVERY_PRESETS if p != "lossless"],
+        DELIVERY_PRESETS,
     )
     recovery_presets = parse_presets(
-        args.recovery_schedule, "--recovery-schedule", RECOVERY_GATE_PRESETS
+        args.recovery_schedule,
+        "--recovery-schedule",
+        RECOVERY_GATE_PRESETS,
+        DELIVERY_PRESETS,
+    )
+    byzantine_presets = parse_presets(
+        args.byzantine_schedule,
+        "--byzantine-schedule",
+        BYZANTINE_GATE_PRESETS,
+        BYZANTINE_PRESETS,
     )
 
     output = args.output
@@ -978,6 +1187,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         smoke=args.smoke,
         fault_presets=fault_presets,
         recovery_presets=recovery_presets,
+        byzantine_presets=byzantine_presets,
     )
     output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {output}")

@@ -14,7 +14,12 @@ Lemma 4).  This package provides
   message-passing simulator with sourced links, repair scaffolding,
   optional fault injection and per-processor counters,
 * :mod:`repro.distributed.faults` — seeded per-link drop/delay/reorder
-  policies and the named presets shared by E11, CI and the tests,
+  policies, the per-processor byzantine payload-corruption axis
+  (:class:`ByzantinePolicy`), and the named presets shared by E11/E13,
+  CI and the tests,
+* :mod:`repro.distributed.accountability` — the protocol-side accusation
+  transcript (who accused whom, with the conflicting message pair as
+  evidence) and the oracle-side injection log it is scored against,
 * :mod:`repro.distributed.processor` — per-processor state (one
   :class:`EdgeRecord` per ``G'`` edge with exactly the fields of Table 1)
   plus the reactive repair behaviour driven by received messages,
@@ -43,9 +48,28 @@ centralized reference engine is an *oracle*: the tests in
 it exactly.  Cost accounting stays O(repair) end to end (per-repair metrics
 window, message-driven link sources, per-sweep digest budgets), within
 Lemma 4's own asymptotics.
+
+Detection of *byzantine* payload faults is message-native too (PR 6):
+sealed message kinds and checksummed descriptors expose in-flight
+tampering at ``receive()`` time, cross-witnessing exposes equivocation,
+and every contradiction lands on the network's
+:class:`AccountabilityTranscript` as an :class:`Accusation` naming the
+liar — who is then quarantined (crash semantics) while recovery heals
+around it.  The simulator threads the per-deletion deltas into each
+:class:`DeletionCostReport` as a :class:`ByzantineReport` (containment
+radius, detection latency, false-accusation count).
 """
 
-from .faults import FAULT_PRESETS, FaultSchedule, LinkFaultPolicy, fault_schedule
+from .accountability import Accusation, AccountabilityTranscript, InjectionLog
+from .faults import (
+    BYZANTINE_PRESETS,
+    DELIVERY_PRESETS,
+    FAULT_PRESETS,
+    ByzantinePolicy,
+    FaultSchedule,
+    LinkFaultPolicy,
+    fault_schedule,
+)
 from .merge import MergeOutcome, PieceSummary, merge_summaries, plan_strip
 from .messages import (
     AnchorLink,
@@ -62,10 +86,12 @@ from .messages import (
     Probe,
 )
 from .metrics import (
+    ByzantineReport,
     DeletionCostReport,
     MetricsWindow,
     NetworkMetrics,
     RecoveryCostReport,
+    aggregate_byzantine,
 )
 from .network import Network
 from .processor import EdgeRecord, Processor, RepairContext
@@ -98,8 +124,16 @@ __all__ = [
     "ReconvergenceReport",
     "FaultSchedule",
     "LinkFaultPolicy",
+    "ByzantinePolicy",
     "fault_schedule",
     "FAULT_PRESETS",
+    "DELIVERY_PRESETS",
+    "BYZANTINE_PRESETS",
+    "Accusation",
+    "AccountabilityTranscript",
+    "InjectionLog",
+    "ByzantineReport",
+    "aggregate_byzantine",
     "PieceSummary",
     "MergeOutcome",
     "merge_summaries",

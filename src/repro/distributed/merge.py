@@ -52,6 +52,7 @@ from ..core.reconstruction_tree import (
     RTNode,
     representative_of,
 )
+from .messages import payload_checksum
 
 __all__ = [
     "PieceSummary",
@@ -101,6 +102,36 @@ class PieceSummary:
     #: The piece's representative leaf port (the one free processor that will
     #: simulate the next helper created on top of it).
     representative: Port
+    #: Content checksum, always (re)computed by ``__post_init__``.
+    #: ``compare=False`` keeps equality/hash purely semantic; ``repr=False``
+    #: keeps it out of the message seals (which cover payload reprs).  The
+    #: byzantine fault layer corrupts a descriptor by overwriting fields
+    #: while *retaining* the honest checksum — the mismatch is what any
+    #: receiver can detect locally.  A byzantine *author* instead reseals a
+    #: self-consistent lie (valid checksum), caught only by cross-witnessing.
+    checksum: int = field(default=0, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "checksum", self.content_checksum())
+
+    def content_checksum(self) -> int:
+        return payload_checksum(
+            "PieceSummary",
+            self.root_port,
+            self.root_is_leaf,
+            self.num_leaves,
+            self.height,
+            self.representative,
+        )
+
+    def checksum_valid(self) -> bool:
+        # Validity is immutable (frozen dataclass), so cache the verdict:
+        # an honest descriptor relayed across many hops hashes once.
+        cached = self.__dict__.get("_checksum_ok")
+        if cached is None:
+            cached = self.checksum == self.content_checksum()
+            object.__setattr__(self, "_checksum_ok", cached)
+        return cached
 
 
 def trivial_summary(neighbor: NodeId, victim: NodeId) -> PieceSummary:

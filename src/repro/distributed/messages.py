@@ -29,12 +29,31 @@ corresponds to a constant number of words per message.
 :class:`PrimaryRootReport` / :class:`PrimaryRootList` carry a few words per
 primary-root descriptor and are chunked at :data:`MAX_ROOTS_PER_MESSAGE`
 descriptors, so even they never exceed ``O(log n)`` bits per message.
+
+Byzantine accountability (PR 6) adds cheap integrity tags:
+
+* every structural message carries a lazily-computed **seal** over its
+  payload fields (:attr:`Message.seal` / :meth:`Message.seal_valid`),
+  simulating an unforgeable MAC over the payload the sender authored.  An
+  honest message is valid by construction; the fault layer's post-hoc
+  payload corruption leaves a *stale* seal behind, which any receiver can
+  detect locally.  A byzantine processor may still *author* a lie (forge a
+  fresh, validly-sealed payload) — those are caught by cross-witnessing in
+  :mod:`repro.distributed.processor`, not here.
+* :class:`PortDigest` (and :class:`~repro.distributed.merge.PieceSummary`)
+  embed a content **checksum** so corrupted descriptors are detected even
+  when relayed verbatim inside an honestly-sealed envelope.
+
+Both tags cost O(1) words (folded into the existing per-descriptor word
+counts) and are computed lazily, so the lossless fast path pays nothing
+when nobody verifies.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
+import zlib
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
@@ -54,9 +73,36 @@ __all__ = [
     "DigestRequest",
     "PortDigest",
     "words_to_bits",
+    "payload_checksum",
+    "SEALED_KINDS",
 ]
 
 _message_counter = itertools.count(1)
+
+
+def payload_checksum(*parts: object) -> int:
+    """Cheap content checksum over payload parts (CRC32 of their repr).
+
+    Ports have stable memoized reprs and descriptor dataclasses exclude
+    their own checksum fields from ``repr``, so the digest covers exactly
+    the semantic content.  This stands in for a collision-resistant hash:
+    the simulation never *searches* for collisions, it only compares a
+    frozen tag against recomputed content.
+    """
+    return zlib.crc32(repr(parts).encode("utf-8"))
+
+
+#: Message kinds that carry a payload seal and are verified on receipt.
+#: (Probes and notices carry no mergeable payload worth lying about.)
+SEALED_KINDS = frozenset(
+    {
+        "PrimaryRootReport",
+        "PrimaryRootList",
+        "ParentUpdate",
+        "HelperAssignment",
+        "Digest",
+    }
+)
 
 
 def words_to_bits(words: int, n_ever: int) -> int:
@@ -77,6 +123,12 @@ class Message:
 
     def __post_init__(self) -> None:
         self.message_id = next(_message_counter)
+        #: Oracle-side provenance tag: set to the liar's NodeId when the
+        #: fault layer (or a byzantine processor's forging hook) corrupted
+        #: this message's payload.  Protocol code never reads it — it only
+        #: feeds the :class:`~repro.distributed.accountability.InjectionLog`
+        #: ground truth that scores detection.
+        self.byz_origin: Optional[NodeId] = None
 
     @property
     def kind(self) -> str:
@@ -86,6 +138,51 @@ class Message:
     def size_bits(self, n_ever: int) -> int:
         """Size of this message in bits when identifiers need ``log2 n`` bits."""
         return words_to_bits(self.payload_words, n_ever)
+
+    # ------------------------------------------------------------------ #
+    # payload seal (simulated MAC)
+    # ------------------------------------------------------------------ #
+    def _seal_fields(self) -> Tuple[object, ...]:
+        """Payload fields covered by the seal (subclasses override)."""
+        return ()
+
+    @property
+    def seal(self) -> int:
+        """Lazily-computed payload seal, cached on first access.
+
+        An honest sender never touches the payload after construction, so
+        its seal — computed whenever first read — always matches and costs
+        nothing until somebody verifies.  The fault layer freezes the seal
+        *before* mutating payload fields, modelling an adversary that can
+        corrupt a payload but cannot forge the original author's MAC.
+        """
+        cached = self.__dict__.get("_seal")
+        if cached is None:
+            cached = payload_checksum(self.kind, self._seal_fields())
+            self.__dict__["_seal"] = cached
+        return cached
+
+    def seal_valid(self) -> bool:
+        """Recompute the payload seal and compare against the carried one.
+
+        A message whose seal was never read has — by the laziness contract —
+        never been mutated after construction (every corruption path freezes
+        the seal first), so it verifies for free; the honest fast path pays
+        no hashing at all.
+        """
+        cached = self.__dict__.get("_seal")
+        if cached is None:
+            return True
+        return cached == payload_checksum(self.kind, self._seal_fields())
+
+    def reseal(self) -> None:
+        """Recompute the seal over the *current* payload (forging helper).
+
+        Only byzantine senders call this: it models a liar authoring a
+        fresh payload under its own valid MAC — undetectable by seal
+        checks, caught instead by cross-witness contradiction.
+        """
+        self.__dict__["_seal"] = payload_checksum(self.kind, self._seal_fields())
 
 
 @dataclass
@@ -154,6 +251,9 @@ class PrimaryRootReport(Message):
         super().__post_init__()
         self.payload_words = 2 + ROOT_DESCRIPTOR_WORDS * len(self.roots)
 
+    def _seal_fields(self) -> Tuple[object, ...]:
+        return (self.deleted, self.roots, self.rt_index)
+
 
 @dataclass
 class PrimaryRootList(Message):
@@ -166,6 +266,9 @@ class PrimaryRootList(Message):
         super().__post_init__()
         # A few descriptor words per primary root plus a header.
         self.payload_words = 2 + ROOT_DESCRIPTOR_WORDS * len(self.roots)
+
+    def _seal_fields(self) -> Tuple[object, ...]:
+        return (self.deleted, self.roots)
 
 
 @dataclass
@@ -186,6 +289,15 @@ class ParentUpdate(Message):
         super().__post_init__()
         # deleted + child port + parent port + flag + epoch, one word each.
         self.payload_words = 5
+
+    def _seal_fields(self) -> Tuple[object, ...]:
+        return (
+            self.deleted,
+            self.child_port,
+            self.parent_port,
+            self.child_is_helper,
+            self.epoch,
+        )
 
 
 @dataclass
@@ -222,6 +334,20 @@ class HelperAssignment(Message):
         # one O(log n)-bit word each.
         self.payload_words = 10
 
+    def _seal_fields(self) -> Tuple[object, ...]:
+        return (
+            self.deleted,
+            self.helper_port,
+            self.parent_port,
+            self.left_port,
+            self.right_port,
+            self.create,
+            self.representative_port,
+            self.height,
+            self.num_leaves,
+            self.epoch,
+        )
+
 
 # --------------------------------------------------------------------------- #
 # anti-entropy recovery (gossip digests)
@@ -248,11 +374,46 @@ class PortDigest:
     rt_parent: Optional[Port] = None
     #: True when the helper's child link sources exist in the owner's view.
     links_ok: bool = True
+    #: The *other* repair's victim when the port already simulates a helper
+    #: for a different deletion — the owner refuses assignments for a busy
+    #: port, so the leader must learn the refusal is permanent.
+    busy_with: Optional[NodeId] = None
+    #: Content checksum set by ``__post_init__`` (``compare=False`` keeps
+    #: equality/hash on the semantic fields, ``repr=False`` keeps it out of
+    #: message seals).  The fault layer corrupts a digest by mutating fields
+    #: and *keeping* the honest checksum — forging a matching one would mean
+    #: breaking the (simulated) collision resistance.
+    checksum: int = field(default=0, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "checksum", self.content_checksum())
+
+    def content_checksum(self) -> int:
+        return payload_checksum(
+            "PortDigest",
+            self.port,
+            self.helper_for_victim,
+            self.helper_left,
+            self.helper_right,
+            self.helper_parent,
+            self.rt_parent,
+            self.links_ok,
+            self.busy_with,
+        )
+
+    def checksum_valid(self) -> bool:
+        # Validity is immutable (frozen dataclass), so cache the verdict:
+        # an honest descriptor relayed across many hops hashes once.
+        cached = self.__dict__.get("_checksum_ok")
+        if cached is None:
+            cached = self.checksum == self.content_checksum()
+            object.__setattr__(self, "_checksum_ok", cached)
+        return cached
 
 
 #: Identifier words per serialized :class:`PortDigest` (port + 4 pointer
-#: ports + 2 flags packed into one word).
-RECORD_DESCRIPTOR_WORDS = 6
+#: ports + the busy-with victim id + 2 flags packed into one word).
+RECORD_DESCRIPTOR_WORDS = 7
 
 #: Largest number of ports a :class:`DigestRequest` may name; larger pulls
 #: are chunked so the request stays ``O(log n)`` bits.
@@ -302,6 +463,17 @@ class Digest(Message):
             3
             + ROOT_DESCRIPTOR_WORDS * len(self.pieces)
             + RECORD_DESCRIPTOR_WORDS * len(self.records)
+        )
+
+    def _seal_fields(self) -> Tuple[object, ...]:
+        return (
+            self.deleted,
+            self.rt_index,
+            self.probed,
+            self.stripped,
+            self.ack,
+            self.pieces,
+            self.records,
         )
 
 

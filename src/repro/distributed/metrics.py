@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..analysis.bounds import repair_message_bound, repair_time_bound
 from ..core.ports import NodeId
@@ -37,8 +37,10 @@ __all__ = [
     "NetworkMetrics",
     "DeletionCostReport",
     "RecoveryCostReport",
+    "ByzantineReport",
     "DIGEST_KINDS",
     "aggregate_recovery",
+    "aggregate_byzantine",
 ]
 
 #: Message kinds that belong to the anti-entropy detection layer; everything
@@ -95,9 +97,9 @@ class MetricsWindow:
         """Account for communication rounds elapsed while the window is open."""
         self.rounds += rounds
 
-    def record_dropped(self) -> None:
-        """Account for one fault-dropped message while the window is open."""
-        self.dropped += 1
+    def record_dropped(self, count: int = 1) -> None:
+        """Account for fault-dropped (or loudly discarded) messages."""
+        self.dropped += count
 
     def max_messages_per_node(self) -> int:
         """The busiest single sender's message count within the window."""
@@ -150,11 +152,11 @@ class NetworkMetrics:
         if self.window is not None:
             self.window.record_rounds(rounds)
 
-    def record_dropped(self) -> None:
-        """Account for one message lost to fault injection."""
-        self.total_dropped += 1
+    def record_dropped(self, count: int = 1) -> None:
+        """Account for messages lost to fault injection (or discarded loudly)."""
+        self.total_dropped += count
         if self.window is not None:
-            self.window.record_dropped()
+            self.window.record_dropped(count)
 
     def max_messages_per_node(self) -> int:
         """The busiest single node's message count (success metric 3 of Figure 1)."""
@@ -291,6 +293,89 @@ def aggregate_recovery(reports) -> Dict[str, object]:
 
 
 @dataclass
+class ByzantineReport:
+    """Per-deletion byzantine accountability deltas (PR 6).
+
+    Assembled by the simulator from the round's transcript/injection-log
+    deltas.  The headline quantity is the **containment radius** of each
+    processor accused during this deletion — how many distinct processors
+    one of its corrupted payloads reached before the quarantine cut it
+    off — together with the **detection latency** in delivery rounds
+    between its first delivered lie and its first accusation.
+    ``false_accusations`` counts accused processors the injection schedule
+    says were honest; the perf gate pins it at zero.
+    """
+
+    #: Corrupted payloads sent / actually delivered during this deletion.
+    lies_sent: int = 0
+    lies_delivered: int = 0
+    #: Accusations appended to the transcript during this deletion.
+    accusations: int = 0
+    #: Processors first accused during this deletion.
+    newly_accused: Tuple[NodeId, ...] = ()
+    #: Newly accused processors the fault schedule says were honest.
+    false_accusations: int = 0
+    #: Containment radius per newly accused processor.
+    containment: Dict[NodeId, int] = field(default_factory=dict)
+    #: Detection latency (rounds) per newly accused processor.
+    detection_latency: Dict[NodeId, int] = field(default_factory=dict)
+    #: Cumulative quarantine count after this deletion.
+    quarantined_total: int = 0
+
+    @property
+    def max_containment_radius(self) -> int:
+        return max(self.containment.values(), default=0)
+
+    @property
+    def max_detection_latency(self) -> int:
+        return max(self.detection_latency.values(), default=0)
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "lies_sent": self.lies_sent,
+            "lies_delivered": self.lies_delivered,
+            "accusations": self.accusations,
+            "newly_accused": len(self.newly_accused),
+            "false_accusations": self.false_accusations,
+            "containment_radius": self.max_containment_radius,
+            "detection_latency": self.max_detection_latency,
+            "quarantined_total": self.quarantined_total,
+        }
+
+
+def aggregate_byzantine(reports) -> Dict[str, object]:
+    """Fold a run's :class:`ByzantineReport` list into one summary row.
+
+    The shared core of E13 and the ``byzantine_containment`` perf gate
+    (mirroring :func:`aggregate_recovery` for the recovery ledger).
+    """
+    reports = [report for report in reports if report is not None]
+    accused = set()
+    radii = []
+    latencies = []
+    for report in reports:
+        accused.update(report.newly_accused)
+        radii.extend(report.containment.values())
+        latencies.extend(report.detection_latency.values())
+    return {
+        "deletions": len(reports),
+        "lies_sent": sum(r.lies_sent for r in reports),
+        "lies_delivered": sum(r.lies_delivered for r in reports),
+        "accusations": sum(r.accusations for r in reports),
+        "accused": len(accused),
+        "false_accusations": sum(r.false_accusations for r in reports),
+        "max_containment_radius": max(radii, default=0),
+        "mean_containment_radius": (
+            round(sum(radii) / len(radii), 2) if radii else 0.0
+        ),
+        "max_detection_latency": max(latencies, default=0),
+        "mean_detection_latency": (
+            round(sum(latencies) / len(latencies), 2) if latencies else 0.0
+        ),
+    }
+
+
+@dataclass
 class DeletionCostReport:
     """Communication cost of a single deletion repair."""
 
@@ -316,6 +401,9 @@ class DeletionCostReport:
     #: ran (the scalar fields above are its headline numbers, kept flat for
     #: the table reporters and for back-compat).
     recovery: Optional[RecoveryCostReport] = None
+    #: Byzantine accountability deltas for this deletion (``None`` when the
+    #: run has no byzantine axis).
+    byzantine: Optional[ByzantineReport] = None
 
     @property
     def message_budget(self) -> float:
@@ -358,4 +446,9 @@ class DeletionCostReport:
             "recovery_sweeps": self.recovery.sweeps if self.recovery else 0,
             "digest_messages": self.recovery.digest_messages if self.recovery else 0,
             "digest_bits": self.recovery.digest_bits if self.recovery else 0,
+            "lies_delivered": self.byzantine.lies_delivered if self.byzantine else 0,
+            "accusations": self.byzantine.accusations if self.byzantine else 0,
+            "containment_radius": (
+                self.byzantine.max_containment_radius if self.byzantine else 0
+            ),
         }

@@ -44,15 +44,27 @@ consulted at delivery time — messages can be dropped, delayed whole rounds,
 or delivered in shuffled order.  Sending is always accounted (the sender
 paid for the message); what faults change is whether and when the receiver
 learns anything.
+
+Byzantine accountability (PR 6): the schedule's byzantine axis corrupts a
+lying sender's payloads as they enter :meth:`send` (per copy — equivocation
+for free), tagging each lie's oracle-side origin so the
+:class:`~repro.distributed.accountability.InjectionLog` can score detection.
+Receivers verify seals/checksums in :meth:`Processor.receive` and call
+:meth:`Network.accuse`, which appends the evidence to the
+:class:`~repro.distributed.accountability.AccountabilityTranscript` and
+quarantines the accused — its processor and links are removed exactly like
+a crashed node, so the existing recovery machinery (dead-peer waivers,
+digest retransmission) heals around it.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.errors import ProtocolError, UnknownNodeError
 from ..core.ports import NodeId, NodeKey
+from .accountability import AccountabilityTranscript, InjectionLog
 from .faults import FaultSchedule
 from .messages import Message
 from .metrics import MetricsWindow, NetworkMetrics
@@ -68,6 +80,7 @@ class Network:
         self,
         strict_links: bool = True,
         fault_schedule: Optional[FaultSchedule] = None,
+        accountability: bool = True,
     ) -> None:
         self.processors: Dict[NodeId, Processor] = {}
         #: Adjacency: one set of linked neighbours per current processor.
@@ -109,6 +122,18 @@ class Network:
         #: recomputed once per processor addition instead of once per message
         #: (the seed path recomputed the log for every single send).
         self._word_bits = 1
+        #: Protocol-side accusation ledger (``None`` disables receive-time
+        #: verification entirely — the baseline the overhead benchmark
+        #: compares against).
+        self.transcript: Optional[AccountabilityTranscript] = (
+            AccountabilityTranscript() if accountability else None
+        )
+        #: Oracle-side ground truth of injected lies (never read by protocol
+        #: code; gates/metrics score the transcript against it).
+        self.injection_log = InjectionLog()
+        #: Processors removed by :meth:`quarantine` (alive in the model's
+        #: graph, cut off from the network — the containment action).
+        self.quarantined: Set[NodeId] = set()
 
     # ------------------------------------------------------------------ #
     # topology management
@@ -304,6 +329,20 @@ class Network:
                     f"{message.kind} from {message.sender!r} to {message.receiver!r} "
                     "would travel between unlinked processors"
                 )
+        schedule = self.fault_schedule
+        if (
+            schedule is not None
+            and message.byz_origin is None
+            and schedule.has_byzantine
+            and message.sender != message.receiver
+            and schedule.is_byzantine(message.sender)
+        ):
+            # Payload corruption happens per outgoing copy, so one logical
+            # instruction fanned out to several recipients can carry a
+            # different lie to each — equivocation needs no extra machinery.
+            schedule.corrupt_in_place(message)
+        if message.byz_origin is not None:
+            self.injection_log.note_sent(message.byz_origin, self._round)
         self._outbox.append(message)
         # ``payload_words * _word_bits`` equals ``message.size_bits(n_ever)``
         # exactly (same formula, log cached per topology change instead of
@@ -377,6 +416,8 @@ class Network:
             processor = self.processors.get(message.receiver)
             if processor is None:
                 continue  # receiver died mid-round; the paper assumes one attack per round
+            if message.byz_origin is not None:
+                self.injection_log.note_delivered(message.byz_origin, message.receiver)
             responses = processor.receive(message)
             delivered += 1
             for response in responses or ():
@@ -421,6 +462,8 @@ class Network:
             processor = self.processors.get(message.receiver)
             if processor is None:
                 continue
+            if message.byz_origin is not None:
+                self.injection_log.note_delivered(message.byz_origin, message.receiver)
             responses = processor.receive(message)
             delivered += 1
             for response in responses or ():
@@ -433,12 +476,61 @@ class Network:
         Used by the recovery driver when its round budget runs out
         mid-delivery: the leftover traffic is *counted* into the recovery
         report and removed, because delivering it during a later repair
-        could apply stale instructions.
+        could apply stale instructions.  The discards are folded into the
+        metrics window's ``dropped`` ledger — a message the driver threw
+        away is as lost as one the network dropped, and the cost rows
+        should say so.
         """
         count = len(self._outbox) + len(self._delayed)
+        if count:
+            self.metrics.record_dropped(count)
         self._outbox.clear()
         self._delayed.clear()
         return count
+
+    # ------------------------------------------------------------------ #
+    # byzantine accountability
+    # ------------------------------------------------------------------ #
+    def accuse(
+        self,
+        *,
+        accused: NodeId,
+        reporter: NodeId,
+        reason: str,
+        evidence: Iterable[Message],
+    ) -> bool:
+        """Record a message-backed accusation and quarantine the accused.
+
+        Called by processors from :meth:`Processor.receive` when a seal or
+        checksum fails, or when a validly-sealed payload contradicts an
+        already-witnessed one.  No-op (returns ``False``) when
+        accountability is disabled.
+        """
+        if self.transcript is None:
+            return False
+        self.transcript.record(
+            accused=accused,
+            reporter=reporter,
+            reason=reason,
+            evidence=tuple(evidence),
+            round=self._round,
+        )
+        self.quarantine(accused)
+        return True
+
+    def quarantine(self, node: NodeId) -> None:
+        """Cut a detected liar off: drop its processor and every link it holds.
+
+        Reuses the crash machinery — a quarantined processor looks exactly
+        like a dead one to everybody else (sends to it are discarded, the
+        recovery fixed point waives confirmations from it), so containment
+        needs no new protocol states.
+        """
+        if node in self.quarantined:
+            return
+        self.quarantined.add(node)
+        if node in self.processors:
+            self.remove_processor(node)
 
     def tick(self, round_index: int, participants) -> int:
         """Fire the round-``round_index`` timers of the given processors.

@@ -50,11 +50,14 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
+import dataclasses
+
 from ..core.ports import NodeId, Port
 from .merge import MergeOutcome, PieceSummary, link_source_key, merge_summaries
 from .messages import (
     MAX_PORTS_PER_REQUEST,
     MAX_ROOTS_PER_MESSAGE,
+    SEALED_KINDS,
     DeletionNotice,
     Digest,
     DigestRequest,
@@ -180,6 +183,19 @@ class RepairContext:
     #: must be re-confirmed.
     confirmed_ports: Dict[Port, None] = field(default_factory=dict)
 
+    # --- byzantine accountability ----------------------------------------
+    #: Cross-witness table: the first descriptor seen per piece identity
+    #: ``(root_port, root_is_leaf)``, with the message that carried it
+    #: (``None`` for pre-failure local knowledge).  Within one repair every
+    #: honest descriptor for the same identity is identical (pieces are
+    #: disjoint and their content is pre-failure state), so a validly-sealed
+    #: newcomer that *contradicts* the witnessed copy proves its author —
+    #: the piece's own root processor — lied; the conflicting message pair
+    #: is the accusation's evidence.
+    witnessed: Dict[Tuple[Port, bool], Tuple[PieceSummary, Optional[Message]]] = field(
+        default_factory=dict
+    )
+
 
 class Processor:
     """A network processor: identifier, per-edge records, repair behaviour."""
@@ -238,8 +254,22 @@ class Processor:
     # repair lifecycle
     # ------------------------------------------------------------------ #
     def install_repair(self, context: RepairContext) -> None:
-        """Hand the processor its pre-failure knowledge for one repair."""
+        """Hand the processor its pre-failure knowledge for one repair.
+
+        The processor's own pre-failure knowledge seeds the cross-witness
+        table: descriptors it can vouch for locally are the first witnesses
+        against any later, contradicting claim about the same pieces.
+        """
         self.repairs[context.victim] = context
+        for role in context.spines:
+            for summary in role.summaries:
+                context.witnessed.setdefault(
+                    (summary.root_port, summary.root_is_leaf), (summary, None)
+                )
+        for summary in context.gathered:
+            context.witnessed.setdefault(
+                (summary.root_port, summary.root_is_leaf), (summary, None)
+            )
 
     def uninstall_repair(self, victim: NodeId) -> None:
         self.repairs.pop(victim, None)
@@ -303,13 +333,54 @@ class Processor:
     # message handling
     # ------------------------------------------------------------------ #
     def receive(self, message: Message) -> List[Message]:
-        """Dispatch an incoming message; returns any response messages."""
+        """Dispatch an incoming message; returns any response messages.
+
+        Structural messages are integrity-checked first (when the network
+        carries an accountability transcript): a stale payload seal or a
+        descriptor whose content checksum fails proves the *sender* mutated
+        an authored payload — the whole message is discarded undispatched
+        (containment: a detected lie influences nothing) and the sender is
+        accused and quarantined.  Honest messages are valid by construction,
+        so this gate can never fire on delivery faults alone.
+        """
         self.received.append(message)
         self.received_by_kind[message.kind] = self.received_by_kind.get(message.kind, 0) + 1
+        network = self.network
+        if (
+            network is not None
+            and network.transcript is not None
+            and message.sender != self.node_id
+            and message.kind in SEALED_KINDS
+        ):
+            flaw = self._verify(message)
+            if flaw is not None:
+                network.accuse(
+                    accused=message.sender,
+                    reporter=self.node_id,
+                    reason=flaw,
+                    evidence=(message,),
+                )
+                return []
         handler = getattr(self, f"_on_{message.kind}", None)
         if handler is not None:
             return handler(message) or []
         return []
+
+    @staticmethod
+    def _verify(message: Message) -> Optional[str]:
+        """Local integrity check of one sealed message; returns the flaw."""
+        if not message.seal_valid():
+            return "stale-seal"
+        for summary in getattr(message, "roots", ()):
+            if not summary.checksum_valid():
+                return "descriptor-checksum"
+        for summary in getattr(message, "pieces", ()):
+            if not summary.checksum_valid():
+                return "descriptor-checksum"
+        for record in getattr(message, "records", ()):
+            if not record.checksum_valid():
+                return "record-checksum"
+        return None
 
     # -- repair-flow helpers -----------------------------------------------
     def _emit(self, message: Message, out: List[Message]) -> None:
@@ -489,10 +560,59 @@ class Processor:
         context = self.repairs.get(message.deleted)
         if context is None:
             return []
-        return self._fold_pieces(context, message.rt_index, list(message.roots))
+        return self._fold_pieces(context, message.rt_index, list(message.roots), message)
+
+    def _admit_pieces(
+        self,
+        context: RepairContext,
+        summaries: List[PieceSummary],
+        message: Optional[Message],
+    ) -> List[PieceSummary]:
+        """Cross-witness validation: reject descriptors contradicting a witness.
+
+        Every incoming descriptor (already seal/checksum-clean) is compared
+        against the first witnessed copy of the same piece identity.  Honest
+        copies are identical — the content is pre-failure state — so a
+        contradiction proves the piece's root processor *authored* a lie
+        (a validly-sealed forgery); it is accused with the witnessed and
+        incoming carrier messages as the evidence pair, and the forged
+        descriptor is rejected (first witness wins), containing the lie at
+        this hop.
+        """
+        network = self.network
+        if network is None or network.transcript is None:
+            for summary in summaries:
+                context.witnessed.setdefault(
+                    (summary.root_port, summary.root_is_leaf), (summary, message)
+                )
+            return summaries
+        admitted: List[PieceSummary] = []
+        for summary in summaries:
+            key = (summary.root_port, summary.root_is_leaf)
+            prior = context.witnessed.get(key)
+            if prior is None:
+                context.witnessed[key] = (summary, message)
+                admitted.append(summary)
+            elif prior[0] == summary:
+                admitted.append(summary)
+            else:
+                evidence = tuple(
+                    m for m in (prior[1], message) if m is not None
+                )
+                network.accuse(
+                    accused=summary.root_port.processor,
+                    reporter=self.node_id,
+                    reason="conflicting-descriptor",
+                    evidence=evidence,
+                )
+        return admitted
 
     def _fold_pieces(
-        self, context: RepairContext, rt_index: Optional[int], summaries: List[PieceSummary]
+        self,
+        context: RepairContext,
+        rt_index: Optional[int],
+        summaries: List[PieceSummary],
+        message: Optional[Message] = None,
     ) -> List[Message]:
         """Fold piece descriptors that arrived on a spine (report or digest).
 
@@ -501,6 +621,7 @@ class Processor:
         and fresh ones are relayed towards the anchor like a late report
         wave.
         """
+        summaries = self._admit_pieces(context, summaries, message)
         role = (
             next((r for r in context.spines if r.rt_index == rt_index), None)
             if rt_index is not None
@@ -508,7 +629,7 @@ class Processor:
         )
         if role is None or role.position == 0 or role.prev_hop is None:
             # Anchor position (or no spine role): fold into the gathered set.
-            return self._absorb(context, summaries)
+            return self._absorb(context, summaries, message, admitted=True)
         fresh = [s for s in summaries if s not in role.collected]
         for summary in fresh:
             role.collected[summary] = None
@@ -533,9 +654,17 @@ class Processor:
         context = self.repairs.get(message.deleted)
         if context is None:
             return []
-        return self._absorb(context, list(message.roots))
+        return self._absorb(context, list(message.roots), message)
 
-    def _absorb(self, context: RepairContext, summaries: List[PieceSummary]) -> List[Message]:
+    def _absorb(
+        self,
+        context: RepairContext,
+        summaries: List[PieceSummary],
+        message: Optional[Message] = None,
+        admitted: bool = False,
+    ) -> List[Message]:
+        if not admitted:
+            summaries = self._admit_pieces(context, summaries, message)
         fresh = [s for s in summaries if s not in context.gathered]
         for summary in fresh:
             context.gathered[summary] = None
@@ -693,6 +822,67 @@ class Processor:
                         ),
                         out,
                     )
+        network = self.network
+        if network is not None:
+            schedule = network.fault_schedule
+            if (
+                schedule is not None
+                and schedule.has_byzantine
+                and schedule.is_byzantine(self.node_id)
+            ):
+                out.extend(self._forge_digest(context, schedule))
+        return out
+
+    def _forge_digest(self, context: RepairContext, schedule) -> List[Message]:
+        """Byzantine-only: author a validly-sealed lie about an *own* piece.
+
+        The strongest lie the model allows — the processor constructs a
+        fresh digest whose forged descriptor carries its own valid seal and
+        checksum (the liar authored it, so the tags match), claiming a
+        different shape for a piece the processor itself roots.  The target
+        is chosen among pieces the receiver has already acknowledged
+        (``confirmed``), so the receiver provably witnessed the true copy:
+        the forgery is guaranteed to contradict a witness on delivery and
+        the accusation lands on the right processor — exactly the
+        cross-witness guarantee the ``byzantine_containment`` gate checks.
+        """
+        policy = schedule.policy_for_processor(self.node_id)
+        if not schedule.byz_roll(policy.forge):
+            return []
+        candidates: List[Tuple[NodeId, Optional[int], PieceSummary]] = []
+        for role in context.spines:
+            if role.prev_hop is None:
+                continue
+            for summary in role.summaries:
+                if summary in role.confirmed and summary.root_port.processor == self.node_id:
+                    candidates.append((role.prev_hop, role.rt_index, summary))
+        if context.is_anchor and context.bt_parent is not None:
+            for summary in context.gathered:
+                if (
+                    summary in context.pieces_confirmed
+                    and summary.root_port.processor == self.node_id
+                ):
+                    candidates.append((context.bt_parent, None, summary))
+        if not candidates:
+            return []
+        receiver, rt_index, original = candidates[
+            int(schedule._byz_rng.integers(len(candidates)))
+        ]
+        # ``replace`` re-runs ``__post_init__``: the forged descriptor gets a
+        # *valid* checksum over the lie, and the fresh message a valid seal.
+        forged = dataclasses.replace(original, num_leaves=original.num_leaves + 1)
+        message = Digest(
+            sender=self.node_id,
+            receiver=receiver,
+            deleted=context.victim,
+            rt_index=rt_index,
+            probed=True,
+            stripped=True,
+            pieces=(forged,),
+        )
+        message.byz_origin = self.node_id  # oracle-side provenance tag
+        out: List[Message] = []
+        self._emit(message, out)
         return out
 
     @staticmethod
@@ -721,7 +911,15 @@ class Processor:
         if context is None:
             return True
         if not context.stripped and (context.released or context.glue):
-            return False
+            # The strip arrives as a Probe resent by a live spine
+            # predecessor reading this hop's digest; with every predecessor
+            # dead (crashed or quarantined) it can never arrive — waived
+            # like the per-role obligations below.
+            if any(
+                role.prev_hop is not None and self._peer_alive(role.prev_hop)
+                for role in context.spines
+            ):
+                return False
         for role in context.spines:
             if role.prev_hop is None or not self._peer_alive(role.prev_hop):
                 continue
@@ -798,7 +996,9 @@ class Processor:
                     out,
                 )
         if message.pieces:
-            out.extend(self._fold_pieces(context, message.rt_index, list(message.pieces)))
+            out.extend(
+                self._fold_pieces(context, message.rt_index, list(message.pieces), message)
+            )
         if message.pieces or message.rt_index is not None:
             # Acknowledge the chunk so the sender's future digests shrink;
             # an unprobed empty digest is acked too (the resent probe may
@@ -849,11 +1049,32 @@ class Processor:
                 if (
                     child is not None
                     and child.processor != self.node_id
+                    # A link to a crashed (or quarantined) endpoint can never
+                    # be re-established; waive it like recovery_satisfied
+                    # waives dead peers, or the leader resends forever.
+                    and self._peer_alive(child.processor)
                     and not self.network.has_link_source(
                         link_source_key(port, child), self.node_id, child.processor
                     )
                 ):
                     links_ok = False
+        busy_with = None
+        if record.has_helper and record.helper_victim != victim:
+            # Foreign helper on the requested port.  Only report it busy
+            # when this repair can no longer release it — the strip already
+            # ran (releases applied, helper survived) or the strip will
+            # never touch this port.  While its release is still pending
+            # the busy state is transient and the leader must keep
+            # re-instructing, or a slow strip under delivery faults would
+            # wrongly waive a helper of the *full* merge outcome.
+            context = self.repairs.get(victim)
+            pending_release = (
+                context is not None
+                and not context.stripped
+                and port in context.released
+            )
+            if not pending_release:
+                busy_with = record.helper_victim
         return PortDigest(
             port=port,
             helper_for_victim=helper_for_victim,
@@ -862,6 +1083,7 @@ class Processor:
             helper_parent=record.helper_parent,
             rt_parent=record.rt_parent,
             links_ok=links_ok,
+            busy_with=busy_with,
         )
 
     def _diff_record_digests(
@@ -888,6 +1110,17 @@ class Processor:
         for record in records:
             port_ok = True
             helper = helpers_by_port.get(record.port)
+            helper_waived = helper is not None and record.busy_with is not None
+            if helper_waived:
+                # The port already simulates a helper for *another* repair;
+                # its owner refuses the assignment (see _on_HelperAssignment)
+                # and no retransmission can change that.  Only a partial
+                # merge picks a busy port — pieces permanently missing
+                # because their vouchers crashed or were quarantined — so
+                # waive the instruction like the other dead-peer
+                # obligations: re-instructing would livelock the recovery,
+                # and a re-merge re-checks every port from scratch.
+                helper = None
             if helper is not None:
                 applied = (
                     record.helper_for_victim
@@ -933,6 +1166,14 @@ class Processor:
             for child_is_leaf in (True, False):
                 parent = parents_by_child.get((record.port, child_is_leaf))
                 if parent is None:
+                    continue
+                if not child_is_leaf and helper_waived:
+                    # The helper this update would re-parent was waived
+                    # above; sending it would clobber the foreign helper's
+                    # parent pointer instead.  (A helper-side update *not*
+                    # paired with a waived helper targets the foreign
+                    # helper itself as a re-parented piece root — that one
+                    # still flows.)
                     continue
                 actual = record.rt_parent if child_is_leaf else record.helper_parent
                 if actual != parent:

@@ -50,6 +50,15 @@ gossip-digest recovery derives its digests from, so no new knowledge is
 handed out for recovery — each processor recovers from exactly what this
 plan gave it plus the messages that reached it, with the cost ledgered
 separately in a :class:`~repro.distributed.metrics.RecoveryCostReport`.
+
+Under a *byzantine* schedule (PR 6) the payloads themselves can lie;
+receivers verify sealed kinds and descriptor checksums at ``receive()``
+time and cross-witness every descriptor against the first version they saw
+(:meth:`Processor.install_repair` seeds the witness table from the plan's
+per-participant knowledge).  A processor quarantined mid-protocol simply
+looks crashed: every send below already guards on
+``network.has_processor``, so the phases proceed around it and the
+anti-entropy recovery converges on the survivors.
 """
 
 from __future__ import annotations

@@ -47,6 +47,16 @@ The plan-based audit this module replaces survives as
 ``verify_consistency``-style checks; the perf report's
 ``message_native_recovery`` gate runs with the plan's global knowledge
 *poisoned* to prove the recovery path never reads it.
+
+Two byzantine-era notes (PR 6).  Recovery traffic passes through the same
+``receive()``-time verification as repair traffic, so a liar that keeps
+lying during recovery is caught and quarantined mid-sweep; the fixed-point
+predicate (:meth:`Processor.recovery_satisfied`) waives every obligation
+towards crashed *or quarantined* peers, so convergence is reached around
+them.  And budget exhaustion stays loud: the in-flight messages discarded
+by :meth:`Network.drop_in_flight` are counted into the metrics window's
+``dropped`` tally (and therefore into the reports), never silently thrown
+away.
 """
 
 from __future__ import annotations

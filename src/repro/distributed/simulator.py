@@ -35,6 +35,18 @@ is silent.  The old plan-based global audit survives as
 checks, never consulted by the recovery (``quarantine_plan_audit`` poisons
 the plan's global knowledge to prove it structurally).
 
+Fault tolerance is **byzantine-aware** (PR 6): when the fault schedule
+carries a byzantine axis, designated processors corrupt outgoing payloads
+(see :class:`~repro.distributed.faults.ByzantinePolicy`), receivers detect
+the lies message-natively — payload seals, descriptor checksums and
+cross-witness validation, never an oracle read — and every detection lands
+as an :class:`~repro.distributed.accountability.Accusation` on the
+network's transcript, quarantining the accused (crash semantics: links
+dropped, recovery heals around it).  ``delete`` snapshots the transcript
+and the oracle-side injection log around each repair and attaches the
+deltas — accusations, containment radius, detection latency — as a
+:class:`~repro.distributed.metrics.ByzantineReport` on the cost report.
+
 The accounting remains incremental end to end (Lemma 4 bounds each repair
 at ``O(d log n)`` messages, so the measurement layer must not be O(n + m)
 per deletion): planning reads zero-copy views and O(broken-region)
@@ -66,7 +78,7 @@ from ..core.reconstruction_tree import RTHelper, RTLeaf
 from .faults import FaultSchedule
 from .merge import link_source_key, real_source_key
 from .messages import HelperAssignment, InsertionNotice, ParentUpdate, PrimaryRootList, Probe
-from .metrics import DeletionCostReport, RecoveryCostReport
+from .metrics import ByzantineReport, DeletionCostReport, RecoveryCostReport
 from .network import Network
 from .protocol import RepairPlan, execute_repair, plan_repair
 from .recovery import run_recovery
@@ -338,6 +350,11 @@ class DistributedForgivingGraph:
         self._engine.insert(node, attach_to=attach_to)
         processor = self.network.add_processor(node)
         for neighbor in dict.fromkeys(attach_to):
+            if not self.network.has_processor(neighbor):
+                # A quarantined neighbour looks crashed to the protocol: the
+                # oracle records the edge, but no processor can ack the
+                # attachment, so the message-native side skips the wiring.
+                continue
             self.network.add_link_source(real_source_key(node, neighbor), node, neighbor)
             processor.ensure_edge(neighbor)
             self.network.processors[neighbor].ensure_edge(node)
@@ -357,6 +374,21 @@ class DistributedForgivingGraph:
         degree = self._engine.g_prime_degree(node)
         self._uninstall_runtime()
         plan = plan_repair(self._engine, node)
+
+        # Byzantine accountability: snapshot the transcript / injection-log
+        # counters so the report can carry this deletion's deltas.
+        schedule = self.network.fault_schedule
+        transcript = self.network.transcript
+        track_byzantine = (
+            transcript is not None and schedule is not None and schedule.has_byzantine
+        )
+        if track_byzantine:
+            injection = self.network.injection_log
+            pre_accused = set(transcript.accused)
+            pre_accusations = len(transcript)
+            pre_lies_sent = injection.total_sent
+            pre_lies_delivered = injection.total_delivered
+
         self.network.begin_repair()
 
         # The oracle executes the same move (it owns the G'/alive bookkeeping
@@ -393,6 +425,31 @@ class DistributedForgivingGraph:
         if self.network.fault_schedule is not None and self.auto_reconverge:
             recon = self.reconverge()
 
+        byzantine: Optional[ByzantineReport] = None
+        if track_byzantine:
+            newly = tuple(
+                sorted(transcript.accused - pre_accused, key=repr)
+            )
+            latencies: Dict[NodeId, int] = {}
+            for accused in newly:
+                latency = injection.detection_latency(accused, transcript)
+                if latency is not None:
+                    latencies[accused] = latency
+            byzantine = ByzantineReport(
+                lies_sent=injection.total_sent - pre_lies_sent,
+                lies_delivered=injection.total_delivered - pre_lies_delivered,
+                accusations=len(transcript) - pre_accusations,
+                newly_accused=newly,
+                false_accusations=sum(
+                    1 for accused in newly if not schedule.is_byzantine(accused)
+                ),
+                containment={
+                    accused: injection.containment_radius(accused) for accused in newly
+                },
+                detection_latency=latencies,
+                quarantined_total=len(self.network.quarantined),
+            )
+
         outcome = self._leader_outcome()
         report = DeletionCostReport(
             deleted_node=node,
@@ -413,6 +470,7 @@ class DistributedForgivingGraph:
             reconvergence_rounds=recon.rounds if recon is not None else 0,
             converged=recon.converged if recon is not None else True,
             recovery=recon,
+            byzantine=byzantine,
         )
         self.cost_reports.append(report)
         return report

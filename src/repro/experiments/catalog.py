@@ -36,8 +36,13 @@ from ..core.haft import (
     merge,
     primary_roots,
 )
-from ..distributed.faults import FAULT_PRESETS, fault_schedule
-from ..distributed.metrics import aggregate_recovery
+from ..distributed.faults import (
+    BYZANTINE_PRESETS,
+    DELIVERY_PRESETS,
+    FaultSchedule,
+    fault_schedule,
+)
+from ..distributed.metrics import aggregate_byzantine, aggregate_recovery
 from ..distributed.simulator import DistributedForgivingGraph
 from ..engine import AttackSession
 from ..generators.graphs import make_graph, star_graph
@@ -58,6 +63,7 @@ __all__ = [
     "experiment_e10_churn",
     "experiment_e11_fault_tolerance",
     "experiment_e12_recovery_cost",
+    "experiment_e13_byzantine_containment",
     "all_experiments",
 ]
 
@@ -576,7 +582,10 @@ def experiment_e12_recovery_cost(scale: str = "full") -> Section:
     deletions = int(params["fault_deletions"])
     graph = make_graph("power_law", n, seed=12)
     rows: List[Row] = []
-    for preset in FAULT_PRESETS:  # the registry itself: new presets join E12
+    # The delivery registry itself: new delivery presets join E12.  The
+    # byzantine presets stay out — quarantining a liar leaves a deliberate,
+    # permanent oracle divergence, which E13 measures instead.
+    for preset in DELIVERY_PRESETS:
         healer = DistributedForgivingGraph.from_graph(
             graph,
             fault_schedule=fault_schedule(preset, seed=12),
@@ -621,6 +630,80 @@ def experiment_e12_recovery_cost(scale: str = "full") -> Section:
     return ("E12 — gossip-digest recovery cost vs fault preset", rows, preamble)
 
 
+def experiment_e13_byzantine_containment(scale: str = "full") -> Section:
+    """Byzantine payload faults: accountable detection, containment, latency.
+
+    Sweeps the byzantine population fraction (0 = honest baseline) with the
+    preset lie policy: designated processors corrupt outgoing descriptors,
+    lie in digests and equivocate assignments.  Detection is message-native
+    — payload seals, descriptor checksums, cross-witness validation — and
+    the repair plan's global knowledge is *poisoned*
+    (``quarantine_plan_audit``), so every accusation provably came from the
+    messages alone.  Each row scores the transcript against the oracle-side
+    injection log: ``all_lies_caught`` (every origin whose lie was actually
+    delivered got accused), ``false_accusations`` (must stay zero — honest
+    processors are never quarantined), the **containment radius** (how many
+    processors a liar's payloads reached before quarantine) and the
+    **detection latency** in delivery rounds.
+    """
+    params = _params(scale)
+    n = int(params["fault_graph_size"])
+    deletions = int(params["fault_deletions"])
+    graph = make_graph("power_law", n, seed=13)
+    policy = BYZANTINE_PRESETS["byzantine"].policy
+    rows: List[Row] = []
+    for fraction in (0.0, 0.05, 0.15, 0.3):
+        sched = FaultSchedule(
+            seed=13,
+            name=f"byzantine-{fraction:g}",
+            byzantine_fraction=fraction,
+            byzantine_policy=policy,
+        )
+        healer = DistributedForgivingGraph.from_graph(
+            graph,
+            fault_schedule=sched,
+            quarantine_plan_audit=True,
+        )
+        schedule = deletion_only_schedule(
+            steps=deletions, strategy=MaxDegreeDeletion(), min_survivors=3
+        )
+        session = AttackSession(
+            healer,
+            schedule,
+            healer_name="distributed_forgiving_graph",
+            measure_every=0,
+            measure_final=False,
+        )
+        for _ in session.stream():
+            pass
+        byzantine_pop = sum(1 for node in graph.nodes if sched.is_byzantine(node))
+        transcript = healer.network.transcript
+        injection = healer.network.injection_log
+        accused = set(transcript.accused) if transcript is not None else set()
+        row: Row = {
+            "byzantine_fraction": fraction,
+            "byzantine_processors": byzantine_pop,
+            "repairs": len(healer.cost_reports),
+            "converged": all(r.converged for r in healer.cost_reports),
+        }
+        row.update(
+            aggregate_byzantine([r.byzantine for r in healer.cost_reports])
+        )
+        row["all_lies_caught"] = accused == injection.origins_with_delivered_lies
+        rows.append(row)
+    preamble = (
+        "Byzantine processors corrupt the payloads they send — descriptors, digest "
+        "records, assignments — and the protocol catches them message-natively: "
+        "payload seals and descriptor checksums expose in-flight tampering, "
+        "cross-witnessing exposes equivocation, and every contradiction lands as an "
+        "accusation (with the conflicting message pair as evidence) that quarantines "
+        "the liar.  Rows score the transcript against the oracle-side injection log: "
+        "every delivered lie is caught, no honest processor is ever accused, and the "
+        "containment radius / detection latency bound how far a lie spreads."
+    )
+    return ("E13 — byzantine containment and accountable detection", rows, preamble)
+
+
 def all_experiments(scale: str = "full") -> List[Section]:
     """Run the whole catalog at the given scale and return the report sections."""
     return [
@@ -636,4 +719,5 @@ def all_experiments(scale: str = "full") -> List[Section]:
         experiment_e10_churn(scale),
         experiment_e11_fault_tolerance(scale),
         experiment_e12_recovery_cost(scale),
+        experiment_e13_byzantine_containment(scale),
     ]

@@ -23,7 +23,13 @@ from repro.adversary import MaxDegreeDeletion, RandomDeletion
 from repro.analysis.bounds import stretch_bound
 from repro.core.errors import InvariantViolationError
 from repro.distributed import DistributedForgivingGraph, fault_schedule
-from repro.distributed.faults import FAULT_PRESETS, FaultSchedule, LinkFaultPolicy
+from repro.distributed.faults import (
+    BYZANTINE_PRESETS,
+    DELIVERY_PRESETS,
+    FAULT_PRESETS,
+    FaultSchedule,
+    LinkFaultPolicy,
+)
 from repro.generators import make_graph
 
 
@@ -205,13 +211,30 @@ class TestFaultInjection:
 class TestFaultSchedules:
     def test_presets_cover_the_advertised_names(self):
         assert {"lossless", "drop", "delay", "reorder", "chaos"} <= set(FAULT_PRESETS)
+        # The byzantine presets are registered too (PR 6) — the delivery
+        # registry stays the oracle-equality subset.
+        assert {"byzantine", "byzantine-chaos"} <= set(FAULT_PRESETS)
+        assert "byzantine" not in DELIVERY_PRESETS
+        assert set(BYZANTINE_PRESETS) == {"byzantine", "byzantine-chaos"}
 
     def test_lossless_preset_builds_no_schedule(self):
         assert fault_schedule("lossless") is None
 
+    def test_byzantine_presets_build_byzantine_schedules(self):
+        reliable = fault_schedule("byzantine", seed=1)
+        assert reliable is not None and reliable.has_byzantine
+        assert reliable.default.is_reliable  # lies over perfect links
+        chaotic = fault_schedule("byzantine-chaos", seed=1)
+        assert chaotic is not None and chaotic.has_byzantine
+        assert not chaotic.default.is_reliable
+
     def test_unknown_preset_is_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError) as excinfo:
             fault_schedule("quantum-foam")
+        # The error names every preset, byzantine ones included.
+        message = str(excinfo.value)
+        for name in FAULT_PRESETS:
+            assert name in message
 
     def test_policy_validation(self):
         with pytest.raises(ValueError):

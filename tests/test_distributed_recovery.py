@@ -171,6 +171,10 @@ class TestRoundBudgetExhaustion:
         assert starved.in_flight_leftover > 0
         # The leftover traffic was discarded, not leaked into the next repair.
         assert healer.network.in_flight == 0
+        # Regression (PR 6 satellite): the discarded in-flight messages are
+        # *dropped* messages — they must land in the recovery window's
+        # ``dropped`` tally, not vanish from the ledger.
+        assert starved.dropped >= starved.in_flight_leftover
         # A full-budget pass afterwards still reaches the fixed point.
         final = healer.reconverge()
         assert final.converged

@@ -1,4 +1,4 @@
-"""Integration tests: the experiment catalog (E1–E12) at smoke scale.
+"""Integration tests: the experiment catalog (E1–E13) at smoke scale.
 
 These are the end-to-end checks that the claims recorded in EXPERIMENTS.md
 actually regenerate: every experiment runs, produces rows, and the rows
@@ -22,6 +22,7 @@ from repro.experiments.catalog import (
     experiment_e9_healer_comparison,
     experiment_e10_churn,
     experiment_e12_recovery_cost,
+    experiment_e13_byzantine_containment,
 )
 
 
@@ -122,11 +123,34 @@ class TestTheorem2AndComparisons:
         # Lossy presets genuinely pay for their faults.
         assert by_preset["drop"]["retransmissions"] > 0
 
+    def test_e13_byzantine_containment_claims_hold(self):
+        _title, rows, _ = experiment_e13_byzantine_containment("smoke")
+        by_fraction = {row["byzantine_fraction"]: row for row in rows}
+        assert 0.0 in by_fraction and len(rows) >= 3
+        for row in rows:
+            # Quarantine leaves a deliberate oracle divergence, but recovery
+            # still reaches its silent fixed point around the quarantined.
+            assert row["converged"]
+            # Every delivered lie accused, no honest processor ever accused.
+            assert row["all_lies_caught"]
+            assert row["false_accusations"] == 0
+        honest = by_fraction[0.0]
+        assert honest["lies_sent"] == 0 and honest["accusations"] == 0
+        lying = [
+            row
+            for row in rows
+            if row["byzantine_fraction"] > 0 and row["lies_delivered"] > 0
+        ]
+        assert lying  # the sweep genuinely exercises the byzantine axis
+        for row in lying:
+            assert row["accused"] > 0
+            assert row["max_containment_radius"] >= 1
+
 
 class TestCatalogPlumbing:
-    def test_all_experiments_returns_twelve_sections(self):
+    def test_all_experiments_returns_thirteen_sections(self):
         sections = all_experiments("smoke")
-        assert len(sections) == 12
+        assert len(sections) == 13
         titles = [section[0] for section in sections]
         assert all(title.startswith("E") for title in titles)
         assert all(section[1] for section in sections)  # every section has rows
