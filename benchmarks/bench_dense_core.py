@@ -1,0 +1,73 @@
+"""Dense-int hot core benchmarks: the flat layout next to the object-dict twin.
+
+The PR 7 layer keys everything inside the network by contiguous interned
+ints — flat list-of-sets adjacency, packed-int link-source keys,
+struct-of-arrays Table 1 records, one-pass struct-of-arrays delivery — with
+the seed-era object-dict layout retained behind ``dense=False``.  These
+benchmarks keep the two layouts visible side by side on identical
+delete-heavy attacks, plus the sharded ``sweep_large_n`` path the scaling
+runs use.  The pass/fail version (bit-identical cost reports, the >= 3x
+end-to-end target against the seed-accounting twin, bytes/node) lives in
+``scripts/perf_report.py`` (``large_n`` section).
+
+Every item here carries the ``perf`` marker (added by conftest) and stays
+out of the tier-1 run.
+"""
+
+import pytest
+
+from repro.adversary.strategies import MaxDegreeDeletion
+from repro.distributed import DistributedForgivingGraph
+from repro.experiments import AttackConfig, sweep_large_n
+from repro.generators import make_graph
+
+from conftest import run_once
+
+SIZES = [100, 400]
+
+
+def run_attack(n: int, seed: int = 20090214, *, dense: bool):
+    graph = make_graph("power_law", n, seed=seed)
+    healer = DistributedForgivingGraph.from_graph(graph, dense=dense)
+    strategy = MaxDegreeDeletion()
+    for _ in range(n // 2):
+        victim = strategy.choose_victim(healer)
+        if victim is None or healer.num_alive <= 3:
+            break
+        healer.delete(victim)
+    return healer
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_attack_dense_core(benchmark, n):
+    """The dense-int fast path: interned flat topology + SoA records."""
+    healer = run_once(benchmark, run_attack, n, dense=True)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["repairs"] = len(healer.cost_reports)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_attack_object_dict_twin(benchmark, n):
+    """The retained seed-era layout (``dense=False``), same attack."""
+    healer = run_once(benchmark, run_attack, n, dense=False)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["repairs"] = len(healer.cost_reports)
+
+
+def test_sharded_sweep(benchmark):
+    """The ``sweep_large_n`` sharded path, serial (worker count never
+    changes the rows, so the serial timing is the honest per-core cost)."""
+    rows = run_once(
+        benchmark,
+        sweep_large_n,
+        "bench-dense-shards",
+        "erdos_renyi",
+        1_200,
+        4,
+        attack=AttackConfig(strategy="random", delete_fraction=0.02, delete_probability=0.9),
+        seed=20090214 % 1_000,
+        stretch_sources=8,
+        max_workers=None,
+    )
+    benchmark.extra_info["shards"] = len(rows)
+    assert all(row["connected"] for row in rows)

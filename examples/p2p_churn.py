@@ -13,13 +13,33 @@ Theorem 1 bounds while the network composition turns over almost completely.
 Run with::
 
     python examples/p2p_churn.py
+
+Scaling
+-------
+The second act shows the large-n machinery (PR 7).  The message-passing
+healer keys everything by *dense ints* internally — node identifiers are
+interned once at the boundary (``repro.core.ports.Interner``), the network
+adjacency is a flat list of int-sets with packed-int link-source keys, and
+Table 1 records live in struct-of-arrays columns — so a processor costs a
+few flat-array slots instead of a tangle of per-object dicts.  For sweeps
+past what one process should hold, ``repro.experiments.sweep_large_n``
+splits the node space into disjoint sub-networks: repairs in different
+shards can never share a spine (the fine-grained version of this test is
+``repro.experiments.repair_footprint``), so the shards fan out over the
+deterministic-seed process pool and the rows come back bit-identical at
+any worker count.  The seed-era object-dict layout survives as
+``dense=False`` on both ``Network`` and the healer — the reference twin
+the ``large_n`` section of BENCH_perf.json times the dense core against.
 """
 
 from __future__ import annotations
 
+import os
+import time
+
 from repro import AttackSession, ForgivingGraph
 from repro.adversary import MaxDegreeDeletion, PreferentialInsertion, churn_schedule
-from repro.experiments import format_table
+from repro.experiments import AttackConfig, format_table, sweep_large_n
 from repro.generators import make_graph
 
 
@@ -83,6 +103,47 @@ def main() -> None:
     print(format_table(rows, title="overlay health during churn"))
     print("Every row stays under the Theorem 1 bounds even though the adversary")
     print("always removes the currently busiest peer.")
+
+    scaling_demo()
+
+
+def scaling_demo(total_peers: int = 2_000, shards: int = 4) -> None:
+    """Sharded large-n churn on the dense-int message-passing healer."""
+    print(f"\nscaling: {total_peers} peers as {shards} independent shards")
+    workers = min(shards, os.cpu_count() or 1)
+    start = time.perf_counter()
+    rows = sweep_large_n(
+        "p2p-scaling",
+        "erdos_renyi",
+        total_peers,
+        shards,
+        attack=AttackConfig(strategy="random", delete_fraction=0.02, delete_probability=0.9),
+        seed=7,
+        stretch_sources=8,
+        max_workers=workers if workers > 1 else None,
+    )
+    elapsed = time.perf_counter() - start
+    print(
+        format_table(
+            [
+                {
+                    "shard": row["experiment"],
+                    "peers": row["n0"],
+                    "departures": row["deletions"],
+                    "joins": row["insertions"],
+                    "stretch": row["stretch"],
+                    "connected": row["connected"],
+                }
+                for row in rows
+            ],
+            title="per-shard outcomes (bit-identical at any worker count)",
+        )
+    )
+    print(
+        f"{total_peers} peers churned in {elapsed:.2f}s "
+        f"({total_peers / elapsed:,.0f} peers/sec, workers={workers}); "
+        "repairs in different shards share no spine, so the pool never races."
+    )
 
 
 if __name__ == "__main__":

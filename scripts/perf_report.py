@@ -87,12 +87,27 @@ Workloads
     reorder) against the retained ``deliver_round_reference`` allocation
     pattern, on identical distributed attacks; the per-deletion cost
     reports must agree exactly.
+
+``large_n``
+    The dense-int hot core (PR 7).  Three rows: *speedup* — a delete-heavy
+    attack on the dense healer (interned ids, flat adjacency, packed link
+    keys, struct-of-arrays Table 1 records) against the pre-PR object-dict
+    path (``dense=False`` plus the seed's per-deletion O(n + m) accounting,
+    the same reference twin ``distributed_repair`` uses), with a
+    transparent ``layout_speedup`` sub-figure isolating pure dense-vs-dict
+    under identical stock accounting, gated on bit-identical per-deletion
+    cost reports under lossless, byzantine and chaos schedules; *memory* —
+    tracemalloc bytes/node over a fixed build+churn for both layouts;
+    *scale* — a sharded delete-heavy churn sweep
+    (``repro.experiments.sweep_large_n``: disjoint sub-networks on the
+    deterministic-seed pool) reporting end-to-end nodes/sec.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import sys
 import time
@@ -126,7 +141,13 @@ from repro.distributed.metrics import (
     aggregate_byzantine,
     aggregate_recovery,
 )
-from repro.experiments import AttackConfig, ExperimentConfig, SweepTask, run_sweep
+from repro.experiments import (
+    AttackConfig,
+    ExperimentConfig,
+    SweepTask,
+    run_sweep,
+    sweep_large_n,
+)
 from repro.generators import GraphSpec, make_graph
 
 #: Acceptance targets (checked by the report itself).
@@ -135,6 +156,7 @@ TARGET_CHURN_SPEEDUP = 5.0
 TARGET_ADVERSARY_SPEEDUP = 2.0
 TARGET_PARALLEL_SPEEDUP = 1.3
 TARGET_DISTRIBUTED_SPEEDUP_N1000 = 5.0
+TARGET_LARGE_N_SPEEDUP = 3.0
 #: Smoke mode (CI) only asserts "the fast path is not a regression"; the
 #: sub-1.0 floor absorbs scheduling noise on tiny-n timings (shared runners).
 TARGET_SMOKE_SPEEDUP = 0.7
@@ -871,6 +893,158 @@ def bench_network_delivery(n: int, seed: int = 20090214) -> Dict[str, object]:
     }
 
 
+def bench_large_n(
+    speedup_n: int,
+    memory_n: int,
+    scale_total: int,
+    shards: int,
+    seed: int = 20090214,
+) -> Dict[str, object]:
+    """The dense-int hot core section: speedup, bytes/node, sharded nodes/sec.
+
+    Equivalence first: the dense healer and the ``dense=False`` object-dict
+    twin replay identical delete-heavy attacks under lossless, byzantine and
+    chaos schedules, and their per-deletion cost reports must agree exactly
+    (layout must never change protocol behaviour).  The speedup row then
+    times the dense fast path against the pre-PR object-dict path — the
+    dict layout *plus* the seed's per-deletion O(n + m) accounting, the
+    same reference twin ``bench_distributed_repair`` is defined against —
+    and reports ``layout_speedup`` alongside it: pure dense-vs-dict under
+    identical stock accounting, so the layout's own contribution is visible
+    separately from the accounting win.
+    """
+    # -- equivalence: layout may never change behaviour -------------------- #
+    eq_graph = make_graph("power_law", min(speedup_n, 150), seed=seed)
+
+    def replay_keys(preset: str, dense: bool):
+        healer = DistributedForgivingGraph.from_graph(
+            eq_graph, fault_schedule=fault_schedule(preset, seed=seed), dense=dense
+        )
+        strategy = MaxDegreeDeletion()
+        for _ in range(eq_graph.number_of_nodes() // 2):
+            victim = strategy.choose_victim(healer)
+            if victim is None or healer.num_alive <= 3:
+                break
+            healer.delete(victim)
+        return [_cost_report_key(r) for r in healer.cost_reports]
+
+    equivalent: Dict[str, bool] = {}
+    for preset in ("lossless", "byzantine", "chaos"):
+        equivalent[preset] = replay_keys(preset, True) == replay_keys(preset, False)
+    if not all(equivalent.values()):
+        raise AssertionError(
+            f"dense and object-dict healers diverge under {equivalent}"
+        )
+
+    # -- speedup: dense fast path vs the pre-PR object-dict path ----------- #
+    speedup_graph = make_graph("erdos_renyi", speedup_n, seed=seed)
+    deletions_target = max(speedup_n // 40, 20)
+
+    def attack_seconds(factory, repeats: int = 1) -> float:
+        # This runs late in a long-lived process; collect before timing and
+        # take the best of ``repeats`` so accumulated garbage from earlier
+        # sections cannot masquerade as a layout cost.
+        import gc
+
+        best = math.inf
+        for _ in range(repeats):
+            gc.collect()
+            start = time.perf_counter()
+            healer = factory()
+            strategy = MaxDegreeDeletion()
+            for _ in range(deletions_target):
+                victim = strategy.choose_victim(healer)
+                if victim is None or healer.num_alive <= 3:
+                    break
+                healer.delete(victim)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def seed_style():
+        healer = SeedAccountingDistributedGraph.from_graph(speedup_graph, dense=False)
+        healer.network.batched_delivery = False
+        return healer
+
+    fast_seconds = attack_seconds(
+        lambda: DistributedForgivingGraph.from_graph(speedup_graph), repeats=2
+    )
+    seed_seconds = attack_seconds(seed_style)
+    dict_seconds = attack_seconds(
+        lambda: DistributedForgivingGraph.from_graph(speedup_graph, dense=False),
+        repeats=2,
+    )
+
+    # -- memory: tracemalloc bytes/node over a fixed build+churn ----------- #
+    import gc
+    import tracemalloc
+
+    memory_graph = make_graph("erdos_renyi", memory_n, seed=seed)
+
+    def bytes_per_node(dense: bool) -> float:
+        gc.collect()
+        tracemalloc.start()
+        healer = DistributedForgivingGraph.from_graph(memory_graph, dense=dense)
+        strategy = RandomDeletion(seed=seed)
+        for _ in range(memory_n // 20):
+            victim = strategy.choose_victim(healer)
+            if victim is None or healer.num_alive <= 3:
+                break
+            healer.delete(victim)
+        gc.collect()
+        current, _peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert healer.network.n_ever >= memory_n  # keep the healer alive until measured
+        return current / memory_n
+
+    dense_bpn = bytes_per_node(True)
+    dict_bpn = bytes_per_node(False)
+
+    # -- scale: sharded delete-heavy churn, end-to-end nodes/sec ----------- #
+    workers = min(shards, os.cpu_count() or 1)
+    start = time.perf_counter()
+    shard_rows = sweep_large_n(
+        "bench-large-n",
+        "erdos_renyi",
+        scale_total,
+        shards,
+        attack=AttackConfig(
+            strategy="random", delete_fraction=0.01, delete_probability=0.9
+        ),
+        seed=seed % 1_000,
+        stretch_sources=8,
+        max_workers=workers if workers > 1 else None,
+    )
+    scale_seconds = time.perf_counter() - start
+
+    return {
+        "speedup": {
+            "n": speedup_n,
+            "deletions": deletions_target,
+            "seed_seconds": round(seed_seconds, 4),
+            "fast_seconds": round(fast_seconds, 4),
+            "speedup": round(seed_seconds / fast_seconds, 2) if fast_seconds else float("inf"),
+            "dict_layout_seconds": round(dict_seconds, 4),
+            "layout_speedup": round(dict_seconds / fast_seconds, 2) if fast_seconds else float("inf"),
+            "equivalent": equivalent,
+        },
+        "memory": {
+            "n": memory_n,
+            "dense_bytes_per_node": round(dense_bpn, 1),
+            "dict_bytes_per_node": round(dict_bpn, 1),
+            "ratio": round(dict_bpn / dense_bpn, 2) if dense_bpn else float("inf"),
+        },
+        "scale": {
+            "total_nodes": scale_total,
+            "shards": shards,
+            "workers": workers,
+            "steps": sum(int(r["deletions"]) + int(r["insertions"]) for r in shard_rows),
+            "seconds": round(scale_seconds, 3),
+            "nodes_per_sec": round(scale_total / scale_seconds, 1) if scale_seconds else float("inf"),
+            "all_connected": all(bool(r["connected"]) for r in shard_rows),
+        },
+    }
+
+
 # --------------------------------------------------------------------------- #
 # report
 # --------------------------------------------------------------------------- #
@@ -880,6 +1054,8 @@ def build_report(
     fault_presets: Optional[List[str]] = None,
     recovery_presets: Optional[List[str]] = None,
     byzantine_presets: Optional[List[str]] = None,
+    large_n_nodes: Optional[int] = None,
+    large_n_shards: Optional[int] = None,
 ) -> Dict[str, object]:
     if fault_presets is None:
         fault_presets = ["drop", "reorder"]
@@ -895,6 +1071,7 @@ def build_report(
         recovery_sizes = [80]
         byzantine_sizes = [80]
         delivery_sizes = [150]
+        large_n = {"speedup_n": 200, "memory_n": 150, "scale_total": 600, "shards": 3}
     elif quick:
         sizes = [100, 1000]
         sweep_sizes = [400]
@@ -903,6 +1080,7 @@ def build_report(
         recovery_sizes = [100]
         byzantine_sizes = [100]
         delivery_sizes = [100, 1000]
+        large_n = {"speedup_n": 1000, "memory_n": 500, "scale_total": 20_000, "shards": 2}
     else:
         sizes = [100, 1000, 5000]
         sweep_sizes = [400, 1000]
@@ -911,6 +1089,16 @@ def build_report(
         recovery_sizes = [100, 400]
         byzantine_sizes = [100, 400]
         delivery_sizes = [100, 1000]
+        large_n = {
+            "speedup_n": 5000,
+            "memory_n": 2000,
+            "scale_total": 100_000,
+            "shards": 4,
+        }
+    if large_n_nodes is not None:
+        large_n["scale_total"] = large_n_nodes
+    if large_n_shards is not None:
+        large_n["shards"] = large_n_shards
 
     stretch_rows: List[Dict[str, object]] = []
     churn_rows: List[Dict[str, object]] = []
@@ -1011,6 +1199,20 @@ def build_report(
             f"-> {row['speedup']}x"
         )
         delivery_rows.append(row)
+    print(
+        f"[large_n] speedup_n={large_n['speedup_n']} scale={large_n['scale_total']}"
+        f"x{large_n['shards']} shards ...",
+        flush=True,
+    )
+    large_n_row = bench_large_n(**large_n)
+    print(
+        f"  speedup {large_n_row['speedup']['speedup']}x "
+        f"(layout alone {large_n_row['speedup']['layout_speedup']}x); "
+        f"{large_n_row['memory']['dense_bytes_per_node']} bytes/node dense vs "
+        f"{large_n_row['memory']['dict_bytes_per_node']} dict; "
+        f"{large_n_row['scale']['nodes_per_sec']} nodes/sec over "
+        f"{large_n_row['scale']['shards']} shards"
+    )
 
     if smoke:
         # CI guard: every fast path at least breaks even on a tiny workload.
@@ -1029,6 +1231,11 @@ def build_report(
             "byzantine_containment": all(r["ok"] for r in byzantine_rows),
             "network_delivery_smoke": all(
                 r["speedup"] >= TARGET_SMOKE_SPEEDUP for r in delivery_rows
+            ),
+            "large_n_smoke": (
+                large_n_row["speedup"]["speedup"] >= TARGET_SMOKE_SPEEDUP
+                and all(large_n_row["speedup"]["equivalent"].values())
+                and large_n_row["scale"]["all_connected"]
             ),
         }
         targets = {"smoke_min_speedup": TARGET_SMOKE_SPEEDUP}
@@ -1062,6 +1269,13 @@ def build_report(
             "network_delivery": all(
                 r["speedup"] >= TARGET_SMOKE_SPEEDUP for r in delivery_rows
             ),
+            "large_n_speedup": (
+                large_n_row["speedup"]["speedup"] >= TARGET_LARGE_N_SPEEDUP
+            ),
+            "large_n_equivalence": (
+                all(large_n_row["speedup"]["equivalent"].values())
+                and large_n_row["scale"]["all_connected"]
+            ),
         }
         targets = {
             "stretch_n1000_min_speedup": TARGET_STRETCH_SPEEDUP_N1000,
@@ -1073,10 +1287,11 @@ def build_report(
             # merge/recovery gates are boolean correctness gates (no
             # threshold to record).
             "network_delivery_min_speedup": TARGET_SMOKE_SPEEDUP,
+            "large_n_min_speedup": TARGET_LARGE_N_SPEEDUP,
         }
 
     return {
-        "schema": "bench_perf/v6",
+        "schema": "bench_perf/v7",
         "generated_by": "scripts/perf_report.py" + (" --smoke" if smoke else ""),
         "scipy_backend": HAVE_SCIPY,
         "cpus": os.cpu_count(),
@@ -1089,6 +1304,7 @@ def build_report(
         "message_native_recovery": recovery_rows,
         "byzantine_containment": byzantine_rows,
         "network_delivery": delivery_rows,
+        "large_n": large_n_row,
         "targets": targets,
         "targets_met": targets_met,
     }
@@ -1132,6 +1348,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"replays ('all' = {', '.join(BYZANTINE_GATE_PRESETS)}; 'none' "
         "skips the gate — the generic CI smoke legs skip it, the "
         "dedicated byzantine leg runs the full matrix)",
+    )
+    parser.add_argument(
+        "--large-n-nodes",
+        type=int,
+        default=None,
+        help="override the large_n scale row's total node count "
+        "(the CI large-n leg raises the smoke default to exercise the "
+        "sharded path on a non-trivial workload)",
+    )
+    parser.add_argument(
+        "--large-n-shards",
+        type=int,
+        default=None,
+        help="override the large_n scale row's shard count",
     )
     args = parser.parse_args(argv)
 
@@ -1188,6 +1418,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         fault_presets=fault_presets,
         recovery_presets=recovery_presets,
         byzantine_presets=byzantine_presets,
+        large_n_nodes=args.large_n_nodes,
+        large_n_shards=args.large_n_shards,
     )
     output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {output}")

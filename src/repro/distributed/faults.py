@@ -209,6 +209,11 @@ class FaultSchedule:
         self.corrupted = 0
 
     def policy_for(self, sender: NodeId, receiver: NodeId) -> LinkFaultPolicy:
+        # Presets never set per-link overrides, so the common case skips the
+        # per-message frozenset allocation entirely (RNG use is unchanged —
+        # the returned policy decides that, not the lookup).
+        if not self.per_link:
+            return self.default
         return self.per_link.get(frozenset((sender, receiver)), self.default)
 
     def judge(self, sender: NodeId, receiver: NodeId) -> int:

@@ -121,6 +121,23 @@ class Message:
     #: Payload size in identifier words (subclasses override as needed).
     payload_words: int = field(default=2, init=False)
 
+    #: Short name of the message type (used in traces and metrics).  A plain
+    #: class attribute — stamped per subclass below — instead of the seed-era
+    #: per-access property: delivery reads ``kind`` several times per
+    #: message (counters, dispatch, seals), so the hot loop pays one
+    #: attribute load, not a method call.  Unannotated on purpose, so the
+    #: dataclass machinery never mistakes it for a field.
+    kind = "Message"
+    #: True when this message type carries a payload seal that receivers
+    #: verify (``kind in SEALED_KINDS``, precomputed per class so the
+    #: receive gate is one attribute check for the unsealed majority).
+    sealed = False
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        cls.kind = cls.__name__
+        cls.sealed = cls.__name__ in SEALED_KINDS
+
     def __post_init__(self) -> None:
         self.message_id = next(_message_counter)
         #: Oracle-side provenance tag: set to the liar's NodeId when the
@@ -129,11 +146,6 @@ class Message:
         #: feeds the :class:`~repro.distributed.accountability.InjectionLog`
         #: ground truth that scores detection.
         self.byz_origin: Optional[NodeId] = None
-
-    @property
-    def kind(self) -> str:
-        """Short name of the message type (used in traces and metrics)."""
-        return type(self).__name__
 
     def size_bits(self, n_ever: int) -> int:
         """Size of this message in bits when identifiers need ``log2 n`` bits."""

@@ -7,13 +7,22 @@ rounds — every message sent in round ``r`` is delivered at the start of round
 ``r + 1``, matching the paper's cost model where a message takes at most one
 time unit to traverse an edge and local computation is free.
 
-Topology is stored as an adjacency dict (one neighbour set per processor),
-so :meth:`Network.connect` / :meth:`Network.disconnect` /
-:meth:`Network.are_linked` are O(1) and :meth:`Network.neighbors` /
-:meth:`Network.remove_processor` are O(deg) — no operation on the repair
-path ever scans the full link set.  The network enforces that messages only
-travel along existing links (or repair scaffolding, see below), and keeps
-the per-node and global counters that Lemma 4 bounds;
+Topology lives in a **dense-int hot core** (PR 7): node identifiers are
+interned to a contiguous id space at the boundary
+(:class:`repro.core.ports.Interner`), and everything inside speaks small
+ints — the adjacency is a flat list of int-sets indexed by dense id, link
+sources are keyed by one packed integer per link (``lo << 32 | hi``)
+instead of a per-lookup ``frozenset`` allocation, and scaffolding tracks
+packed keys too.  The seed-era object-dict layout (adjacency dict keyed by
+raw identifiers, frozenset-keyed link sources) is retained verbatim as
+:class:`_DictTopology` — the reference twin selected with ``dense=False``
+that the churn-equivalence tests and the ``large_n`` benchmark compare
+against.  Both cores are O(1) for :meth:`Network.connect` /
+:meth:`Network.disconnect` / :meth:`Network.are_linked` and O(deg) for
+neighbour iteration and :meth:`Network.remove_processor` — no operation on
+the repair path ever scans the full link set.  The network enforces that
+messages only travel along existing links (or repair scaffolding, see
+below), and keeps the per-node and global counters that Lemma 4 bounds;
 :meth:`Network.begin_repair` / :meth:`Network.end_repair` bracket one repair
 with a :class:`~repro.distributed.metrics.MetricsWindow` so its cost report
 is assembled from O(repair) state instead of full counter snapshots.
@@ -60,10 +69,10 @@ digest retransmission) heals around it.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..core.errors import ProtocolError, UnknownNodeError
-from ..core.ports import NodeId, NodeKey
+from ..core.ports import Interner, NodeId, NodeKey
 from .accountability import AccountabilityTranscript, InjectionLog
 from .faults import FaultSchedule
 from .messages import Message
@@ -71,6 +80,260 @@ from .metrics import MetricsWindow, NetworkMetrics
 from .processor import Processor
 
 __all__ = ["Network"]
+
+#: Packed undirected-link key: with ids interned densely, one Python int
+#: ``lo << 32 | hi`` names a link — no frozenset allocation per lookup.
+#: 32 bits per endpoint bounds the core at ~4e9 nodes ever, far beyond the
+#: million-node target.
+_PACK = 32
+
+
+class _DenseTopology:
+    """Flat-array topology keyed by interned dense ids (the fast core).
+
+    The interner assigns each identifier a contiguous int id on first
+    sight; ids are never reused (removed processors keep theirs, matching
+    ``n_ever``).  The adjacency is a list of int-sets indexed by dense id,
+    link sources a dict keyed by the packed link int.  All methods take raw
+    identifiers — interning happens here, at the boundary, so the
+    :class:`Network` surface stays identifier-typed.
+    """
+
+    __slots__ = ("interner", "adj", "sources", "scaffold_links")
+
+    def __init__(self) -> None:
+        self.interner = Interner()
+        #: Dense id -> set of linked dense ids (empty set for dead ids).
+        self.adj: List[Set[int]] = []
+        #: Packed link int -> set of source keys.
+        self.sources: Dict[int, Set[Tuple]] = {}
+        #: Packed link ints of the currently open repair scaffold.
+        self.scaffold_links: Set[int] = set()
+
+    # -- node lifecycle ----------------------------------------------------
+    def ensure_node(self, node: NodeId) -> int:
+        dense = self.interner.intern(node)
+        if dense == len(self.adj):
+            self.adj.append(set())
+        return dense
+
+    def drop_node(self, node: NodeId) -> None:
+        dense = self.interner.get_id(node)
+        if dense is None:
+            return
+        adj = self.adj
+        neighbors = adj[dense]
+        adj[dense] = set()
+        for other in neighbors:
+            adj[other].discard(dense)
+            self.sources.pop(self._pack(dense, other), None)
+
+    # -- links -------------------------------------------------------------
+    @staticmethod
+    def _pack(a: int, b: int) -> int:
+        return (a << _PACK | b) if a < b else (b << _PACK | a)
+
+    def connect(self, u: NodeId, v: NodeId) -> None:
+        iu = self.interner.id_of(u)
+        iv = self.interner.id_of(v)
+        self.adj[iu].add(iv)
+        self.adj[iv].add(iu)
+
+    def disconnect(self, u: NodeId, v: NodeId) -> None:
+        iu = self.interner.get_id(u)
+        iv = self.interner.get_id(v)
+        if iu is None or iv is None:
+            return
+        self.adj[iu].discard(iv)
+        self.adj[iv].discard(iu)
+        self.sources.pop(self._pack(iu, iv), None)
+
+    def are_linked(self, u: NodeId, v: NodeId) -> bool:
+        iu = self.interner.get_id(u)
+        iv = self.interner.get_id(v)
+        return iu is not None and iv is not None and iv in self.adj[iu]
+
+    def neighbors_iter(self, node: NodeId) -> Iterator[NodeId]:
+        dense = self.interner.get_id(node)
+        if dense is None:
+            return iter(())
+        node_of = self.interner.node_of
+        return (node_of(other) for other in self.adj[dense])
+
+    def links_iter(self) -> Iterator[Tuple[NodeId, NodeId]]:
+        node_of = self.interner.node_of
+        for dense, neighbors in enumerate(self.adj):
+            for other in neighbors:
+                if other > dense:
+                    yield (node_of(dense), node_of(other))
+
+    def num_links(self) -> int:
+        return sum(len(neighbors) for neighbors in self.adj) // 2
+
+    # -- sourced links -----------------------------------------------------
+    def add_source(self, key: Tuple, u: NodeId, v: NodeId) -> None:
+        iu = self.interner.id_of(u)
+        iv = self.interner.id_of(v)
+        link = self._pack(iu, iv)
+        sources = self.sources.get(link)
+        if sources is None:
+            sources = self.sources[link] = set()
+        sources.add(key)
+        self.adj[iu].add(iv)
+        self.adj[iv].add(iu)
+
+    def remove_source(self, key: Tuple, u: NodeId, v: NodeId) -> None:
+        iu = self.interner.get_id(u)
+        iv = self.interner.get_id(v)
+        if iu is None or iv is None:
+            return
+        link = self._pack(iu, iv)
+        sources = self.sources.get(link)
+        if sources is None:
+            return
+        sources.discard(key)
+        if not sources:
+            del self.sources[link]
+            if link not in self.scaffold_links:
+                self.adj[iu].discard(iv)
+                self.adj[iv].discard(iu)
+
+    def has_source(self, key: Tuple, u: NodeId, v: NodeId) -> bool:
+        iu = self.interner.get_id(u)
+        iv = self.interner.get_id(v)
+        if iu is None or iv is None:
+            return False
+        return key in self.sources.get(self._pack(iu, iv), ())
+
+    def source_count(self, u: NodeId, v: NodeId) -> int:
+        iu = self.interner.get_id(u)
+        iv = self.interner.get_id(v)
+        if iu is None or iv is None:
+            return 0
+        return len(self.sources.get(self._pack(iu, iv), ()))
+
+    def has_any_source(self, u: NodeId, v: NodeId) -> bool:
+        iu = self.interner.get_id(u)
+        iv = self.interner.get_id(v)
+        if iu is None or iv is None:
+            return False
+        return self._pack(iu, iv) in self.sources
+
+    def replace_sources(self, expected: Dict[frozenset, Set[Tuple]]) -> None:
+        id_of = self.interner.id_of
+        self.sources = {
+            self._pack(*(id_of(node) for node in link)): set(keys)
+            for link, keys in expected.items()
+        }
+
+    # -- scaffolding -------------------------------------------------------
+    def scaffold_add(self, u: NodeId, v: NodeId) -> None:
+        self.scaffold_links.add(self._pack(self.interner.id_of(u), self.interner.id_of(v)))
+
+    def scaffold_clear(self) -> None:
+        self.scaffold_links = set()
+
+
+class _DictTopology:
+    """The seed-era object-dict topology, retained as the reference twin.
+
+    Adjacency keyed by raw identifiers, link sources by ``frozenset`` pairs
+    — exactly the pre-dense layout, selected with ``Network(dense=False)``
+    so the churn-equivalence tests and the ``large_n`` benchmark can pin
+    the dense core against it bit for bit.
+    """
+
+    __slots__ = ("adjacency", "sources", "scaffold_links")
+
+    def __init__(self) -> None:
+        self.adjacency: Dict[NodeId, Set[NodeId]] = {}
+        self.sources: Dict[frozenset, Set[Tuple]] = {}
+        self.scaffold_links: Set[frozenset] = set()
+
+    @property
+    def interner(self) -> None:
+        return None
+
+    # -- node lifecycle ----------------------------------------------------
+    def ensure_node(self, node: NodeId) -> None:
+        self.adjacency.setdefault(node, set())
+
+    def drop_node(self, node: NodeId) -> None:
+        for neighbor in self.adjacency.pop(node, ()):
+            self.adjacency[neighbor].discard(node)
+            self.sources.pop(frozenset((node, neighbor)), None)
+
+    # -- links -------------------------------------------------------------
+    def connect(self, u: NodeId, v: NodeId) -> None:
+        self.adjacency[u].add(v)
+        self.adjacency[v].add(u)
+
+    def disconnect(self, u: NodeId, v: NodeId) -> None:
+        adj_u = self.adjacency.get(u)
+        if adj_u is not None:
+            adj_u.discard(v)
+        adj_v = self.adjacency.get(v)
+        if adj_v is not None:
+            adj_v.discard(u)
+        self.sources.pop(frozenset((u, v)), None)
+
+    def are_linked(self, u: NodeId, v: NodeId) -> bool:
+        return v in self.adjacency.get(u, ())
+
+    def neighbors_iter(self, node: NodeId) -> Iterator[NodeId]:
+        return iter(self.adjacency.get(node, ()))
+
+    def links_iter(self) -> Iterator[Tuple[NodeId, NodeId]]:
+        seen: Set[NodeId] = set()
+        for node, neighbors in self.adjacency.items():
+            for other in neighbors:
+                if other not in seen:
+                    yield (node, other)
+            seen.add(node)
+
+    def num_links(self) -> int:
+        return sum(len(neighbors) for neighbors in self.adjacency.values()) // 2
+
+    # -- sourced links -----------------------------------------------------
+    def add_source(self, key: Tuple, u: NodeId, v: NodeId) -> None:
+        self.sources.setdefault(frozenset((u, v)), set()).add(key)
+        self.adjacency[u].add(v)
+        self.adjacency[v].add(u)
+
+    def remove_source(self, key: Tuple, u: NodeId, v: NodeId) -> None:
+        link = frozenset((u, v))
+        sources = self.sources.get(link)
+        if sources is None:
+            return
+        sources.discard(key)
+        if not sources:
+            del self.sources[link]
+            if link not in self.scaffold_links:
+                adj_u = self.adjacency.get(u)
+                if adj_u is not None:
+                    adj_u.discard(v)
+                adj_v = self.adjacency.get(v)
+                if adj_v is not None:
+                    adj_v.discard(u)
+
+    def has_source(self, key: Tuple, u: NodeId, v: NodeId) -> bool:
+        return key in self.sources.get(frozenset((u, v)), ())
+
+    def source_count(self, u: NodeId, v: NodeId) -> int:
+        return len(self.sources.get(frozenset((u, v)), ()))
+
+    def has_any_source(self, u: NodeId, v: NodeId) -> bool:
+        return frozenset((u, v)) in self.sources
+
+    def replace_sources(self, expected: Dict[frozenset, Set[Tuple]]) -> None:
+        self.sources = {link: set(keys) for link, keys in expected.items()}
+
+    # -- scaffolding -------------------------------------------------------
+    def scaffold_add(self, u: NodeId, v: NodeId) -> None:
+        self.scaffold_links.add(frozenset((u, v)))
+
+    def scaffold_clear(self) -> None:
+        self.scaffold_links = set()
 
 
 class Network:
@@ -81,13 +344,16 @@ class Network:
         strict_links: bool = True,
         fault_schedule: Optional[FaultSchedule] = None,
         accountability: bool = True,
+        dense: bool = True,
     ) -> None:
         self.processors: Dict[NodeId, Processor] = {}
-        #: Adjacency: one set of linked neighbours per current processor.
-        self._adjacency: Dict[NodeId, Set[NodeId]] = {}
-        #: Source keys per link (see module docstring); a link with sources
-        #: is part of the healed graph, a link without is scaffolding.
-        self._link_sources: Dict[frozenset, Set[Tuple]] = {}
+        #: When True (default) the dense-int hot core stores the topology
+        #: (interned ids, flat adjacency, packed link keys) and processors
+        #: use the struct-of-arrays Table 1 store; ``dense=False`` selects
+        #: the retained seed-era object-dict twin for both — the
+        #: equivalence/benchmark baseline of the ``large_n`` BENCH section.
+        self.dense = dense
+        self._topology = _DenseTopology() if dense else _DictTopology()
         self._outbox: List[Message] = []
         #: Messages a fault delayed: (deliver_at_round, message).
         self._delayed: List[Tuple[int, Message]] = []
@@ -108,9 +374,8 @@ class Network:
         #: Optional fault injection applied at delivery time.
         self.fault_schedule = fault_schedule
         #: Links auto-created for the currently open repair scaffold (the
-        #: set is the O(1) membership twin of the recording list).
+        #: topology keeps the O(1) membership twin of this recording list).
         self._scaffold: Optional[List[Tuple[NodeId, NodeId]]] = None
-        self._scaffold_links: Set[frozenset] = set()
         #: Number of processors ever added (message sizing's ``n``).  Counted
         #: per addition, so removals never shrink it; the distributed healer
         #: cross-checks it against the engine's ``nodes_ever``.
@@ -135,22 +400,28 @@ class Network:
         #: graph, cut off from the network — the containment action).
         self.quarantined: Set[NodeId] = set()
 
+    @property
+    def interner(self) -> Optional[Interner]:
+        """The dense core's identifier interner (``None`` in reference mode)."""
+        return self._topology.interner
+
     # ------------------------------------------------------------------ #
     # topology management
     # ------------------------------------------------------------------ #
     def add_processor(self, node: NodeId) -> Processor:
         """Create (or return) the processor with identifier ``node``."""
-        if node not in self.processors:
-            processor = Processor(node)
+        processor = self.processors.get(node)
+        if processor is None:
+            processor = Processor(node, dense_records=self.dense)
             processor.network = self
             self.processors[node] = processor
-            self._adjacency[node] = set()
+            self._topology.ensure_node(node)
             self._ever_ids.add(node)
             self.n_ever += 1
             self._word_bits = max(
                 int(math.ceil(math.log2(max(self.n_ever, 2)))), 1
             )
-        return self.processors[node]
+        return processor
 
     def ever_had_processor(self, node: NodeId) -> bool:
         """True when ``node`` has had a processor at some point (alive or not).
@@ -167,9 +438,7 @@ class Network:
         if node not in self.processors:
             raise UnknownNodeError(node, "remove_processor")
         del self.processors[node]
-        for neighbor in self._adjacency.pop(node, ()):
-            self._adjacency[neighbor].discard(node)
-            self._link_sources.pop(frozenset((node, neighbor)), None)
+        self._topology.drop_node(node)
 
     def has_processor(self, node: NodeId) -> bool:
         """True when ``node`` currently has a processor."""
@@ -181,22 +450,15 @@ class Network:
             return
         if u not in self.processors or v not in self.processors:
             raise UnknownNodeError(u if u not in self.processors else v, "connect")
-        self._adjacency[u].add(v)
-        self._adjacency[v].add(u)
+        self._topology.connect(u, v)
 
     def disconnect(self, u: NodeId, v: NodeId) -> None:
         """Drop the link between ``u`` and ``v`` if it exists (dead ends tolerated)."""
-        adj_u = self._adjacency.get(u)
-        if adj_u is not None:
-            adj_u.discard(v)
-        adj_v = self._adjacency.get(v)
-        if adj_v is not None:
-            adj_v.discard(u)
-        self._link_sources.pop(frozenset((u, v)), None)
+        self._topology.disconnect(u, v)
 
     def are_linked(self, u: NodeId, v: NodeId) -> bool:
         """True when a link currently exists between ``u`` and ``v``."""
-        return v in self._adjacency.get(u, ())
+        return self._topology.are_linked(u, v)
 
     # ------------------------------------------------------------------ #
     # sourced links (the healed graph as the processors know it)
@@ -210,35 +472,29 @@ class Network:
         """
         if u == v or u not in self.processors or v not in self.processors:
             return
-        self._link_sources.setdefault(frozenset((u, v)), set()).add(key)
-        self._adjacency[u].add(v)
-        self._adjacency[v].add(u)
+        self._topology.add_source(key, u, v)
 
     def remove_link_source(self, key: Tuple, u: NodeId, v: NodeId) -> None:
         """Drop one source of link ``(u, v)``; the link vanishes at zero sources
         (unless an open repair scaffold is still using it)."""
-        link = frozenset((u, v))
-        sources = self._link_sources.get(link)
-        if sources is None:
-            return
-        sources.discard(key)
-        if not sources:
-            del self._link_sources[link]
-            if link not in self._scaffold_links:
-                adj_u = self._adjacency.get(u)
-                if adj_u is not None:
-                    adj_u.discard(v)
-                adj_v = self._adjacency.get(v)
-                if adj_v is not None:
-                    adj_v.discard(u)
+        self._topology.remove_source(key, u, v)
 
     def has_link_source(self, key: Tuple, u: NodeId, v: NodeId) -> bool:
         """True when ``key`` currently sources the link ``(u, v)``."""
-        return key in self._link_sources.get(frozenset((u, v)), ())
+        return self._topology.has_source(key, u, v)
 
     def link_source_count(self, u: NodeId, v: NodeId) -> int:
         """Number of sources of link ``(u, v)`` (the engine's edge multiplicity)."""
-        return len(self._link_sources.get(frozenset((u, v)), ()))
+        return self._topology.source_count(u, v)
+
+    def replace_link_sources(self, expected: Dict[frozenset, Set[Tuple]]) -> None:
+        """Overwrite the whole source table (the oracle resync's bulk write).
+
+        ``expected`` is keyed by ``frozenset`` endpoint pairs — the seed-era
+        wire format :meth:`DistributedForgivingGraph._sync_links_reference`
+        produces; the dense core re-keys it into packed ints on entry.
+        """
+        self._topology.replace_sources(expected)
 
     # ------------------------------------------------------------------ #
     # repair scaffolding
@@ -246,7 +502,7 @@ class Network:
     def begin_scaffold(self) -> None:
         """Open a scaffold: sends may auto-create links, all recorded."""
         self._scaffold = []
-        self._scaffold_links = set()
+        self._topology.scaffold_clear()
 
     def scaffold_link(self, u: NodeId, v: NodeId) -> None:
         """Explicitly create (and record) a repair-local link."""
@@ -255,22 +511,32 @@ class Network:
         self.connect(u, v)
         if self._scaffold is not None:
             self._scaffold.append((u, v))
-            self._scaffold_links.add(frozenset((u, v)))
+            self._topology.scaffold_add(u, v)
 
     def end_scaffold(self) -> int:
         """Drop every scaffold link that acquired no source; returns how many."""
         scaffold, self._scaffold = self._scaffold, None
-        self._scaffold_links = set()
+        topology = self._topology
+        topology.scaffold_clear()
         dropped = 0
         for u, v in scaffold or ():
-            if frozenset((u, v)) not in self._link_sources:
+            if not topology.has_any_source(u, v):
                 self.disconnect(u, v)
                 dropped += 1
         return dropped
 
     def num_links(self) -> int:
         """Number of current links (O(n) sum of neighbour-set sizes)."""
-        return sum(len(neighbors) for neighbors in self._adjacency.values()) // 2
+        return self._topology.num_links()
+
+    def iter_links(self) -> Iterator[Tuple[NodeId, NodeId]]:
+        """Iterate the current links in arbitrary endpoint/iteration order.
+
+        The unsorted fast accessor for internal consumers (set builders,
+        graph constructors) — no per-pair :class:`NodeKey` comparisons.
+        Use :meth:`links` when canonical tuple order matters.
+        """
+        return self._topology.links_iter()
 
     def links(self) -> Set[Tuple[NodeId, NodeId]]:
         """Return the current link set as canonically ordered tuples (inspection only).
@@ -279,16 +545,17 @@ class Network:
         repository's relabeling-invariant total order on node identifiers.
         """
         result: Set[Tuple[NodeId, NodeId]] = set()
-        for node, neighbors in self._adjacency.items():
-            node_key = NodeKey(node)
-            for other in neighbors:
-                if node_key < NodeKey(other):
-                    result.add((node, other))
+        for u, v in self._topology.links_iter():
+            result.add((u, v) if NodeKey(u) < NodeKey(v) else (v, u))
         return result
+
+    def neighbors_unsorted(self, node: NodeId) -> List[NodeId]:
+        """Current link neighbours of ``node`` in arbitrary order (fast path)."""
+        return list(self._topology.neighbors_iter(node))
 
     def neighbors(self, node: NodeId) -> List[NodeId]:
         """Current link neighbours of ``node``, in canonical :class:`NodeKey` order."""
-        return sorted(self._adjacency.get(node, ()), key=NodeKey)
+        return sorted(self._topology.neighbors_iter(node), key=NodeKey)
 
     # ------------------------------------------------------------------ #
     # per-repair accounting
@@ -367,13 +634,18 @@ class Network:
         delivery order.  Handlers may respond with new messages; those are
         sent within this round and therefore delivered in the next one.
 
-        The fast path recycles one per-round buffer (the outbox swaps
-        against a spare list, fault survivors are compacted in place, and
-        the reorder machinery only runs when some policy can actually
-        reorder), so a round costs zero list allocations instead of several;
-        the seed-era allocation pattern survives as
-        :meth:`deliver_round_reference` and both paths are replayable to
-        identical results (fault decisions consume the RNG identically).
+        The fast path is struct-of-arrays: one pass over the batch both
+        compacts fault survivors in place *and* extracts the
+        ``(sender, receiver)`` column the reorder permutation consumes, so
+        nothing walks the message objects twice; the recycled per-round
+        buffer (the outbox swaps against a spare list) keeps a round at
+        zero list allocations, and per-message dispatch/seal work runs off
+        precomputed class attributes (``Message.kind`` / ``Message.sealed``
+        and the processor-side handler cache).  The seed-era allocation
+        pattern survives as :meth:`deliver_round_reference` and both paths
+        are replayable to identical results (fault decisions consume the
+        RNG identically; ``shuffle_round`` consumes nothing for batches
+        under two messages, so skipping it there is exact).
         """
         if not self.batched_delivery:
             return self.deliver_round_reference()
@@ -384,15 +656,20 @@ class Network:
         self._outbox = spare  # exception can never lead to redelivery)
         self._spare_outbox = batch
         schedule = self.fault_schedule
+        collect = schedule is not None and schedule.has_reorder
+        pairs: Optional[List[Tuple[NodeId, NodeId]]] = [] if collect else None
         if schedule is not None and batch:
             # Fresh sends are judged exactly once, here; a message that drew
             # a delay is delivered as-is when it comes due, so its fate stays
             # within the policy's 1..max_delay contract.  Survivors are
-            # compacted into the batch's own prefix — no second list.
+            # compacted into the batch's own prefix — no second list — and
+            # the sender/receiver column fills in the same pass.
             kept = 0
             for message in batch:
-                if message.sender != message.receiver:
-                    fate = schedule.judge(message.sender, message.receiver)
+                sender = message.sender
+                receiver = message.receiver
+                if sender != receiver:
+                    fate = schedule.judge(sender, receiver)
                     if fate < 0:
                         self.metrics.record_dropped()
                         continue
@@ -401,19 +678,24 @@ class Network:
                         continue
                 batch[kept] = message
                 kept += 1
+                if collect:
+                    pairs.append((sender, receiver))
             del batch[kept:]
         if self._delayed:
             due = [m for at, m in self._delayed if at <= self._round]
             if due:
                 self._delayed = [(at, m) for at, m in self._delayed if at > self._round]
                 batch.extend(due)
-        if schedule is not None and schedule.has_reorder and len(batch) > 1:
-            permutation = schedule.shuffle_round([(m.sender, m.receiver) for m in batch])
+                if collect:
+                    pairs.extend((m.sender, m.receiver) for m in due)
+        if collect and len(batch) > 1:
+            permutation = schedule.shuffle_round(pairs)
             if permutation is not None:
                 batch[:] = [batch[i] for i in permutation]
         delivered = 0
+        processors = self.processors
         for message in batch:
-            processor = self.processors.get(message.receiver)
+            processor = processors.get(message.receiver)
             if processor is None:
                 continue  # receiver died mid-round; the paper assumes one attack per round
             if message.byz_origin is not None:

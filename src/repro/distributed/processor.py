@@ -46,6 +46,7 @@ the engine is an oracle, never a participant.
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
@@ -57,7 +58,6 @@ from .merge import MergeOutcome, PieceSummary, link_source_key, merge_summaries
 from .messages import (
     MAX_PORTS_PER_REQUEST,
     MAX_ROOTS_PER_MESSAGE,
-    SEALED_KINDS,
     DeletionNotice,
     Digest,
     DigestRequest,
@@ -71,7 +71,15 @@ from .messages import (
     Probe,
 )
 
-__all__ = ["EdgeRecord", "Processor", "RepairContext", "SpineRole"]
+__all__ = [
+    "DenseEdgeTable",
+    "DictEdgeTable",
+    "EdgeRecord",
+    "EdgeRecordView",
+    "Processor",
+    "RepairContext",
+    "SpineRole",
+]
 
 
 @dataclass
@@ -115,6 +123,236 @@ class EdgeRecord:
         self.helper_children_count = 0
         self.helper_representative = None
         self.helper_victim = None
+
+
+#: (attribute, column, kind) triples describing the Table 1 record layout —
+#: the single source of truth both record stores derive from.  ``kind`` is
+#: ``"obj"`` (pointer column), ``"bool"`` (bytearray column) or ``"int"``
+#: (machine-int array column).
+_RECORD_COLUMNS: Tuple[Tuple[str, str, str], ...] = (
+    ("neighbor", "_neighbor", "obj"),
+    ("endpoint", "_endpoint", "obj"),
+    ("neighbor_alive", "_alive", "bool"),
+    ("has_helper", "_has_helper", "bool"),
+    ("rt_parent", "_rt_parent", "obj"),
+    ("representative", "_representative", "obj"),
+    ("helper_parent", "_helper_parent", "obj"),
+    ("helper_left", "_helper_left", "obj"),
+    ("helper_right", "_helper_right", "obj"),
+    ("helper_height", "_helper_height", "int"),
+    ("helper_children_count", "_helper_children", "int"),
+    ("helper_representative", "_helper_representative", "obj"),
+    ("helper_victim", "_helper_victim", "obj"),
+)
+
+
+def _view_property(column: str, kind: str):
+    """Build one :class:`EdgeRecordView` property reading/writing a column."""
+    if kind == "bool":
+
+        def getter(self):
+            return bool(getattr(self._table, column)[self._slot])
+
+        def setter(self, value):
+            getattr(self._table, column)[self._slot] = 1 if value else 0
+
+    else:
+
+        def getter(self):
+            return getattr(self._table, column)[self._slot]
+
+        def setter(self, value):
+            getattr(self._table, column)[self._slot] = value
+
+    return property(getter, setter)
+
+
+class EdgeRecordView:
+    """Live Table 1 record view over one :class:`DenseEdgeTable` slot.
+
+    Carries no state of its own — every attribute read/write goes straight
+    to the table's columns, so a view captured early (the tests do this)
+    always sees the current record.  The attribute surface is exactly
+    :class:`EdgeRecord`'s, which is what lets the dense store slide under
+    every handler unchanged.
+    """
+
+    __slots__ = ("_table", "_slot")
+
+    def __init__(self, table: "DenseEdgeTable", slot: int) -> None:
+        self._table = table
+        self._slot = slot
+
+    def clear_helper(self) -> None:
+        """Drop the helper node simulated for this edge (it was 'marked red')."""
+        table, slot = self._table, self._slot
+        table._has_helper[slot] = 0
+        table._helper_parent[slot] = None
+        table._helper_left[slot] = None
+        table._helper_right[slot] = None
+        table._helper_height[slot] = 0
+        table._helper_children[slot] = 0
+        table._helper_representative[slot] = None
+        table._helper_victim[slot] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name, _col, _kind in _RECORD_COLUMNS
+        )
+        return f"EdgeRecordView({fields})"
+
+
+for _name, _column, _kind in _RECORD_COLUMNS:
+    setattr(EdgeRecordView, _name, _view_property(_column, _kind))
+del _name, _column, _kind
+
+
+class DenseEdgeTable:
+    """Struct-of-arrays Table 1 store: one column per record field.
+
+    The dense-int fast path (PR 7): instead of one :class:`EdgeRecord`
+    dataclass instance (object header + ``__dict__``) per ``G'`` edge, the
+    table keeps thirteen parallel columns — pointer fields in plain lists,
+    booleans packed one byte each in bytearrays, counters in machine-int
+    arrays — and hands out slot-indexed :class:`EdgeRecordView` proxies.
+    Records are append-only (the protocol never deletes one; a dead
+    neighbour is ``neighbor_alive=False``), so slots never move and cached
+    views stay valid.  The mapping surface mirrors ``Dict[NodeId,
+    EdgeRecord]``, the seed layout retained in :class:`DictEdgeTable` as
+    the reference twin the churn-equivalence tests compare against.
+    """
+
+    __slots__ = (
+        "_slots",
+        "_views",
+        "_neighbor",
+        "_endpoint",
+        "_alive",
+        "_has_helper",
+        "_rt_parent",
+        "_representative",
+        "_helper_parent",
+        "_helper_left",
+        "_helper_right",
+        "_helper_height",
+        "_helper_children",
+        "_helper_representative",
+        "_helper_victim",
+    )
+
+    def __init__(self) -> None:
+        self._slots: Dict[NodeId, int] = {}
+        self._views: List[EdgeRecordView] = []
+        self._neighbor: List[NodeId] = []
+        self._endpoint: List[Optional[Port]] = []
+        self._alive = bytearray()
+        self._has_helper = bytearray()
+        self._rt_parent: List[Optional[Port]] = []
+        self._representative: List[Optional[Port]] = []
+        self._helper_parent: List[Optional[Port]] = []
+        self._helper_left: List[Optional[Port]] = []
+        self._helper_right: List[Optional[Port]] = []
+        self._helper_height = array("q")
+        self._helper_children = array("q")
+        self._helper_representative: List[Optional[Port]] = []
+        self._helper_victim: List[Optional[NodeId]] = []
+
+    def create(self, owner: NodeId, neighbor: NodeId) -> EdgeRecordView:
+        """Append a fresh record (``Init(v)`` defaults) and return its view."""
+        slot = len(self._neighbor)
+        self._slots[neighbor] = slot
+        self._neighbor.append(neighbor)
+        self._endpoint.append(None)
+        self._alive.append(1)
+        self._has_helper.append(0)
+        self._rt_parent.append(None)
+        self._representative.append(Port(owner, neighbor))
+        self._helper_parent.append(None)
+        self._helper_left.append(None)
+        self._helper_right.append(None)
+        self._helper_height.append(0)
+        self._helper_children.append(0)
+        self._helper_representative.append(None)
+        self._helper_victim.append(None)
+        view = EdgeRecordView(self, slot)
+        self._views.append(view)
+        return view
+
+    # -- mapping surface (mirrors Dict[NodeId, EdgeRecord]) ----------------
+    def __contains__(self, neighbor: NodeId) -> bool:
+        return neighbor in self._slots
+
+    def __getitem__(self, neighbor: NodeId) -> EdgeRecordView:
+        return self._views[self._slots[neighbor]]
+
+    def get(self, neighbor: NodeId, default=None):
+        slot = self._slots.get(neighbor)
+        return self._views[slot] if slot is not None else default
+
+    def __setitem__(self, neighbor: NodeId, record) -> None:
+        """Copy a record's fields into the slot for ``neighbor`` (rarely used)."""
+        view = self.get(neighbor)
+        if view is None:
+            view = self.create(None, neighbor)  # representative overwritten below
+        for name, _column, _kind in _RECORD_COLUMNS:
+            setattr(view, name, getattr(record, name))
+        view.neighbor = neighbor
+
+    def __len__(self) -> int:
+        return len(self._neighbor)
+
+    def __iter__(self):
+        return iter(self._neighbor)
+
+    def keys(self):
+        return list(self._neighbor)
+
+    def values(self):
+        return list(self._views)
+
+    def items(self):
+        return zip(self._neighbor, self._views)
+
+    def helper_slots(self) -> List[int]:
+        """Slots currently simulating a helper (one bytearray scan, no views)."""
+        flags = self._has_helper
+        return [slot for slot in range(len(flags)) if flags[slot]]
+
+    def nbytes(self) -> int:
+        """Approximate column payload size in bytes (the memory-row metric)."""
+        pointer_columns = sum(
+            1 for _name, _column, kind in _RECORD_COLUMNS if kind == "obj"
+        )
+        return (
+            len(self._neighbor) * (8 * pointer_columns)
+            + len(self._alive)
+            + len(self._has_helper)
+            + self._helper_height.itemsize * len(self._helper_height)
+            + self._helper_children.itemsize * len(self._helper_children)
+        )
+
+
+class DictEdgeTable(dict):
+    """Seed-style record store: one :class:`EdgeRecord` dataclass per edge.
+
+    The reference twin of :class:`DenseEdgeTable` (selected with
+    ``Processor(..., dense_records=False)``): a plain dict subclass, so
+    every seed-era access pattern works verbatim, plus the same ``create``
+    hook the dense store exposes.
+    """
+
+    def create(self, owner: NodeId, neighbor: NodeId) -> EdgeRecord:
+        record = EdgeRecord(neighbor=neighbor)
+        record.representative = Port(owner, neighbor)
+        self[neighbor] = record
+        return record
+
+
+#: Per-(class, kind) handler lookup cache: ``receive`` resolves its
+#: ``_on_<kind>`` handler through this table instead of a per-message
+#: ``getattr`` string build (the dispatch column of the batched delivery).
+_HANDLER_CACHE: Dict[Tuple[type, str], Optional[object]] = {}
+_UNRESOLVED = object()
 
 
 @dataclass
@@ -203,10 +441,12 @@ class Processor:
     #: How many recent messages :attr:`received` retains per processor.
     RECEIVE_TRACE_LIMIT = 128
 
-    def __init__(self, node_id: NodeId) -> None:
+    def __init__(self, node_id: NodeId, dense_records: bool = True) -> None:
         self.node_id = node_id
         #: One record per ``G'`` edge, keyed by the neighbour's identifier.
-        self.edges: Dict[NodeId, EdgeRecord] = {}
+        #: Flat struct-of-arrays columns by default (PR 7); the seed-era
+        #: dataclass-per-edge layout is the retained reference twin.
+        self.edges = DenseEdgeTable() if dense_records else DictEdgeTable()
         #: The most recent messages received, in arrival order (a bounded
         #: trace for tests/debugging — an unbounded log would dominate
         #: memory over long sessions, since every repair and retransmission
@@ -232,11 +472,10 @@ class Processor:
         Mirrors ``Init(v)`` (Algorithm A.2): the representative starts as the
         processor's own port and every other field is empty.
         """
-        if neighbor not in self.edges:
-            record = EdgeRecord(neighbor=neighbor)
-            record.representative = Port(self.node_id, neighbor)
-            self.edges[neighbor] = record
-        return self.edges[neighbor]
+        record = self.edges.get(neighbor)
+        if record is None:
+            record = self.edges.create(self.node_id, neighbor)
+        return record
 
     def port(self, neighbor: NodeId) -> Port:
         """The port this processor owns for the edge to ``neighbor``."""
@@ -244,7 +483,11 @@ class Processor:
 
     def helper_ports(self) -> List[Port]:
         """Ports for which this processor currently simulates a helper node."""
-        return [Port(self.node_id, nbr) for nbr, rec in self.edges.items() if rec.has_helper]
+        edges = self.edges
+        if isinstance(edges, DenseEdgeTable):
+            neighbors = edges._neighbor
+            return [Port(self.node_id, neighbors[slot]) for slot in edges.helper_slots()]
+        return [Port(self.node_id, nbr) for nbr, rec in edges.items() if rec.has_helper]
 
     def degree_in_edges(self) -> int:
         """Number of ``G'`` edges this processor participates in."""
@@ -343,27 +586,33 @@ class Processor:
         accused and quarantined.  Honest messages are valid by construction,
         so this gate can never fire on delivery faults alone.
         """
+        kind = message.kind
         self.received.append(message)
-        self.received_by_kind[message.kind] = self.received_by_kind.get(message.kind, 0) + 1
-        network = self.network
-        if (
-            network is not None
-            and network.transcript is not None
-            and message.sender != self.node_id
-            and message.kind in SEALED_KINDS
-        ):
-            flaw = self._verify(message)
-            if flaw is not None:
-                network.accuse(
-                    accused=message.sender,
-                    reporter=self.node_id,
-                    reason=flaw,
-                    evidence=(message,),
-                )
-                return []
-        handler = getattr(self, f"_on_{message.kind}", None)
+        counts = self.received_by_kind
+        counts[kind] = counts.get(kind, 0) + 1
+        # Seal gate ordered cheapest-first: ``sealed`` is a per-class flag
+        # (False for the unsealed majority — probes, notices, requests), so
+        # most messages pay one attribute check here instead of a frozenset
+        # lookup plus two network reads.
+        if message.sealed and message.sender != self.node_id:
+            network = self.network
+            if network is not None and network.transcript is not None:
+                flaw = self._verify(message)
+                if flaw is not None:
+                    network.accuse(
+                        accused=message.sender,
+                        reporter=self.node_id,
+                        reason=flaw,
+                        evidence=(message,),
+                    )
+                    return []
+        cls = type(self)
+        handler = _HANDLER_CACHE.get((cls, kind), _UNRESOLVED)
+        if handler is _UNRESOLVED:
+            handler = getattr(cls, f"_on_{kind}", None)
+            _HANDLER_CACHE[(cls, kind)] = handler
         if handler is not None:
-            return handler(message) or []
+            return handler(self, message) or []
         return []
 
     @staticmethod

@@ -192,9 +192,14 @@ class DistributedForgivingGraph:
         auto_reconverge: bool = True,
         quarantine_oracle: bool = False,
         quarantine_plan_audit: bool = False,
+        dense: bool = True,
     ) -> None:
         self._engine = ForgivingGraph(check_invariants=check_invariants)
-        self.network = Network(strict_links=True, fault_schedule=fault_schedule)
+        #: ``dense=False`` selects the retained seed-era object-dict network
+        #: core (the equivalence/benchmark twin of the dense-int hot core).
+        self.network = Network(
+            strict_links=True, fault_schedule=fault_schedule, dense=dense
+        )
         #: One cost report per deletion, in order.
         self.cost_reports: List[DeletionCostReport] = []
         #: One recovery ledger per reconverge() call, in order.
@@ -301,7 +306,7 @@ class DistributedForgivingGraph:
         """
         graph = nx.Graph()
         graph.add_nodes_from(self.network.processors)
-        graph.add_edges_from(self.network.links())
+        graph.add_edges_from(self.network.iter_links())
         return graph
 
     def g_prime_view(self) -> nx.Graph:
@@ -719,10 +724,10 @@ class DistributedForgivingGraph:
                         link_source_key(parent_port, child_port)
                     )
         network = self.network
-        for link in {frozenset(pair) for pair in network.links()} - set(expected):
+        for link in {frozenset(pair) for pair in network.iter_links()} - set(expected):
             u, v = tuple(link)
             network.disconnect(u, v)
-        network._link_sources = expected
+        network.replace_link_sources(expected)
         for link in expected:
             u, v = tuple(link)
             if network.has_processor(u) and network.has_processor(v):
@@ -753,7 +758,7 @@ class DistributedForgivingGraph:
             )
 
         healed_edges = {frozenset(edge) for edge in self._engine.actual_view().edges}
-        links = {frozenset(link) for link in self.network.links()}
+        links = {frozenset(link) for link in self.network.iter_links()}
         if links != healed_edges:
             missing = healed_edges - links
             extra = links - healed_edges

@@ -124,6 +124,16 @@ class AttackSession:
         default; the final report is required for :attr:`SessionResult`).
     track_series:
         Keep a per-measurement time series in the result.
+    cross_check_every:
+        Oracle cross-check cadence, counted in *measurements*: every
+        ``k``-th measurement tick additionally calls the healer's
+        ``verify_consistency()`` (the distributed healer's O(n + m)
+        oracle diff).  ``None`` (default) never cross-checks — the
+        cadence-gated replacement for wiring ``verify_consistency`` into
+        every repair, so large-n sessions pay the O(n + m) audit only on
+        the measurement cadence they opted into; ``1`` checks at every
+        measurement.  Healers without ``verify_consistency`` ignore the
+        setting.
     """
 
     def __init__(
@@ -137,6 +147,7 @@ class AttackSession:
         measure_every: Optional[int] = None,
         measure_final: bool = True,
         track_series: bool = False,
+        cross_check_every: Optional[int] = None,
     ) -> None:
         self.healer = healer
         self.schedule = schedule
@@ -151,6 +162,13 @@ class AttackSession:
             self.interval = int(measure_every)
         self.measure_final = measure_final
         self.track_series = track_series
+        self.cross_check_every = (
+            None if cross_check_every is None else int(cross_check_every)
+        )
+        #: Measurement ticks taken so far (the cross-check cadence counter).
+        self._measurements = 0
+        #: Oracle cross-checks actually performed (inspectable by tests).
+        self.cross_checks_run = 0
         #: One measurement session per attack: the CSR node indexing is built
         #: once and only extended as the adversary inserts nodes.
         self.measurement = MeasurementSession()
@@ -177,6 +195,18 @@ class AttackSession:
             session=self.measurement,
         )
         self.compact_journals()
+        self._measurements += 1
+        every = self.cross_check_every
+        if every is not None and every > 0 and self._measurements % every == 0:
+            # The opt-in oracle audit rides the measurement cadence: healers
+            # exposing ``verify_consistency`` (the distributed simulator's
+            # O(n + m) oracle diff) get cross-checked here instead of once
+            # per repair, so the audit cost scales with measurements taken,
+            # not with churn volume.
+            verify = getattr(self.healer, "verify_consistency", None)
+            if verify is not None:
+                verify()
+                self.cross_checks_run += 1
         self._peak_degree = max(self._peak_degree, report.degree_factor)
         self._peak_stretch = max(self._peak_stretch, report.stretch)
         if self.track_series:

@@ -25,7 +25,16 @@ from .reporting import (
     write_report,
 )
 from .runner import AttackOutcome, build_session, run_attack, run_healer_comparison
-from .sweeps import SweepTask, run_sweep, sweep_graph_sizes, sweep_healers, sweep_strategies
+from .sweeps import (
+    SweepTask,
+    independent_repair_batches,
+    repair_footprint,
+    run_sweep,
+    sweep_graph_sizes,
+    sweep_healers,
+    sweep_large_n,
+    sweep_strategies,
+)
 
 __all__ = [
     "AttackConfig",
@@ -35,9 +44,12 @@ __all__ = [
     "run_attack",
     "run_healer_comparison",
     "SweepTask",
+    "independent_repair_batches",
+    "repair_footprint",
     "run_sweep",
     "sweep_graph_sizes",
     "sweep_healers",
+    "sweep_large_n",
     "sweep_strategies",
     "format_table",
     "rows_to_csv",

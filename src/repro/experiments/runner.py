@@ -114,10 +114,13 @@ def build_session(
     graph: Optional[nx.Graph] = None,
     track_series: bool = False,
     measure_every: int = 0,
+    cross_check_every: Optional[int] = None,
 ) -> AttackSession:
     """Materialize the engine session for one (config, healer) pair.
 
     ``measure_every=0`` selects the session's automatic coarse interval.
+    ``cross_check_every=k`` opts in to the cadence-gated oracle cross-check
+    (the healer's ``verify_consistency`` at every ``k``-th measurement).
 
     A non-lossless ``attack.fault_preset`` builds the healer with the
     corresponding seeded :class:`~repro.distributed.faults.FaultSchedule`
@@ -146,6 +149,7 @@ def build_session(
         seed=config.seed,
         measure_every=measure_every if measure_every > 0 else None,
         track_series=track_series,
+        cross_check_every=cross_check_every,
     )
 
 

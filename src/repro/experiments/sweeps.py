@@ -28,8 +28,9 @@ from __future__ import annotations
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
+from ..core.ports import NodeId
 from ..generators.graphs import GraphSpec
 from .config import AttackConfig, ExperimentConfig
 from .reporting import JsonlReporter, json_safe_row
@@ -37,9 +38,12 @@ from .runner import run_attack, run_healer_comparison
 
 __all__ = [
     "SweepTask",
+    "independent_repair_batches",
+    "repair_footprint",
     "run_sweep",
     "sweep_graph_sizes",
     "sweep_healers",
+    "sweep_large_n",
     "sweep_strategies",
     "sweep_fault_presets",
 ]
@@ -279,5 +283,116 @@ def sweep_fault_presets(
             healer="distributed_forgiving_graph",
         )
         for preset in presets
+    ]
+    return run_sweep(tasks, max_workers=max_workers, jsonl_path=jsonl_path, resume=resume)
+
+
+# --------------------------------------------------------------------------- #
+# sharded large-n sweeps
+# --------------------------------------------------------------------------- #
+def repair_footprint(healer, victim: NodeId) -> FrozenSet[NodeId]:
+    """The processors one deletion's repair would touch, read from the plan.
+
+    Wraps :func:`repro.distributed.protocol.plan_repair` — a read-only,
+    pre-deletion inspection costing O(victim neighbourhood + broken glue) —
+    and returns the participant set (every processor the plan hands a
+    :class:`RepairContext`, plus the victim itself).  Two repairs whose
+    footprints are disjoint share no spine, no anchor and no scaffold
+    traffic, so they can heal in parallel without racing: this is the
+    independence test :func:`independent_repair_batches` and the sharded
+    sweeps build on.  Accepts the distributed healer or a bare engine.
+    """
+    from ..distributed.protocol import plan_repair
+
+    engine = getattr(healer, "_engine", healer)
+    plan = plan_repair(engine, victim)
+    return frozenset(plan.contexts) | {victim}
+
+
+def independent_repair_batches(
+    footprints: Sequence[Tuple[NodeId, FrozenSet[NodeId]]],
+) -> List[List[NodeId]]:
+    """Greedily group repairs with pairwise-disjoint footprints into batches.
+
+    ``footprints`` is a sequence of ``(victim, footprint)`` pairs (see
+    :func:`repair_footprint`).  Returns batches of victims, in input order
+    within each batch: every batch's footprints are pairwise disjoint, so
+    its repairs touch disjoint spines and may run concurrently; successive
+    batches must still run in sequence.  Greedy first-fit keeps the
+    grouping deterministic (a victim lands in the earliest batch it does
+    not collide with), which the sharded-sweep equivalence relies on.
+    """
+    batches: List[List[NodeId]] = []
+    occupied: List[set] = []
+    for victim, footprint in footprints:
+        for index, taken in enumerate(occupied):
+            if taken.isdisjoint(footprint):
+                batches[index].append(victim)
+                taken.update(footprint)
+                break
+        else:
+            batches.append([victim])
+            occupied.append(set(footprint))
+    return batches
+
+
+def sweep_large_n(
+    name: str,
+    topology: str,
+    total_nodes: int,
+    shards: int,
+    attack: Optional[AttackConfig] = None,
+    healer: str = "distributed_forgiving_graph",
+    seed: int = 0,
+    stretch_sources: Optional[int] = 16,
+    graph_params: Optional[Dict[str, float]] = None,
+    max_workers: Optional[int] = None,
+    jsonl_path: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+) -> List[Row]:
+    """Shard one large-n churn run into independent sub-networks and fan out.
+
+    The million-node scaling path: ``total_nodes`` processors are split
+    into ``shards`` near-equal disjoint sub-graphs, each built and churned
+    as its own :class:`ExperimentConfig` task on the existing
+    deterministic-seed pool (:func:`run_sweep`).  Disjoint node spaces are
+    the coarse-grained form of the plan-footprint independence
+    (:func:`repair_footprint`): repairs in different shards can never share
+    a spine, so the shards are embarrassingly parallel and the row set is
+    bit-identical at any worker count.  Each shard's seed is derived from
+    ``seed`` and its index, so the sweep as a whole is reproducible and
+    resumable (``jsonl_path`` / ``resume``) like any other sweep.
+
+    Returns one row per shard; aggregate throughput (the BENCH ``large_n``
+    nodes/sec) is ``total_nodes / max(seconds)`` under a parallel pool and
+    ``total_nodes / sum(seconds)`` serially.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if total_nodes < shards * 4:
+        raise ValueError(
+            f"total_nodes={total_nodes} too small to split into {shards} shards"
+        )
+    attack = attack if attack is not None else AttackConfig(
+        strategy="max_degree", delete_fraction=0.4
+    )
+    base, excess = divmod(total_nodes, shards)
+    tasks = [
+        SweepTask(
+            config=ExperimentConfig(
+                name=f"{name}-shard{index}",
+                graph=GraphSpec(
+                    topology=topology,
+                    n=base + (1 if index < excess else 0),
+                    params=dict(graph_params or {}),
+                ),
+                attack=attack,
+                healers=(healer,),
+                seed=seed * 1_000_003 + index,
+                stretch_sources=stretch_sources,
+            ),
+            healer=healer,
+        )
+        for index in range(shards)
     ]
     return run_sweep(tasks, max_workers=max_workers, jsonl_path=jsonl_path, resume=resume)

@@ -1,0 +1,306 @@
+"""The dense-int hot core (PR 7): equivalence, accessors, records, sharding.
+
+House rule: every fast path keeps its reference twin and the two must be
+bit-identical on identical workloads.  Here the fast path is the whole
+dense-int core — interned ids, flat-array adjacency with packed link-source
+keys (``Network(dense=True)``), struct-of-arrays Table 1 records
+(``DenseEdgeTable``) — and the twin is the retained seed-era object-dict
+layout (``dense=False``).  Layout must never change protocol behaviour, so
+the churn-equivalence tests compare per-deletion cost reports exactly, under
+a lossless network, a byzantine schedule and the chaos delivery preset.
+
+Also pinned: the unsorted fast accessors agree with their NodeKey-ordered
+variants as sets, the dense record table behaves like the mapping the
+protocol code expects (live views, attribute writes, ``clear_helper``), the
+cadence-gated oracle cross-check actually runs inside ``AttackSession``,
+and the plan-footprint independence machinery behind the sharded sweeps.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.distributed import DistributedForgivingGraph, Network, fault_schedule
+from repro.distributed.processor import DenseEdgeTable, DictEdgeTable, Processor
+from repro.engine import AttackSession
+from repro.adversary import MaxDegreeDeletion, churn_schedule
+from repro.experiments import (
+    independent_repair_batches,
+    repair_footprint,
+    sweep_large_n,
+)
+from repro.generators import make_graph
+
+
+def _cost_key(report):
+    return (
+        report.deleted_node,
+        report.messages,
+        report.bits,
+        report.rounds,
+        report.max_messages_per_node,
+    )
+
+
+def _churn_cost_keys(preset: str, dense: bool, n: int = 60, seed: int = 9):
+    """Replay one delete-heavy churn; return the per-deletion cost keys."""
+    graph = make_graph("power_law", n, seed=seed)
+    healer = DistributedForgivingGraph.from_graph(
+        graph, fault_schedule=fault_schedule(preset, seed=seed), dense=dense
+    )
+    rng = np.random.default_rng(seed)
+    strategy = MaxDegreeDeletion()
+    fresh = 10_000
+    for _ in range(n // 2):
+        if rng.random() < 0.7:
+            victim = strategy.choose_victim(healer)
+            if victim is None or healer.num_alive <= 4:
+                continue
+            healer.delete(victim)
+        else:
+            alive = sorted(
+                (x for x in healer.alive_nodes if healer.network.has_processor(x)),
+                key=repr,
+            )
+            picks = rng.choice(len(alive), size=min(2, len(alive)), replace=False)
+            healer.insert(fresh, attach_to=[alive[int(i)] for i in picks])
+            fresh += 1
+    return [_cost_key(r) for r in healer.cost_reports], healer
+
+
+class TestDenseDictEquivalence:
+    """Layout may never change behaviour: dense == object-dict, bit for bit."""
+
+    @pytest.mark.parametrize("preset", ["lossless", "byzantine", "chaos"])
+    def test_churn_cost_reports_identical(self, preset):
+        dense_keys, dense_healer = _churn_cost_keys(preset, dense=True)
+        dict_keys, dict_healer = _churn_cost_keys(preset, dense=False)
+        assert dense_keys, "churn should have produced repairs"
+        assert dense_keys == dict_keys
+        # The healed topology agrees too, not just the accounting.
+        assert dense_healer.network.links() == dict_healer.network.links()
+        assert dense_healer.network.quarantined == dict_healer.network.quarantined
+
+    def test_lossless_dense_matches_oracle(self):
+        _, healer = _churn_cost_keys("lossless", dense=True)
+        healer.verify_consistency()
+
+    def test_dict_mode_has_no_interner(self):
+        dense = DistributedForgivingGraph.from_graph(nx.path_graph(4))
+        ref = DistributedForgivingGraph.from_graph(nx.path_graph(4), dense=False)
+        assert dense.network.interner is not None
+        assert len(dense.network.interner) == 4
+        assert ref.network.interner is None
+
+
+class TestUnsortedAccessors:
+    """Satellite: fast unsorted accessors agree with the NodeKey-ordered ones."""
+
+    def _network(self):
+        _, healer = _churn_cost_keys("lossless", dense=True, n=40)
+        return healer.network
+
+    def test_iter_links_matches_links_as_sets(self):
+        network = self._network()
+        ordered = network.links()
+        unsorted_pairs = list(network.iter_links())
+        assert len(unsorted_pairs) == len(ordered) == network.num_links()
+        assert {frozenset(pair) for pair in unsorted_pairs} == {
+            frozenset(pair) for pair in ordered
+        }
+
+    def test_neighbors_unsorted_matches_neighbors_as_sets(self):
+        network = self._network()
+        for node in network.processors:
+            fast = network.neighbors_unsorted(node)
+            canonical = network.neighbors(node)
+            assert sorted(fast, key=repr) == sorted(canonical, key=repr)
+            assert len(fast) == len(set(fast))
+
+    def test_both_layouts_expose_both_accessors(self):
+        for dense in (True, False):
+            network = Network(dense=dense)
+            for node in "abc":
+                network.add_processor(node)
+            network.connect("a", "b")
+            network.connect("b", "c")
+            assert {frozenset(p) for p in network.iter_links()} == {
+                frozenset("ab"),
+                frozenset("bc"),
+            }
+            assert network.neighbors("b") == ["a", "c"]
+            assert set(network.neighbors_unsorted("b")) == {"a", "c"}
+
+
+class TestDenseEdgeTable:
+    """The struct-of-arrays Table 1 store behaves like the dict it replaced."""
+
+    def test_mapping_surface(self):
+        processor = Processor("v")
+        record = processor.ensure_edge("x")
+        assert "x" in processor.edges
+        assert "y" not in processor.edges
+        assert processor.edges.get("y") is None
+        assert len(processor.edges) == 1
+        assert list(processor.edges.keys()) == ["x"]
+        assert processor.edges["x"] is record  # views are identity-stable
+
+    def test_views_are_live(self):
+        processor = Processor("v")
+        view = processor.ensure_edge("x")
+        assert view.neighbor_alive is True
+        assert view.has_helper is False
+        view.has_helper = True
+        view.helper_height = 3
+        assert processor.edges["x"].has_helper is True
+        assert processor.edges["x"].helper_height == 3
+        view.clear_helper()
+        assert processor.edges["x"].has_helper is False
+        assert processor.edges["x"].helper_height == 0
+        assert view.neighbor_alive is True  # clear_helper leaves liveness alone
+
+    def test_helper_slots_drive_helper_ports(self):
+        processor = Processor("v")
+        for neighbor in ("a", "b", "c"):
+            processor.ensure_edge(neighbor)
+        processor.edges["b"].has_helper = True
+        ports = processor.helper_ports()
+        assert [(p.processor, p.neighbor) for p in ports] == [("v", "b")]
+
+    def test_dense_vs_dict_choice(self):
+        assert isinstance(Processor("v").edges, DenseEdgeTable)
+        assert isinstance(Processor("v", dense_records=False).edges, DictEdgeTable)
+
+    def test_nbytes_grows_with_records(self):
+        processor = Processor("v")
+        empty = processor.edges.nbytes()
+        for neighbor in range(32):
+            processor.ensure_edge(neighbor)
+        assert processor.edges.nbytes() > empty
+
+
+class TestCrossCheckCadence:
+    """Satellite: the opt-in oracle cross-check rides the measurement tick."""
+
+    def test_gate_runs_on_measurement_cadence(self):
+        healer = DistributedForgivingGraph.from_graph(make_graph("erdos_renyi", 30, seed=3))
+        session = AttackSession(
+            healer,
+            churn_schedule(steps=24, seed=3),
+            measure_every=6,
+            cross_check_every=2,
+        )
+        session.run()
+        # 24 steps / measure_every=6 -> 4 periodic ticks + the final one = 5
+        # measurements; every 2nd runs the oracle diff.
+        assert session.cross_checks_run == 2
+        assert session.result is not None
+
+    def test_gate_detects_corruption(self):
+        healer = DistributedForgivingGraph.from_graph(make_graph("erdos_renyi", 20, seed=4))
+        session = AttackSession(
+            healer,
+            churn_schedule(steps=8, seed=4),
+            measure_every=4,
+            cross_check_every=1,
+        )
+        stream = session.stream()
+        next(stream)
+        # Corrupt the message-built topology behind the oracle's back: the
+        # next cadence tick must catch it.
+        victim_link = next(iter(healer.network.iter_links()))
+        healer.network.disconnect(*victim_link)
+        from repro.core.errors import InvariantViolationError
+
+        with pytest.raises(InvariantViolationError):
+            for _ in stream:
+                pass
+
+    def test_default_is_off(self):
+        healer = DistributedForgivingGraph.from_graph(make_graph("erdos_renyi", 16, seed=5))
+        session = AttackSession(healer, churn_schedule(steps=8, seed=5), measure_every=2)
+        session.run()
+        assert session.cross_checks_run == 0
+
+
+class TestShardedSweeps:
+    """Plan-footprint independence and the sharded large-n sweep path."""
+
+    def test_repair_footprint_is_local(self):
+        healer = DistributedForgivingGraph.from_graph(nx.path_graph(10))
+        footprint = repair_footprint(healer, 4)
+        assert 4 in footprint
+        assert footprint <= {3, 4, 5}
+
+    def test_independent_batches_are_pairwise_disjoint(self):
+        healer = DistributedForgivingGraph.from_graph(nx.path_graph(20))
+        victims = [3, 5, 10, 16]
+        footprints = [(v, repair_footprint(healer, v)) for v in victims]
+        batches = independent_repair_batches(footprints)
+        by_victim = dict(footprints)
+        for batch in batches:
+            for i, a in enumerate(batch):
+                for b in batch[i + 1 :]:
+                    assert by_victim[a].isdisjoint(by_victim[b])
+        assert sorted(v for batch in batches for v in batch) == victims
+        # 3 and 5 share processor 4, so they must land in different batches.
+        assert not any(3 in batch and 5 in batch for batch in batches)
+
+    def test_sweep_large_n_is_deterministic_and_covers_all_nodes(self):
+        kwargs = dict(attack=None, seed=5, max_workers=None)
+        first = sweep_large_n("dense-smoke", "erdos_renyi", 60, 3, **kwargs)
+        second = sweep_large_n("dense-smoke", "erdos_renyi", 60, 3, **kwargs)
+
+        def drop_clock(rows):
+            return [{k: v for k, v in row.items() if k != "seconds"} for row in rows]
+
+        assert drop_clock(first) == drop_clock(second)
+        assert len(first) == 3
+        assert all(row["connected"] for row in first)
+
+    def test_sweep_large_n_rejects_degenerate_shapes(self):
+        with pytest.raises(ValueError):
+            sweep_large_n("bad", "erdos_renyi", 60, 0)
+        with pytest.raises(ValueError):
+            sweep_large_n("bad", "erdos_renyi", 6, 4)
+
+
+class TestDensePackedLinkSources:
+    """Packed-int link sources behave exactly like the frozenset table."""
+
+    def test_source_lifecycle_both_layouts(self):
+        for dense in (True, False):
+            network = Network(dense=dense)
+            for node in ("u", "v"):
+                network.add_processor(node)
+            key = ("real", "u", "v")
+            assert not network.are_linked("u", "v")
+            network.add_link_source(key, "u", "v")
+            assert network.are_linked("u", "v")
+            assert network.has_link_source(key, "u", "v")
+            assert network.link_source_count("u", "v") == 1
+            network.add_link_source(key, "u", "v")  # idempotent
+            assert network.link_source_count("u", "v") == 1
+            network.remove_link_source(key, "u", "v")
+            assert not network.are_linked("u", "v")
+            assert network.link_source_count("u", "v") == 0
+
+    def test_replace_link_sources_accepts_frozenset_wire_format(self):
+        for dense in (True, False):
+            network = Network(dense=dense)
+            for node in ("u", "v", "w"):
+                network.add_processor(node)
+            network.connect("u", "v")
+            network.replace_link_sources({frozenset(("u", "v")): {("real", "u", "v")}})
+            assert network.link_source_count("u", "v") == 1
+            assert network.link_source_count("v", "w") == 0
+
+    def test_strict_links_still_enforced(self):
+        network = Network(dense=True)
+        for node in ("u", "v"):
+            network.add_processor(node)
+        from repro.distributed.messages import DeletionNotice
+
+        with pytest.raises(ProtocolError):
+            network.send(DeletionNotice(sender="u", receiver="v", deleted="x"))

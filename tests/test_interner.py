@@ -1,0 +1,137 @@
+"""The dense-id interner: bijectivity and relabeling invariance (PR 7).
+
+The dense-int hot core rests on one contract: :class:`repro.core.ports.Interner`
+is an append-only *bijection* between node identifiers and contiguous ints,
+assigned in first-appearance order and never reused.  These tests pin that
+contract directly and through the network — including under randomized churn
+with quarantined and removed processors, where dead identifiers must keep
+their ids (the ``n_ever`` semantics message sizing depends on) — and pin the
+relabeling invariance that makes dense ids safe to use in any deterministic
+order: an order-preserving relabeling of the same churn produces the *same*
+id sequence.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ports import Interner
+from repro.distributed import DistributedForgivingGraph
+from repro.generators import make_graph
+
+
+class TestInternerBasics:
+    def test_assigns_contiguous_ids_in_first_appearance_order(self):
+        interner = Interner()
+        assert interner.intern("c") == 0
+        assert interner.intern("a") == 1
+        assert interner.intern("b") == 2
+        assert interner.intern("a") == 1  # idempotent
+        assert len(interner) == 3
+        assert interner.nodes() == ["c", "a", "b"]
+
+    def test_round_trip_is_a_bijection(self):
+        interner = Interner()
+        ids = [interner.intern(node) for node in ("x", 7, ("t", 1), "x", 7)]
+        assert ids == [0, 1, 2, 0, 1]
+        for node in ("x", 7, ("t", 1)):
+            assert interner.node_of(interner.id_of(node)) == node
+        assert interner.get_id("never-seen") is None
+        assert "never-seen" not in interner
+        assert 7 in interner
+        with pytest.raises(KeyError):
+            interner.id_of("never-seen")
+
+    def test_mixed_identifier_types_coexist(self):
+        interner = Interner()
+        nodes = [0, "0", (0,), 1, "1"]
+        dense = [interner.intern(n) for n in nodes]
+        assert dense == list(range(5))
+        assert [interner.node_of(i) for i in dense] == nodes
+
+
+def _churn_moves(steps: int, seed: int):
+    """A deterministic churn script as (kind, index) moves over alive-lists.
+
+    Indices (not identifiers) describe the moves, so the identical script can
+    be replayed under any relabeling of the node ids.
+    """
+    rng = np.random.default_rng(seed)
+    moves = []
+    for _ in range(steps):
+        if rng.random() < 0.55:
+            moves.append(("delete", int(rng.integers(0, 1 << 30))))
+        else:
+            picks = [int(i) for i in rng.integers(0, 1 << 30, size=int(rng.integers(1, 4)))]
+            moves.append(("insert", picks))
+    return moves
+
+
+def _play(moves, relabel, quarantine_some: bool, seed: int):
+    """Run one churn under a relabeling; returns (healer, interned sequence)."""
+    graph = make_graph("erdos_renyi", 24, seed=seed)
+    mapping = {node: relabel(node) for node in graph.nodes}
+    import networkx as nx
+
+    healer = DistributedForgivingGraph.from_graph(nx.relabel_nodes(graph, mapping))
+    id_of = healer.network.interner.id_of
+    fresh = 10_000
+    quarantined = 0
+    for kind, pick in moves:
+        # Order alive nodes by dense id: interning order is itself invariant
+        # under relabeling, so the script picks "the same" node either way.
+        # Quarantined processors stay engine-alive but have no network
+        # presence (the byzantine containment semantics), so only nodes with
+        # a live processor are churn candidates.
+        alive = sorted(
+            (n for n in healer.alive_nodes if healer.network.has_processor(n)),
+            key=id_of,
+        )
+        if kind == "delete" and len(alive) > 4:
+            victim = alive[pick % len(alive)]
+            if quarantine_some and quarantined < 3 and pick % 5 == 0:
+                # Exercise the quarantine path too: the processor vanishes
+                # from the network but its dense id must survive.
+                healer.network.quarantine(victim)
+                quarantined += 1
+            else:
+                healer.delete(victim)
+        elif kind == "insert":
+            attach = {alive[i % len(alive)] for i in pick}
+            healer.insert(relabel(fresh), attach_to=sorted(attach, key=id_of))
+            fresh += 1
+    return healer, healer.network.interner.nodes()
+
+
+class TestDenseIdsUnderChurn:
+    def test_bijective_and_id_stable_with_quarantine_and_removal(self):
+        moves = _churn_moves(50, seed=11)
+        healer, nodes_in_id_order = _play(moves, relabel=lambda n: n, quarantine_some=True, seed=11)
+        interner = healer.network.interner
+
+        # Bijection: every interned identifier round-trips, ids are 0..len-1.
+        assert len(set(nodes_in_id_order)) == len(nodes_in_id_order)
+        for dense, node in enumerate(nodes_in_id_order):
+            assert interner.id_of(node) == dense
+            assert interner.node_of(dense) == node
+
+        # Ids are never reused: every identifier that ever had a processor
+        # (alive, deleted, or quarantined) still has its id.
+        assert healer.network.n_ever == len(interner)
+        for node in healer.network.quarantined:
+            assert node in interner
+            assert not healer.network.has_processor(node)
+        dead = [n for n in nodes_in_id_order if not healer.network.has_processor(n)]
+        assert dead, "churn should have produced dead processors"
+        for node in dead:
+            assert interner.node_of(interner.id_of(node)) == node
+
+    def test_id_assignment_invariant_under_order_preserving_relabeling(self):
+        moves = _churn_moves(40, seed=23)
+        _, plain = _play(moves, relabel=lambda n: n, quarantine_some=False, seed=23)
+        offset = 1_000_000
+        _, shifted = _play(
+            moves, relabel=lambda n: n + offset, quarantine_some=False, seed=23
+        )
+        # The identical churn under n -> n + offset interns the shifted
+        # identifier at every position: same id sequence, just relabeled.
+        assert [n + offset for n in plain] == shifted
