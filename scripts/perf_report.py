@@ -88,6 +88,20 @@ Workloads
     pattern, on identical distributed attacks; the per-deletion cost
     reports must agree exactly.
 
+``concurrent_repairs``
+    Correctness-plus-latency gate (PR 8): a burst of deletions with
+    pairwise-disjoint repair footprints healed concurrently — every message
+    epoch-tagged with its repair's victim, all repairs interleaved in one
+    ``deliver_round`` stream, anti-entropy gossip piggybacked in the
+    background.  Asserts the burst's rounds come in under 0.6x the
+    sequential count (latency ~ max, not ~ sum), that
+    ``delete_batch(concurrency=1)`` is bit-identical to sequential
+    ``delete`` calls under every delivery preset, and that on the lossless
+    path every epoch's recovery ends with an *empty* fixed-point probe (the
+    silent-protocol property, measured).  ``--concurrent-schedule`` adds
+    mixed-traffic rows (chaos delivery, byzantine lies) on the dedicated CI
+    leg.
+
 ``large_n``
     The dense-int hot core (PR 7).  Three rows: *speedup* — a delete-heavy
     attack on the dense healer (interned ids, flat adjacency, packed link
@@ -100,7 +114,11 @@ Workloads
     tracemalloc bytes/node over a fixed build+churn for both layouts;
     *scale* — a sharded delete-heavy churn sweep
     (``repro.experiments.sweep_large_n``: disjoint sub-networks on the
-    deterministic-seed pool) reporting end-to-end nodes/sec.
+    deterministic-seed pool) reporting end-to-end nodes/sec.  A fourth
+    *transcript* row (PR 8) replays the memory workload at the default and
+    a trimmed ``receive_trace_limit``, reporting retained receive-transcript
+    messages and payload bytes — the knob that shrinks the per-processor
+    dispute window at large n.
 """
 
 from __future__ import annotations
@@ -157,6 +175,9 @@ TARGET_ADVERSARY_SPEEDUP = 2.0
 TARGET_PARALLEL_SPEEDUP = 1.3
 TARGET_DISTRIBUTED_SPEEDUP_N1000 = 5.0
 TARGET_LARGE_N_SPEEDUP = 3.0
+#: A disjoint k>=4 burst healed concurrently must finish in under this
+#: fraction of the sequential round count (latency ~ max, not ~ sum).
+TARGET_CONCURRENT_ROUND_RATIO = 0.6
 #: Smoke mode (CI) only asserts "the fast path is not a regression"; the
 #: sub-1.0 floor absorbs scheduling noise on tiny-n timings (shared runners).
 TARGET_SMOKE_SPEEDUP = 0.7
@@ -893,6 +914,143 @@ def bench_network_delivery(n: int, seed: int = 20090214) -> Dict[str, object]:
     }
 
 
+#: Mixed-traffic rows the ``concurrent_repairs`` gate can add on top of its
+#: always-on core checks: the chaos delivery preset and the byzantine lie
+#: schedule, each over a concurrent burst ("all" in ``--concurrent-schedule``).
+CONCURRENT_GATE_SCHEDULES = ["chaos", "byzantine"]
+
+
+def bench_concurrent_repairs(
+    n: int,
+    schedules: Optional[List[str]] = None,
+    seed: int = 20090214,
+) -> Dict[str, object]:
+    """The concurrent-repair gate (PR 8): epoch-tagged bursts in one fabric.
+
+    Three always-on checks:
+
+    1. **Speedup** — a burst of >= 4 deletions with pairwise-disjoint repair
+       footprints, healed concurrently in one shared ``deliver_round``
+       stream, must finish in under ``TARGET_CONCURRENT_ROUND_RATIO`` of the
+       sequential round count (latency trends to the max of the individual
+       repair latencies, not their sum).
+    2. **Reference twin** — ``delete_batch(concurrency=1)`` must produce
+       bit-identical per-deletion cost reports to sequential ``delete``
+       calls under *every* delivery preset.
+    3. **Silent fixed point** — on the lossless concurrent run, every
+       epoch's background anti-entropy must record an *empty* fixed-point
+       probe (``fixed_point_messages == 0``): once all ``recovery_satisfied``
+       predicates hold, the piggybacked recovery provably goes quiet.
+
+    ``schedules`` adds mixed-traffic rows (the CI ``repair-concurrency``
+    leg passes ``--concurrent-schedule all``): the same burst under the
+    chaos delivery preset (must converge and match the oracle), and under
+    the byzantine lie schedule (accusations scored message-natively — only
+    genuine liars accused, zero false accusations; the oracle diverges by
+    design once liars are quarantined, so it is not consulted).
+    """
+    if schedules is None:
+        schedules = []
+    graph = make_graph("power_law", n, seed=seed)
+    from repro.core.ports import NodeKey
+    from repro.core.views import g_prime_view_of
+    from repro.experiments.sweeps import select_disjoint_victims
+
+    probe = DistributedForgivingGraph.from_graph(graph)
+    degree = g_prime_view_of(probe).degree
+    candidates = [
+        v
+        for v in sorted(probe.alive_nodes, key=lambda v: (-degree[v], NodeKey(v)))
+        if degree[v] >= 3
+    ]
+    # The hubs' footprints blanket a power-law graph; skipping the largest
+    # few leaves enough mutually disjoint repairs to form a real burst.
+    victims = select_disjoint_victims(probe, candidates[5:], limit=8)
+    if len(victims) < 4:
+        victims = select_disjoint_victims(probe, candidates, limit=8)
+
+    # -- 1. speedup: concurrent rounds vs the sequential reference --------- #
+    sequential = DistributedForgivingGraph.from_graph(graph)
+    seq_burst = sequential.delete_batch(victims, concurrency=1)
+    concurrent = DistributedForgivingGraph.from_graph(graph)
+    conc_burst = concurrent.delete_batch(victims, concurrency=None)
+    concurrent.verify_consistency()
+    round_ratio = conc_burst.rounds / max(seq_burst.rounds, 1)
+
+    # -- 3. silent fixed point on the lossless concurrent run -------------- #
+    silent_fixed_point = all(
+        r.recovery is not None and r.recovery.fixed_point_messages == 0
+        for r in conc_burst.reports
+    )
+
+    # -- 2. concurrency=1 bit-identical to sequential deletes, all presets - #
+    identity_rows: List[Dict[str, object]] = []
+    for preset in DELIVERY_PRESETS:
+        batch_healer = DistributedForgivingGraph.from_graph(
+            graph, fault_schedule=fault_schedule(preset, seed=seed)
+        )
+        batch_healer.delete_batch(victims, concurrency=1)
+        loop_healer = DistributedForgivingGraph.from_graph(
+            graph, fault_schedule=fault_schedule(preset, seed=seed)
+        )
+        for victim in victims:
+            loop_healer.delete(victim)
+        identical = [_cost_report_key(r) for r in batch_healer.cost_reports] == [
+            _cost_report_key(r) for r in loop_healer.cost_reports
+        ]
+        identity_rows.append({"preset": preset, "bit_identical": identical})
+
+    # -- optional mixed-traffic rows (the dedicated CI leg) ---------------- #
+    mixed_rows: List[Dict[str, object]] = []
+    for name in schedules:
+        schedule = fault_schedule(name, seed=seed)
+        healer = DistributedForgivingGraph.from_graph(graph, fault_schedule=schedule)
+        burst = healer.delete_batch(victims, concurrency=None)
+        row: Dict[str, object] = {
+            "schedule": name,
+            "waves": burst.waves,
+            "rounds": burst.rounds,
+            "converged": all(r.converged for r in burst.reports),
+        }
+        if schedule.has_byzantine:
+            transcript = healer.network.transcript
+            accused = set(transcript.accused) if transcript is not None else set()
+            row["accused"] = len(accused)
+            row["false_accusations"] = sum(
+                1 for node in accused if not schedule.is_byzantine(node)
+            )
+            row["ok"] = bool(row["converged"] and row["false_accusations"] == 0)
+        else:
+            consistent = True
+            try:
+                healer.verify_consistency()
+            except Exception:
+                consistent = False
+            row["consistent_with_oracle"] = consistent
+            row["ok"] = bool(row["converged"] and consistent)
+        mixed_rows.append(row)
+
+    return {
+        "n": n,
+        "burst_k": len(victims),
+        "sequential_rounds": seq_burst.rounds,
+        "concurrent_rounds": conc_burst.rounds,
+        "concurrent_waves": conc_burst.waves,
+        "round_ratio": round(round_ratio, 3),
+        "silent_fixed_point": silent_fixed_point,
+        "reference_identity": identity_rows,
+        "mixed_traffic": mixed_rows,
+        "ok": bool(
+            len(victims) >= 4
+            and conc_burst.waves == 1
+            and round_ratio < TARGET_CONCURRENT_ROUND_RATIO
+            and silent_fixed_point
+            and all(row["bit_identical"] for row in identity_rows)
+            and all(row["ok"] for row in mixed_rows)
+        ),
+    }
+
+
 def bench_large_n(
     speedup_n: int,
     memory_n: int,
@@ -999,6 +1157,41 @@ def bench_large_n(
     dense_bpn = bytes_per_node(True)
     dict_bpn = bytes_per_node(False)
 
+    # -- transcript: receive-trace retention, default vs trimmed ----------- #
+    # Per-processor receive transcripts dominate retained bytes at large n;
+    # ``receive_trace_limit`` (PR 8) caps them.  Both depths replay the same
+    # attack, so the rows show exactly what trimming the dispute window to
+    # the last few messages saves.
+    from repro.distributed.processor import Processor
+
+    def transcript_row(limit: Optional[int]) -> Dict[str, object]:
+        healer = DistributedForgivingGraph.from_graph(
+            memory_graph, receive_trace_limit=limit
+        )
+        # Hub-focused deletions concentrate repair traffic on the same
+        # processors, so the deepest transcripts genuinely hit the cap.
+        strategy = MaxDegreeDeletion()
+        for _ in range(memory_n // 3):
+            victim = strategy.choose_victim(healer)
+            if victim is None or healer.num_alive <= 3:
+                break
+            healer.delete(victim)
+        network = healer.network
+        retained = sum(len(p.received) for p in network.processors.values())
+        words = sum(
+            message.payload_words
+            for p in network.processors.values()
+            for message in p.received
+        )
+        return {
+            "trace_limit": limit if limit is not None else Processor.RECEIVE_TRACE_LIMIT,
+            "retained_messages": retained,
+            "retained_payload_bytes": words * network._word_bits // 8,
+        }
+
+    transcript_default = transcript_row(None)
+    transcript_trimmed = transcript_row(16)
+
     # -- scale: sharded delete-heavy churn, end-to-end nodes/sec ----------- #
     workers = min(shards, os.cpu_count() or 1)
     start = time.perf_counter()
@@ -1033,6 +1226,17 @@ def bench_large_n(
             "dict_bytes_per_node": round(dict_bpn, 1),
             "ratio": round(dict_bpn / dense_bpn, 2) if dense_bpn else float("inf"),
         },
+        "transcript": {
+            "n": memory_n,
+            "default": transcript_default,
+            "trimmed": transcript_trimmed,
+            "bytes_saved_ratio": round(
+                1
+                - transcript_trimmed["retained_payload_bytes"]
+                / max(transcript_default["retained_payload_bytes"], 1),
+                3,
+            ),
+        },
         "scale": {
             "total_nodes": scale_total,
             "shards": shards,
@@ -1054,6 +1258,7 @@ def build_report(
     fault_presets: Optional[List[str]] = None,
     recovery_presets: Optional[List[str]] = None,
     byzantine_presets: Optional[List[str]] = None,
+    concurrent_schedules: Optional[List[str]] = None,
     large_n_nodes: Optional[int] = None,
     large_n_shards: Optional[int] = None,
 ) -> Dict[str, object]:
@@ -1063,6 +1268,8 @@ def build_report(
         recovery_presets = list(RECOVERY_GATE_PRESETS)
     if byzantine_presets is None:
         byzantine_presets = list(BYZANTINE_GATE_PRESETS)
+    if concurrent_schedules is None:
+        concurrent_schedules = []
     if smoke:
         sizes = [300]
         sweep_sizes = [120]
@@ -1071,6 +1278,7 @@ def build_report(
         recovery_sizes = [80]
         byzantine_sizes = [80]
         delivery_sizes = [150]
+        concurrent_sizes = [80]
         large_n = {"speedup_n": 200, "memory_n": 150, "scale_total": 600, "shards": 3}
     elif quick:
         sizes = [100, 1000]
@@ -1080,6 +1288,7 @@ def build_report(
         recovery_sizes = [100]
         byzantine_sizes = [100]
         delivery_sizes = [100, 1000]
+        concurrent_sizes = [120]
         large_n = {"speedup_n": 1000, "memory_n": 500, "scale_total": 20_000, "shards": 2}
     else:
         sizes = [100, 1000, 5000]
@@ -1089,6 +1298,7 @@ def build_report(
         recovery_sizes = [100, 400]
         byzantine_sizes = [100, 400]
         delivery_sizes = [100, 1000]
+        concurrent_sizes = [120, 400]
         large_n = {
             "speedup_n": 5000,
             "memory_n": 2000,
@@ -1199,6 +1409,21 @@ def build_report(
             f"-> {row['speedup']}x"
         )
         delivery_rows.append(row)
+    concurrent_rows: List[Dict[str, object]] = []
+    for n in concurrent_sizes:
+        print(
+            f"[concurrent_repairs] n={n} "
+            f"schedules={','.join(concurrent_schedules) or 'none'} ...",
+            flush=True,
+        )
+        row = bench_concurrent_repairs(n, schedules=concurrent_schedules)
+        print(
+            f"  {'ok' if row['ok'] else 'FAILED'}; k={row['burst_k']} burst "
+            f"{row['sequential_rounds']} -> {row['concurrent_rounds']} rounds "
+            f"(ratio {row['round_ratio']}), fixed point "
+            f"{'silent' if row['silent_fixed_point'] else 'NOISY'}"
+        )
+        concurrent_rows.append(row)
     print(
         f"[large_n] speedup_n={large_n['speedup_n']} scale={large_n['scale_total']}"
         f"x{large_n['shards']} shards ...",
@@ -1232,6 +1457,7 @@ def build_report(
             "network_delivery_smoke": all(
                 r["speedup"] >= TARGET_SMOKE_SPEEDUP for r in delivery_rows
             ),
+            "concurrent_repairs": all(r["ok"] for r in concurrent_rows),
             "large_n_smoke": (
                 large_n_row["speedup"]["speedup"] >= TARGET_SMOKE_SPEEDUP
                 and all(large_n_row["speedup"]["equivalent"].values())
@@ -1269,6 +1495,7 @@ def build_report(
             "network_delivery": all(
                 r["speedup"] >= TARGET_SMOKE_SPEEDUP for r in delivery_rows
             ),
+            "concurrent_repairs": all(r["ok"] for r in concurrent_rows),
             "large_n_speedup": (
                 large_n_row["speedup"]["speedup"] >= TARGET_LARGE_N_SPEEDUP
             ),
@@ -1287,11 +1514,12 @@ def build_report(
             # merge/recovery gates are boolean correctness gates (no
             # threshold to record).
             "network_delivery_min_speedup": TARGET_SMOKE_SPEEDUP,
+            "concurrent_max_round_ratio": TARGET_CONCURRENT_ROUND_RATIO,
             "large_n_min_speedup": TARGET_LARGE_N_SPEEDUP,
         }
 
     return {
-        "schema": "bench_perf/v7",
+        "schema": "bench_perf/v8",
         "generated_by": "scripts/perf_report.py" + (" --smoke" if smoke else ""),
         "scipy_backend": HAVE_SCIPY,
         "cpus": os.cpu_count(),
@@ -1304,6 +1532,7 @@ def build_report(
         "message_native_recovery": recovery_rows,
         "byzantine_containment": byzantine_rows,
         "network_delivery": delivery_rows,
+        "concurrent_repairs": concurrent_rows,
         "large_n": large_n_row,
         "targets": targets,
         "targets_met": targets_met,
@@ -1348,6 +1577,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"replays ('all' = {', '.join(BYZANTINE_GATE_PRESETS)}; 'none' "
         "skips the gate — the generic CI smoke legs skip it, the "
         "dedicated byzantine leg runs the full matrix)",
+    )
+    parser.add_argument(
+        "--concurrent-schedule",
+        default="none",
+        help="comma-separated mixed-traffic rows the concurrent_repairs gate "
+        f"adds ('all' = {', '.join(CONCURRENT_GATE_SCHEDULES)}; 'none' runs "
+        "only the core speedup/bit-identity/silent-fixed-point checks — the "
+        "generic CI smoke legs; the dedicated repair-concurrency leg passes "
+        "'all')",
     )
     parser.add_argument(
         "--large-n-nodes",
@@ -1405,6 +1643,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         BYZANTINE_GATE_PRESETS,
         BYZANTINE_PRESETS,
     )
+    concurrent_schedules = parse_presets(
+        args.concurrent_schedule,
+        "--concurrent-schedule",
+        CONCURRENT_GATE_SCHEDULES,
+        {name: name for name in CONCURRENT_GATE_SCHEDULES},
+    )
 
     output = args.output
     if output is None:
@@ -1418,6 +1662,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         fault_presets=fault_presets,
         recovery_presets=recovery_presets,
         byzantine_presets=byzantine_presets,
+        concurrent_schedules=concurrent_schedules,
         large_n_nodes=args.large_n_nodes,
         large_n_shards=args.large_n_shards,
     )

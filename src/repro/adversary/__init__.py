@@ -29,7 +29,14 @@ from .strategies import (
     available_deletion_strategies,
     make_deletion_strategy,
 )
-from .schedule import AttackEvent, AttackSchedule, churn_schedule, deletion_only_schedule, insertion_burst_schedule
+from .schedule import (
+    AttackEvent,
+    AttackSchedule,
+    churn_schedule,
+    deletion_burst_schedule,
+    deletion_only_schedule,
+    insertion_burst_schedule,
+)
 
 __all__ = [
     "Adversary",
@@ -54,6 +61,7 @@ __all__ = [
     "AttackEvent",
     "AttackSchedule",
     "churn_schedule",
+    "deletion_burst_schedule",
     "deletion_only_schedule",
     "insertion_burst_schedule",
 ]

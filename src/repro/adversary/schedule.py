@@ -16,7 +16,7 @@ from typing import Callable, Iterator, List, Optional, Union
 import numpy as np
 
 from ..core.errors import ConfigurationError
-from ..core.ports import NodeId
+from ..core.ports import NodeId, NodeKey
 from ..core.views import g_prime_view_of
 from .strategies import (
     DeletionStrategy,
@@ -30,6 +30,7 @@ __all__ = [
     "AttackSchedule",
     "deletion_only_schedule",
     "churn_schedule",
+    "deletion_burst_schedule",
     "insertion_burst_schedule",
 ]
 
@@ -47,12 +48,16 @@ class AttackEvent:
     """One adversarial move, after it has been applied to a healer."""
 
     step: int
-    kind: str  # "insert" | "delete"
+    kind: str  # "insert" | "delete" | "burst_delete"
     node: NodeId
     #: Attachment points for insertions, empty for deletions.
     attached_to: tuple = ()
-    #: Degree of the victim in ``G'`` at deletion time (deletions only).
+    #: Degree of the victim in ``G'`` at deletion time (deletions only; the
+    #: maximum over the burst for ``burst_delete``).
     victim_degree: int = 0
+    #: Every victim of a ``burst_delete`` move, in deletion order (``node``
+    #: is the first of them); empty for single moves.
+    victims: tuple = ()
 
 
 @dataclass
@@ -71,9 +76,15 @@ class AttackSchedule:
     min_survivors:
         The adversary stops deleting once this few nodes remain, so
         experiments never run the graph down to nothing.
+    burst_size:
+        Victims removed per deletion step.  ``1`` keeps the classic
+        one-move-per-round adversary; larger values hand each deletion step
+        a whole burst, played through :meth:`healer.delete_batch` when the
+        healer offers one (the distributed layer's concurrent repair
+        machine) and as back-to-back single deletions otherwise.
     seed:
-        Seed controlling the insert/delete coin flips (strategies hold their
-        own generators).
+        Seed controlling the insert/delete coin flips and burst victim
+        sampling (strategies hold their own generators).
     """
 
     steps: int
@@ -81,6 +92,7 @@ class AttackSchedule:
     insertion_strategy: InsertionStrategy = field(default_factory=RandomInsertion)
     delete_probability: float = 1.0
     min_survivors: int = 2
+    burst_size: int = 1
     seed: SeedLike = None
 
     def __post_init__(self) -> None:
@@ -90,6 +102,8 @@ class AttackSchedule:
             raise ConfigurationError("delete_probability must lie in [0, 1]")
         if self.min_survivors < 0:
             raise ConfigurationError("min_survivors must be non-negative")
+        if self.burst_size < 1:
+            raise ConfigurationError("burst_size must be at least 1")
 
     def play(self, healer) -> Iterator[AttackEvent]:
         """Play the schedule one move at a time, yielding each applied event.
@@ -106,7 +120,10 @@ class AttackSchedule:
             do_delete = rng.random() < self.delete_probability
             event: Optional[AttackEvent] = None
             if do_delete and healer.num_alive > self.min_survivors:
-                event = self._play_deletion(step, healer)
+                if self.burst_size > 1:
+                    event = self._play_burst(step, healer, rng)
+                else:
+                    event = self._play_deletion(step, healer)
             if event is None:
                 if self.delete_probability >= 1.0:
                     # A pure-deletion attack is over once the survivor floor
@@ -144,6 +161,38 @@ class AttackSchedule:
         victim_degree = g_prime_view_of(healer).degree[victim]
         healer.delete(victim)
         return AttackEvent(step=step, kind="delete", node=victim, victim_degree=victim_degree)
+
+    def _play_burst(self, step: int, healer, rng: np.random.Generator) -> Optional[AttackEvent]:
+        """Delete up to ``burst_size`` distinct victims as one adversarial move.
+
+        Victims are sampled without replacement from the canonically sorted
+        survivor list (deterministic under a fixed seed regardless of the
+        healer's set iteration order).  A healer exposing ``delete_batch``
+        gets the whole burst at once — the distributed layer's concurrent
+        repair machine decides there how much of it runs in parallel —
+        while any other healer plays it as back-to-back single deletions.
+        """
+        alive = sorted(healer.alive_nodes, key=NodeKey)
+        k = min(self.burst_size, healer.num_alive - self.min_survivors)
+        if not alive or k < 1:
+            return None
+        indices = rng.choice(len(alive), size=min(k, len(alive)), replace=False)
+        victims = [alive[int(i)] for i in sorted(int(i) for i in indices)]
+        degree_view = g_prime_view_of(healer).degree
+        degrees = [degree_view[victim] for victim in victims]
+        batch = getattr(healer, "delete_batch", None)
+        if batch is not None:
+            batch(victims)
+        else:
+            for victim in victims:
+                healer.delete(victim)
+        return AttackEvent(
+            step=step,
+            kind="burst_delete",
+            node=victims[0],
+            victim_degree=max(degrees),
+            victims=tuple(victims),
+        )
 
     def _play_insertion(self, step: int, healer, fresh_ids: Iterator[NodeId]) -> Optional[AttackEvent]:
         attachments = self.insertion_strategy.choose_attachments(healer)
@@ -196,6 +245,27 @@ def churn_schedule(
         insertion_strategy=insertion_strategy if insertion_strategy is not None else RandomInsertion(seed=seed),
         delete_probability=delete_probability,
         min_survivors=min_survivors,
+        seed=seed,
+    )
+
+
+def deletion_burst_schedule(
+    steps: int,
+    burst_size: int,
+    min_survivors: int = 2,
+    seed: SeedLike = None,
+) -> AttackSchedule:
+    """Pure deletions, ``burst_size`` victims per step (concurrent-repair workload).
+
+    Victim sampling is uniform without replacement per step; against the
+    distributed healer each burst lands through ``delete_batch`` so repairs
+    with disjoint footprints share the message fabric.
+    """
+    return AttackSchedule(
+        steps=steps,
+        delete_probability=1.0,
+        min_survivors=min_survivors,
+        burst_size=burst_size,
         seed=seed,
     )
 

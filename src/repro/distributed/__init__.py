@@ -30,11 +30,16 @@ Lemma 4).  This package provides
 * :mod:`repro.distributed.recovery` — the gossip-digest anti-entropy
   recovery: participants gossip compact digests of their own repair state
   and retransmit only what their neighbours' digests show missing, with
-  its own :class:`RecoveryCostReport` cost ledger,
+  its own :class:`RecoveryCostReport` cost ledger; the same protocol
+  re-cut as the per-epoch :class:`BackgroundRecovery` state machine for
+  concurrent bursts,
 * :mod:`repro.distributed.simulator` — :class:`DistributedForgivingGraph`,
   a drop-in healer that runs every repair through the message-passing
-  substrate, reports per-deletion communication costs, and reconverges
-  after injected faults.
+  substrate, reports per-deletion communication costs, reconverges after
+  injected faults, and heals deletion *bursts* concurrently
+  (:meth:`~DistributedForgivingGraph.delete_batch`: disjoint-footprint
+  waves of epoch-tagged repairs in one shared delivery stream, summarized
+  per burst by :class:`BurstCostReport`).
 
 The merge *and* the recovery are message-native: the healed structure is
 decided by the merge leader from the descriptors that physically arrived
@@ -86,6 +91,7 @@ from .messages import (
     Probe,
 )
 from .metrics import (
+    BurstCostReport,
     ByzantineReport,
     DeletionCostReport,
     MetricsWindow,
@@ -95,7 +101,7 @@ from .metrics import (
 )
 from .network import Network
 from .processor import EdgeRecord, Processor, RepairContext
-from .recovery import run_recovery
+from .recovery import BackgroundRecovery, run_recovery
 from .simulator import DistributedForgivingGraph, ReconvergenceReport
 
 __all__ = [
@@ -119,7 +125,9 @@ __all__ = [
     "MetricsWindow",
     "DeletionCostReport",
     "RecoveryCostReport",
+    "BurstCostReport",
     "run_recovery",
+    "BackgroundRecovery",
     "DistributedForgivingGraph",
     "ReconvergenceReport",
     "FaultSchedule",

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..analysis.bounds import repair_message_bound, repair_time_bound
 from ..core.ports import NodeId
@@ -35,6 +35,7 @@ from ..core.ports import NodeId
 __all__ = [
     "MetricsWindow",
     "NetworkMetrics",
+    "BurstCostReport",
     "DeletionCostReport",
     "RecoveryCostReport",
     "ByzantineReport",
@@ -123,6 +124,11 @@ class NetworkMetrics:
     bits_sent_by_node: Dict[NodeId, int] = field(default_factory=lambda: defaultdict(int))
     #: The currently open per-repair window (``None`` between repairs).
     window: Optional[MetricsWindow] = None
+    #: Concurrently open per-epoch windows, keyed by the repair's victim
+    #: (every repair-protocol message carries ``deleted``, so the victim IS
+    #: the epoch tag).  Empty outside ``delete_batch``; the sequential path
+    #: never touches this dict.
+    epoch_windows: Dict[object, MetricsWindow] = field(default_factory=dict)
 
     def begin_window(self) -> MetricsWindow:
         """Open (and return) a fresh per-repair window; replaces any open one."""
@@ -135,7 +141,17 @@ class NetworkMetrics:
         self.window = None
         return window
 
-    def record_message(self, sender: NodeId, kind: str, bits: int) -> None:
+    def begin_epoch_window(self, key: object) -> MetricsWindow:
+        """Open a window attributed to one repair epoch (keyed by victim)."""
+        window = MetricsWindow()
+        self.epoch_windows[key] = window
+        return window
+
+    def end_epoch_window(self, key: object) -> MetricsWindow:
+        """Close one epoch window (empty window if the key was never opened)."""
+        return self.epoch_windows.pop(key, None) or MetricsWindow()
+
+    def record_message(self, sender: NodeId, kind: str, bits: int, epoch: object = None) -> None:
         """Account for one sent message."""
         self.total_messages += 1
         self.total_bits += bits
@@ -145,6 +161,10 @@ class NetworkMetrics:
         self.bits_sent_by_node[sender] += bits
         if self.window is not None:
             self.window.record_message(sender, bits, kind=kind)
+        if self.epoch_windows:
+            epoch_window = self.epoch_windows.get(epoch)
+            if epoch_window is not None:
+                epoch_window.record_message(sender, bits, kind=kind)
 
     def record_rounds(self, rounds: int) -> None:
         """Account for ``rounds`` parallel communication rounds."""
@@ -152,11 +172,15 @@ class NetworkMetrics:
         if self.window is not None:
             self.window.record_rounds(rounds)
 
-    def record_dropped(self, count: int = 1) -> None:
+    def record_dropped(self, count: int = 1, epoch: object = None) -> None:
         """Account for messages lost to fault injection (or discarded loudly)."""
         self.total_dropped += count
         if self.window is not None:
             self.window.record_dropped(count)
+        if self.epoch_windows:
+            epoch_window = self.epoch_windows.get(epoch)
+            if epoch_window is not None:
+                epoch_window.record_dropped(count)
 
     def max_messages_per_node(self) -> int:
         """The busiest single node's message count (success metric 3 of Figure 1)."""
@@ -229,6 +253,12 @@ class RecoveryCostReport:
     #: leftover traffic was discarded *loudly* instead of leaking into the
     #: next repair).
     in_flight_leftover: int = 0
+    #: Messages emitted by the first anti-entropy sweep run *after* every
+    #: participant's ``recovery_satisfied`` predicate already held — the
+    #: fixed-point probe.  The silent-protocol property says this is 0 on
+    #: the lossless path (recorded only by the background/piggyback driver;
+    #: -1 means the probe never ran, e.g. the standalone ``run_recovery``).
+    fixed_point_messages: int = -1
 
     @property
     def digest_message_budget(self) -> float:
@@ -266,6 +296,7 @@ class RecoveryCostReport:
             "retransmission_bits": self.retransmission_bits,
             "dropped": self.dropped,
             "in_flight_leftover": self.in_flight_leftover,
+            "fixed_point_messages": self.fixed_point_messages,
         }
 
 
@@ -450,5 +481,50 @@ class DeletionCostReport:
             "accusations": self.byzantine.accusations if self.byzantine else 0,
             "containment_radius": (
                 self.byzantine.max_containment_radius if self.byzantine else 0
+            ),
+        }
+
+
+@dataclass
+class BurstCostReport:
+    """Cost of one ``delete_batch`` call (a burst of overlapping deletions).
+
+    The headline claim of the concurrent driver is that a burst of ``k``
+    disjoint-footprint deletions costs ~max, not ~sum, of the individual
+    repair latencies: ``rounds`` counts *shared* delivery rounds (all
+    repairs of a wave interleave in the same ``deliver_round`` stream, so a
+    wave's rounds are paid once no matter how many repairs ride it), while
+    the per-victim :class:`DeletionCostReport`\\ s in ``reports`` still carry
+    exact per-epoch message/bit attribution from their epoch windows.
+    """
+
+    victims: Tuple[NodeId, ...]
+    #: The admission cap the burst ran under (``None`` = unbounded).
+    concurrency: Optional[int]
+    #: Number of admission waves the burst took (1 when every footprint was
+    #: pairwise disjoint; overlapping footprints queue into later waves).
+    waves: int
+    #: Total shared delivery rounds across all waves (repair + background
+    #: anti-entropy).
+    rounds: int
+    #: Per-victim reports in admission order (wave by wave).
+    reports: List[DeletionCostReport] = field(default_factory=list)
+    #: How many repairs each wave admitted, in order.
+    wave_sizes: Tuple[int, ...] = ()
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten to a dict for the table reporters."""
+        return {
+            "victims": len(self.victims),
+            "concurrency": self.concurrency if self.concurrency is not None else "inf",
+            "waves": self.waves,
+            "rounds": self.rounds,
+            "messages": sum(r.messages for r in self.reports),
+            "bits": sum(r.bits for r in self.reports),
+            "dropped_messages": sum(r.dropped_messages for r in self.reports),
+            "converged": all(r.converged for r in self.reports),
+            "fixed_point_messages": max(
+                (r.recovery.fixed_point_messages for r in self.reports if r.recovery),
+                default=-1,
             ),
         }

@@ -345,8 +345,14 @@ class Network:
         fault_schedule: Optional[FaultSchedule] = None,
         accountability: bool = True,
         dense: bool = True,
+        receive_trace_limit: Optional[int] = None,
     ) -> None:
         self.processors: Dict[NodeId, Processor] = {}
+        #: Per-processor receive-transcript depth (``None`` = the class
+        #: default ``Processor.RECEIVE_TRACE_LIMIT``).  Transcripts dominate
+        #: bytes/node at large n, so deployments that only need the dispute
+        #: window can shrink it (the ``large_n`` BENCH section reports both).
+        self.receive_trace_limit = receive_trace_limit
         #: When True (default) the dense-int hot core stores the topology
         #: (interned ids, flat adjacency, packed link keys) and processors
         #: use the struct-of-arrays Table 1 store; ``dense=False`` selects
@@ -412,7 +418,11 @@ class Network:
         """Create (or return) the processor with identifier ``node``."""
         processor = self.processors.get(node)
         if processor is None:
-            processor = Processor(node, dense_records=self.dense)
+            processor = Processor(
+                node,
+                dense_records=self.dense,
+                receive_trace_limit=self.receive_trace_limit,
+            )
             processor.network = self
             self.processors[node] = processor
             self._topology.ensure_node(node)
@@ -615,6 +625,9 @@ class Network:
         # exactly (same formula, log cached per topology change instead of
         # recomputed per message); the batched-vs-reference equivalence
         # checks compare the resulting bit counts verbatim.
+        # Epoch attribution: every repair-protocol message carries the
+        # ``deleted`` victim it serves, which keys the per-epoch windows the
+        # concurrent batch driver opens (no-op outside ``delete_batch``).
         self.metrics.record_message(
             sender=message.sender,
             kind=message.kind,
@@ -623,6 +636,7 @@ class Network:
                 if self.batched_delivery
                 else message.size_bits(max(self.n_ever, 2))
             ),
+            epoch=getattr(message, "deleted", None),
         )
 
     def deliver_round(self) -> int:
@@ -671,7 +685,7 @@ class Network:
                 if sender != receiver:
                     fate = schedule.judge(sender, receiver)
                     if fate < 0:
-                        self.metrics.record_dropped()
+                        self.metrics.record_dropped(epoch=getattr(message, "deleted", None))
                         continue
                     if fate > 0:
                         self._delayed.append((self._round + fate, message))
@@ -726,7 +740,7 @@ class Network:
                 if message.sender != message.receiver:
                     fate = schedule.judge(message.sender, message.receiver)
                     if fate < 0:
-                        self.metrics.record_dropped()
+                        self.metrics.record_dropped(epoch=getattr(message, "deleted", None))
                         continue
                     if fate > 0:
                         self._delayed.append((self._round + fate, message))
@@ -765,9 +779,32 @@ class Network:
         """
         count = len(self._outbox) + len(self._delayed)
         if count:
-            self.metrics.record_dropped(count)
+            if self.metrics.epoch_windows:
+                for message in self._outbox:
+                    self.metrics.record_dropped(epoch=getattr(message, "deleted", None))
+                for _, message in self._delayed:
+                    self.metrics.record_dropped(epoch=getattr(message, "deleted", None))
+            else:
+                self.metrics.record_dropped(count)
         self._outbox.clear()
         self._delayed.clear()
+        return count
+
+    def in_flight_for(self, victim: NodeId) -> int:
+        """Queued + fault-delayed messages belonging to ``victim``'s repair.
+
+        The concurrent batch driver uses this as the per-epoch quiescence
+        test (a repair's own traffic has drained even while its wave
+        siblings are still talking).  O(in-flight) per call — the queues at
+        these scales are short-lived round buffers.
+        """
+        count = 0
+        for message in self._outbox:
+            if getattr(message, "deleted", None) == victim:
+                count += 1
+        for _, message in self._delayed:
+            if getattr(message, "deleted", None) == victim:
+                count += 1
         return count
 
     # ------------------------------------------------------------------ #

@@ -441,17 +441,28 @@ class Processor:
     #: How many recent messages :attr:`received` retains per processor.
     RECEIVE_TRACE_LIMIT = 128
 
-    def __init__(self, node_id: NodeId, dense_records: bool = True) -> None:
+    def __init__(
+        self,
+        node_id: NodeId,
+        dense_records: bool = True,
+        receive_trace_limit: Optional[int] = None,
+    ) -> None:
         self.node_id = node_id
         #: One record per ``G'`` edge, keyed by the neighbour's identifier.
         #: Flat struct-of-arrays columns by default (PR 7); the seed-era
         #: dataclass-per-edge layout is the retained reference twin.
         self.edges = DenseEdgeTable() if dense_records else DictEdgeTable()
+        #: Transcript depth for this processor (constructor-tunable because
+        #: retained traces dominate bytes/node at large n; ``None`` keeps
+        #: the class default).
+        self.receive_trace_limit = (
+            self.RECEIVE_TRACE_LIMIT if receive_trace_limit is None else receive_trace_limit
+        )
         #: The most recent messages received, in arrival order (a bounded
         #: trace for tests/debugging — an unbounded log would dominate
         #: memory over long sessions, since every repair and retransmission
         #: lands here).  Totals live in :attr:`received_by_kind`.
-        self.received: Deque[Message] = deque(maxlen=self.RECEIVE_TRACE_LIMIT)
+        self.received: Deque[Message] = deque(maxlen=self.receive_trace_limit)
         #: Messages received per kind (cheap counters for assertions).
         self.received_by_kind: Dict[str, int] = {}
         #: Back-reference set by :meth:`Network.add_processor`; lets message

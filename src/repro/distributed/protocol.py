@@ -74,7 +74,7 @@ from .messages import AnchorLink, DeletionNotice, Probe
 from .network import Network
 from .processor import RepairContext, SpineRole
 
-__all__ = ["RepairPlan", "plan_repair", "execute_repair"]
+__all__ = ["RepairPlan", "plan_repair", "seed_repair", "execute_repair"]
 
 
 @dataclass
@@ -301,40 +301,36 @@ def _primary_root_count(rt: ReconstructionTree) -> int:
     return bin(max(rt.size, 1)).count("1")
 
 
-def execute_repair(network: Network, plan: RepairPlan) -> int:
-    """Run the repair of ``plan.victim`` as messages on ``network``.
+def seed_repair(network: Network, plan: RepairPlan) -> List[NodeId]:
+    """Install ``plan``'s contexts and fire its Phase 0/1 seeding.
 
-    Must be called after the victim's processor has been removed.  The
-    engine is *not* consulted: participants act on the installed contexts
-    and on what they receive.  Returns the number of communication rounds
-    the repair used.
+    This is the non-reactive prefix of a repair: context installation,
+    out-of-band deletion notices, BT_v formation (Algorithm A.3) and the
+    first probe hop of every spine (Algorithm A.5).  Everything after this
+    is reactive — processors respond to what they receive, or act on their
+    deadlines — so several seeded repairs can share one round loop: every
+    message carries ``deleted=plan.victim`` as its epoch tag and every
+    handler keys its state by that victim, so interleaved traffic from
+    other epochs never collides.  A scaffold must already be open on
+    ``network``.  Returns the live participants.
     """
     victim = plan.victim
     participants = [node for node in plan.contexts if network.has_processor(node)]
     for node in participants:
         network.processors[node].install_repair(plan.contexts[node])
 
-    network.begin_scaffold()
-
-    # ------------------------------------------------------------------ #
-    # Phase 0 — notification (1 round): the victim's neighbours detect the
-    # failure locally (the model of Figure 1 informs them for free, so this
-    # is delivered out of band and is fault-exempt); anchors likewise apply
+    # Phase 0 — notification: the victim's neighbours detect the failure
+    # locally (the model of Figure 1 informs them for free, so this is
+    # delivered out of band and is fault-exempt); anchors likewise apply
     # their local strip knowledge, since their fragments are adjacent to
     # the failure.
-    # ------------------------------------------------------------------ #
     for neighbor in plan.neighbors:
         if network.has_processor(neighbor):
             network.processors[neighbor].receive(
                 DeletionNotice(sender=neighbor, receiver=neighbor, deleted=victim)
             )
-    rounds = 1
 
-    # ------------------------------------------------------------------ #
-    # Phase 1 seeding — BT_v formation (Algorithm A.3) and the first probe
-    # hop of every spine (Algorithm A.5).  Everything after this is reactive:
-    # processors respond to what they receive, or act on their deadlines.
-    # ------------------------------------------------------------------ #
+    # Phase 1 seeding — BT_v formation and the first probe hops.
     for parent, child in plan.bt_edges:
         if network.has_processor(parent) and network.has_processor(child):
             network.scaffold_link(parent, child)
@@ -364,6 +360,22 @@ def execute_repair(network: Network, plan: RepairPlan) -> int:
                     rt_index=rt_index,
                 )
             )
+    return participants
+
+
+def execute_repair(network: Network, plan: RepairPlan) -> int:
+    """Run the repair of ``plan.victim`` as messages on ``network``.
+
+    Must be called after the victim's processor has been removed.  The
+    engine is *not* consulted: participants act on the installed contexts
+    and on what they receive.  Returns the number of communication rounds
+    the repair used.  This is the retained one-repair-at-a-time reference;
+    ``simulator.delete_batch`` drives the same :func:`seed_repair` prefix
+    for several plans inside one shared round loop.
+    """
+    network.begin_scaffold()
+    participants = seed_repair(network, plan)
+    rounds = 1
 
     # ------------------------------------------------------------------ #
     # The synchronous round loop: deliver, then fire deadline timers.

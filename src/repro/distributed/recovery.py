@@ -61,18 +61,160 @@ away.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..core.ports import NodeId
 from .metrics import DIGEST_KINDS, MetricsWindow, RecoveryCostReport
 from .network import Network
 
-__all__ = ["run_recovery"]
+__all__ = ["BackgroundRecovery", "run_recovery"]
 
 
 def _non_digest_messages(window: MetricsWindow) -> int:
     """Retransmission traffic recorded so far: everything that is not a digest."""
     return window.messages - window.count_for_kinds(DIGEST_KINDS)
+
+
+class BackgroundRecovery:
+    """Piggybacked anti-entropy for one repair inside a *shared* round loop.
+
+    :func:`run_recovery` is a standalone post-hoc phase: it owns the round
+    loop, sweeps, drains, and returns.  The concurrent batch driver
+    (``DistributedForgivingGraph.delete_batch``) cannot hand any single
+    repair the loop — several repairs interleave in the same
+    ``Network.deliver_round`` stream — so this class is the same gossip
+    protocol re-cut as a per-repair state machine the driver polls once per
+    shared round.  Digest chunks ride the live fabric alongside other
+    epochs' probes and reports (byzantine lies and delivery faults hit the
+    mixed traffic), and each instance paces itself off its *own* epoch's
+    quiescence: a sweep is emitted only when ``in_flight_for(victim)`` is
+    zero, so acknowledgements from the previous chunked exchange have
+    landed before the residue is re-offered.
+
+    The silent-protocol property is made explicit: the first sweep emitted
+    *after* every live participant's ``recovery_satisfied`` predicate holds
+    is the **fixed-point probe**, and its emission count is recorded as
+    ``fixed_point_messages``.  On the lossless path the probe provably
+    emits nothing (every obligation a predicate waives or confirms is
+    exactly what ``recovery_tick`` would re-offer), which the
+    ``concurrent_repairs`` perf gate asserts as ``== 0``.
+    """
+
+    #: Consecutive quiet-but-unsatisfied polls tolerated before giving up
+    #: loudly (cannot happen for live participants — an unsatisfied
+    #: obligation towards a live peer always re-offers — but a guard beats
+    #: an infinite loop if that invariant ever breaks).
+    MAX_STALLS = 3
+
+    def __init__(
+        self,
+        network: Network,
+        *,
+        victim: NodeId,
+        participants: Sequence[NodeId],
+        degree: int,
+        n_ever: int,
+        deadline: int,
+        max_sweeps: int = 40,
+        on_start: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.network = network
+        self.victim = victim
+        self.participants = list(participants)
+        self.degree = degree
+        self.n_ever = n_ever
+        #: The repair's ``plan.max_deadline``: anti-entropy stays quiet
+        #: until the repair-phase timers have all had their chance to fire.
+        self.deadline = deadline
+        self.max_sweeps = max_sweeps
+        #: Invoked once, just before the first sweep's sends — the batch
+        #: driver uses it to roll the victim's epoch window over from
+        #: repair attribution to recovery attribution.
+        self.on_start = on_start
+        self.started = False
+        self.start_round = 0
+        self.end_round = 0
+        self.sweeps = 0
+        self.stalls = 0
+        self.fixed_point_messages = -1
+        self.converged = False
+        self.finished = False
+
+    def finish(self, shared_round: int) -> None:
+        """Stop the machine (converged or not) at ``shared_round``."""
+        self.end_round = shared_round
+        self.finished = True
+
+    def step(self, shared_round: int) -> int:
+        """Poll once at ``shared_round``; returns how many messages were sent.
+
+        A no-op while the repair phase is still inside its deadline or while
+        this epoch's own traffic is in flight; otherwise emits one gossip
+        sweep (every live participant's ``recovery_tick`` residue).
+        """
+        if self.finished or shared_round < self.deadline:
+            return 0
+        if self.network.in_flight_for(self.victim):
+            return 0
+        if not self.started:
+            self.started = True
+            self.start_round = shared_round
+            if self.on_start is not None:
+                self.on_start()
+        satisfied = all(
+            self.network.processors[node].recovery_satisfied(self.victim)
+            for node in self.participants
+            if node in self.network.processors
+        )
+        emitted = 0
+        for node in self.participants:
+            processor = self.network.processors.get(node)
+            if processor is None:
+                continue  # crashed or quarantined; its knowledge died with it
+            for message in processor.recovery_tick(self.victim):
+                self.network.send(message)
+                emitted += 1
+        if satisfied:
+            if self.fixed_point_messages < 0:
+                self.fixed_point_messages = emitted
+            if emitted == 0:
+                self.converged = True
+                self.finish(shared_round)
+                return 0
+        if emitted:
+            self.stalls = 0
+            self.sweeps += 1
+            if self.sweeps >= self.max_sweeps:
+                self.finish(shared_round)
+        else:
+            self.stalls += 1
+            if self.stalls >= self.MAX_STALLS:
+                self.finish(shared_round)
+        return emitted
+
+    def report(self, window: MetricsWindow, leftover: int = 0) -> RecoveryCostReport:
+        """Build this epoch's ledger from its closed recovery window.
+
+        ``leftover`` is this epoch's in-flight count at the moment the
+        driver gave up (measured *before* the loud discard, which is global
+        across the wave).
+        """
+        return RecoveryCostReport(
+            victim=self.victim,
+            degree=self.degree,
+            n_ever=self.n_ever,
+            converged=self.converged,
+            sweeps=self.sweeps,
+            rounds=max(self.end_round - self.start_round, 0) if self.started else 0,
+            digest_messages=window.count_for_kinds(DIGEST_KINDS),
+            digest_bits=window.bits_for_kinds(DIGEST_KINDS),
+            max_message_bits=window.max_message_bits,
+            retransmissions=_non_digest_messages(window),
+            retransmission_bits=window.bits - window.bits_for_kinds(DIGEST_KINDS),
+            dropped=window.dropped,
+            in_flight_leftover=leftover,
+            fixed_point_messages=self.fixed_point_messages,
+        )
 
 
 def run_recovery(

@@ -66,6 +66,7 @@ exposes the degree-touch journal the incremental adversaries consume, and
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -78,10 +79,16 @@ from ..core.reconstruction_tree import RTHelper, RTLeaf
 from .faults import FaultSchedule
 from .merge import link_source_key, real_source_key
 from .messages import HelperAssignment, InsertionNotice, ParentUpdate, PrimaryRootList, Probe
-from .metrics import ByzantineReport, DeletionCostReport, RecoveryCostReport
+from .metrics import (
+    BurstCostReport,
+    ByzantineReport,
+    DeletionCostReport,
+    MetricsWindow,
+    RecoveryCostReport,
+)
 from .network import Network
-from .protocol import RepairPlan, execute_repair, plan_repair
-from .recovery import run_recovery
+from .protocol import RepairPlan, execute_repair, plan_repair, seed_repair
+from .recovery import BackgroundRecovery, run_recovery
 
 __all__ = ["DistributedForgivingGraph", "ReconvergenceReport"]
 
@@ -181,6 +188,14 @@ class DistributedForgivingGraph:
         that follows provably runs on gossip digests alone.  Used by the
         perf report's ``message_native_recovery`` gate and the tests; the
         plan-based :meth:`_audit_reference` naturally raises under it.
+    repair_concurrency:
+        Default admission cap for :meth:`delete_batch`: ``1`` pins the
+        sequential reference path, ``None`` (default) admits every
+        pairwise-disjoint repair of a burst concurrently.
+    receive_trace_limit:
+        Per-processor receive-transcript depth (``None`` keeps
+        ``Processor.RECEIVE_TRACE_LIMIT``); threaded through the network to
+        every processor it creates.
     """
 
     name = "distributed_forgiving_graph"
@@ -193,20 +208,32 @@ class DistributedForgivingGraph:
         quarantine_oracle: bool = False,
         quarantine_plan_audit: bool = False,
         dense: bool = True,
+        repair_concurrency: Optional[int] = None,
+        receive_trace_limit: Optional[int] = None,
     ) -> None:
         self._engine = ForgivingGraph(check_invariants=check_invariants)
         #: ``dense=False`` selects the retained seed-era object-dict network
         #: core (the equivalence/benchmark twin of the dense-int hot core).
         self.network = Network(
-            strict_links=True, fault_schedule=fault_schedule, dense=dense
+            strict_links=True,
+            fault_schedule=fault_schedule,
+            dense=dense,
+            receive_trace_limit=receive_trace_limit,
         )
         #: One cost report per deletion, in order.
         self.cost_reports: List[DeletionCostReport] = []
         #: One recovery ledger per reconverge() call, in order.
         self.recovery_reports: List[RecoveryCostReport] = []
+        #: One ledger per :meth:`delete_batch` call, in order.
+        self.burst_reports: List[BurstCostReport] = []
         self.auto_reconverge = auto_reconverge
         self.quarantine_oracle = quarantine_oracle
         self.quarantine_plan_audit = quarantine_plan_audit
+        #: Default admission cap for :meth:`delete_batch` (``None`` =
+        #: unbounded — every pairwise-disjoint repair of a burst is admitted
+        #: into the shared fabric at once; ``1`` = the retained sequential
+        #: reference path, bit-identical to looping :meth:`delete`).
+        self.repair_concurrency = repair_concurrency
         self._runtime: Optional[_RepairRuntime] = None
 
     @property
@@ -480,6 +507,301 @@ class DistributedForgivingGraph:
         self.cost_reports.append(report)
         return report
 
+    # ------------------------------------------------------------------ #
+    # concurrent epoch-tagged bursts
+    # ------------------------------------------------------------------ #
+    _BATCH_DEFAULT = object()  # sentinel: "use self.repair_concurrency"
+
+    def delete_batch(
+        self,
+        victims: Sequence[NodeId],
+        concurrency=_BATCH_DEFAULT,
+        max_rounds: int = 600,
+        max_sweeps: int = 40,
+    ) -> BurstCostReport:
+        """Heal a burst of deletions, admitting disjoint repairs concurrently.
+
+        The driver plans every pending victim, groups pairwise-disjoint
+        repair footprints (the ``repair_footprint`` locality test of
+        ``experiments.sweeps``) into an admission **wave**, and runs the
+        whole wave's repairs inside one shared ``deliver_round`` stream:
+        every message carries its repair's victim as epoch tag, handler
+        state is epoch-keyed, and per-epoch metrics windows attribute each
+        message to its repair.  Overlapping footprints queue and are
+        re-planned once their predecessors complete (the predecessor's
+        repair changes the RT structure the successor's plan must read).
+        Anti-entropy is folded into the background: once a repair's
+        deadline passes, its participants gossip digest chunks *inside the
+        same loop* (see :class:`~repro.distributed.recovery
+        .BackgroundRecovery`), and the first sweep after every
+        ``recovery_satisfied`` predicate holds is recorded as the
+        fixed-point probe — provably empty on the lossless path.
+
+        ``concurrency=1`` is the retained reference path: it literally
+        loops :meth:`delete`, so it is bit-identical to sequential deletes
+        under every delivery preset.  Burst cost trends to ~max, not ~sum,
+        of the individual repair latencies (the ``concurrent_repairs``
+        BENCH gate).
+        """
+        if concurrency is self._BATCH_DEFAULT:
+            concurrency = self.repair_concurrency
+        victims = list(dict.fromkeys(victims))
+        if concurrency is not None and concurrency <= 1:
+            reports = [self.delete(victim) for victim in victims]
+            burst = BurstCostReport(
+                victims=tuple(victims),
+                concurrency=1,
+                waves=len(victims),
+                rounds=sum(r.rounds + r.reconvergence_rounds for r in reports),
+                reports=reports,
+                wave_sizes=tuple(1 for _ in victims),
+            )
+            self.burst_reports.append(burst)
+            return burst
+
+        from ..experiments.sweeps import independent_repair_batches
+
+        self._uninstall_runtime()
+        pending = list(victims)
+        all_reports: List[DeletionCostReport] = []
+        wave_sizes: List[int] = []
+        total_rounds = 0
+        while pending:
+            # Plan every pending victim on the *current* engine state and
+            # admit the first-fit disjoint batch (same footprint definition
+            # as ``experiments.sweeps.repair_footprint``).
+            plans: Dict[NodeId, RepairPlan] = {}
+            footprints = []
+            for victim in pending:
+                plan = plan_repair(self._engine, victim)
+                plans[victim] = plan
+                footprints.append((victim, frozenset(plan.contexts) | {victim}))
+            wave = independent_repair_batches(footprints)[0]
+            if concurrency is not None:
+                wave = wave[: max(int(concurrency), 1)]
+            admitted = set(wave)
+            pending = [victim for victim in pending if victim not in admitted]
+            wave_reports, wave_rounds = self._run_wave(
+                [(victim, plans[victim]) for victim in wave],
+                max_rounds=max_rounds,
+                max_sweeps=max_sweeps,
+            )
+            all_reports.extend(wave_reports)
+            wave_sizes.append(len(wave))
+            total_rounds += wave_rounds
+        burst = BurstCostReport(
+            victims=tuple(victims),
+            concurrency=concurrency,
+            waves=len(wave_sizes),
+            rounds=total_rounds,
+            reports=all_reports,
+            wave_sizes=tuple(wave_sizes),
+        )
+        self.burst_reports.append(burst)
+        return burst
+
+    def _run_wave(
+        self,
+        wave: List[Tuple[NodeId, RepairPlan]],
+        max_rounds: int,
+        max_sweeps: int,
+    ) -> Tuple[List[DeletionCostReport], int]:
+        """Run one admission wave of disjoint repairs in a shared round loop."""
+        network = self.network
+        metrics = network.metrics
+        schedule = network.fault_schedule
+        transcript = network.transcript
+        track_byzantine = (
+            transcript is not None and schedule is not None and schedule.has_byzantine
+        )
+        if track_byzantine:
+            injection = network.injection_log
+            pre_accused = set(transcript.accused)
+            pre_accusations = len(transcript)
+            pre_lies_sent = injection.total_sent
+            pre_lies_delivered = injection.total_delivered
+
+        # Everything reporting needs is copied out of the plans now, so the
+        # plan-audit quarantine can poison their global knowledge before a
+        # single message flows.
+        degrees = {victim: self._engine.g_prime_degree(victim) for victim, _ in wave}
+        leaders = {victim: plan.leader for victim, plan in wave}
+        released = {
+            victim: sum(len(context.released) for context in plan.contexts.values())
+            for victim, plan in wave
+        }
+        deadlines = {victim: plan.max_deadline for victim, plan in wave}
+
+        # Admission: the whole wave dies in one adversarial move — oracle
+        # deletes first (mirroring ``delete``), then every repair seeds its
+        # Phase 0/1 into the same open scaffold.
+        for victim, _ in wave:
+            self._engine.delete(victim)
+            if self.quarantine_oracle:
+                self._engine.last_repair_rt = _OracleQuarantine()
+                self._engine.last_new_helpers = _OracleQuarantine()
+                self._engine.last_released_helper_ports = _OracleQuarantine()
+            if network.has_processor(victim):
+                network.remove_processor(victim)
+        network.begin_scaffold()
+        participants_by_victim: Dict[NodeId, List[NodeId]] = {}
+        union_participants: List[NodeId] = []
+        seen: Set[NodeId] = set()
+        for victim, plan in wave:
+            metrics.begin_epoch_window(victim)
+            participants = seed_repair(network, plan)
+            participants_by_victim[victim] = participants
+            for node in participants:
+                if node not in seen:
+                    seen.add(node)
+                    union_participants.append(node)
+
+        repair_windows: Dict[NodeId, MetricsWindow] = {}
+        recoveries: List[BackgroundRecovery] = []
+        if self.auto_reconverge:
+            for victim, _ in wave:
+
+                def _roll_window(victim: NodeId = victim) -> None:
+                    # The repair phase is quiet: everything this epoch sends
+                    # from here on is anti-entropy, attributed to its own
+                    # recovery window.
+                    repair_windows[victim] = metrics.end_epoch_window(victim)
+                    metrics.begin_epoch_window(victim)
+
+                recoveries.append(
+                    BackgroundRecovery(
+                        network,
+                        victim=victim,
+                        participants=participants_by_victim[victim],
+                        degree=degrees[victim],
+                        n_ever=self._engine.nodes_ever,
+                        deadline=deadlines[victim],
+                        max_sweeps=max_sweeps,
+                        on_start=_roll_window,
+                    )
+                )
+        if self.quarantine_plan_audit:
+            for _, plan in wave:
+                plan.contexts = _PlanAuditQuarantine()
+                plan.all_summaries = _PlanAuditQuarantine()
+
+        # The shared round loop: all epochs' probes, reports, merges,
+        # assignments and digests interleave in the same delivery stream.
+        shared_deadline = max(deadlines.values(), default=1)
+        rounds = 1
+        while (
+            network.in_flight
+            or rounds < shared_deadline
+            or any(not recovery.finished for recovery in recoveries)
+        ):
+            if rounds >= max_rounds:
+                break
+            network.deliver_round()
+            rounds += 1
+            network.tick(rounds, union_participants)
+            for recovery in recoveries:
+                recovery.step(rounds)
+
+        # Budget exhaustion is loud, exactly like the standalone recovery:
+        # per-epoch leftovers are measured, then the traffic is discarded
+        # (the drops land in whichever epoch window is open for the victim).
+        leftovers: Dict[NodeId, int] = {}
+        if network.in_flight or any(not recovery.finished for recovery in recoveries):
+            for recovery in recoveries:
+                if not recovery.finished:
+                    leftovers[recovery.victim] = network.in_flight_for(recovery.victim)
+                    recovery.finish(rounds)
+            network.drop_in_flight()
+        network.end_scaffold()
+
+        byzantine: Optional[ByzantineReport] = None
+        if track_byzantine:
+            newly = tuple(sorted(transcript.accused - pre_accused, key=repr))
+            latencies: Dict[NodeId, int] = {}
+            for accused in newly:
+                latency = injection.detection_latency(accused, transcript)
+                if latency is not None:
+                    latencies[accused] = latency
+            byzantine = ByzantineReport(
+                lies_sent=injection.total_sent - pre_lies_sent,
+                lies_delivered=injection.total_delivered - pre_lies_delivered,
+                accusations=len(transcript) - pre_accusations,
+                newly_accused=newly,
+                false_accusations=sum(
+                    1 for accused in newly if not schedule.is_byzantine(accused)
+                ),
+                containment={
+                    accused: injection.containment_radius(accused) for accused in newly
+                },
+                detection_latency=latencies,
+                quarantined_total=len(network.quarantined),
+            )
+
+        recovery_by_victim = {recovery.victim: recovery for recovery in recoveries}
+        wave_reports: List[DeletionCostReport] = []
+        for victim, _ in wave:
+            repair_window = repair_windows.pop(victim, None)
+            if repair_window is None:
+                # Recovery never reached its quiet point (or is disabled):
+                # the epoch window still holds the repair attribution.
+                repair_window = metrics.end_epoch_window(victim)
+                recovery_window = MetricsWindow()
+            else:
+                recovery_window = metrics.end_epoch_window(victim)
+            recovery = recovery_by_victim.get(victim)
+            recon: Optional[RecoveryCostReport] = None
+            if recovery is not None:
+                recon = recovery.report(
+                    recovery_window, leftover=leftovers.get(victim, 0)
+                )
+                self.recovery_reports.append(recon)
+            outcome = self._outcome_of(leaders[victim], victim)
+            wave_reports.append(
+                DeletionCostReport(
+                    deleted_node=victim,
+                    degree=degrees[victim],
+                    n_ever=self._engine.nodes_ever,
+                    messages=repair_window.messages,
+                    bits=repair_window.bits,
+                    # Shared wall clock: every repair of the wave rode the
+                    # same rounds (the burst's cost ≈ max story).
+                    rounds=rounds,
+                    max_message_bits=repair_window.max_message_bits,
+                    max_messages_per_node=repair_window.max_messages_per_node(),
+                    helpers_created=len(outcome.helpers) if outcome is not None else 0,
+                    helpers_released=released[victim],
+                    dropped_messages=repair_window.dropped
+                    + (recon.dropped if recon is not None else 0),
+                    retransmissions=recon.retransmissions if recon is not None else 0,
+                    reconvergence_rounds=recon.rounds if recon is not None else 0,
+                    converged=recon.converged if recon is not None else True,
+                    recovery=recon,
+                    byzantine=None,
+                )
+            )
+        if byzantine is not None and wave_reports:
+            # Wave-level accountability deltas ride the wave's last report
+            # (attaching to each would double-count under aggregation).
+            wave_reports[-1] = dataclasses.replace(wave_reports[-1], byzantine=byzantine)
+
+        for victim, _ in wave:
+            for node in participants_by_victim[victim]:
+                processor = network.processors.get(node)
+                if processor is not None:
+                    processor.uninstall_repair(victim)
+        self.cost_reports.extend(wave_reports)
+        return wave_reports, rounds
+
+    def _outcome_of(self, leader: Optional[NodeId], victim: NodeId):
+        """One repair's leader merge outcome, read through its processor."""
+        if leader is None:
+            return None
+        processor = self.network.processors.get(leader)
+        if processor is None:
+            return None
+        context = processor.repairs.get(victim)
+        return context.outcome if context is not None else None
+
     def _leader_outcome(self):
         """The leader's current merge outcome, read through its processor.
 
@@ -489,11 +811,7 @@ class DistributedForgivingGraph:
         runtime = self._runtime
         if runtime is None or runtime.leader is None:
             return None
-        processor = self.network.processors.get(runtime.leader)
-        if processor is None:
-            return None
-        context = processor.repairs.get(runtime.victim)
-        return context.outcome if context is not None else None
+        return self._outcome_of(runtime.leader, runtime.victim)
 
     def _uninstall_runtime(self) -> None:
         """Retire the previous repair's contexts before planning the next one."""

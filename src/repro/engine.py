@@ -56,11 +56,12 @@ class StepEvent:
     """One adversarial move, after repair, as seen by session consumers."""
 
     step: int
-    kind: str  # "insert" | "delete"
+    kind: str  # "insert" | "delete" | "burst_delete"
     node: NodeId
     #: Attachment points for insertions, empty for deletions.
     attached_to: Tuple[NodeId, ...]
-    #: Degree of the victim in ``G'`` at deletion time (deletions only).
+    #: Degree of the victim in ``G'`` at deletion time (deletions only; the
+    #: burst maximum for ``burst_delete``).
     victim_degree: int
     #: Cumulative move counters up to and including this step.
     deletions: int
@@ -73,8 +74,15 @@ class StepEvent:
     #: insertions and for healers without message accounting).  When the
     #: deletion ran under a fault schedule the report's ``recovery`` field
     #: carries the full gossip-digest ``RecoveryCostReport`` ledger, so
-    #: stream consumers see digest/retransmission costs per move.
+    #: stream consumers see digest/retransmission costs per move.  For a
+    #: ``burst_delete`` this is the *first* victim's report; the full set is
+    #: in ``cost_reports``.
     cost_report: Optional[object] = None
+    #: Every victim of a ``burst_delete`` move (empty for single moves).
+    victims: Tuple[NodeId, ...] = ()
+    #: One ``DeletionCostReport`` per burst victim, in deletion order, when
+    #: the healer accounts for repairs (empty otherwise).
+    cost_reports: Tuple[object, ...] = ()
 
 
 @dataclass
@@ -247,12 +255,15 @@ class AttackSession:
             self._steps += 1
             if event.kind == "delete":
                 self._deletions += 1
+            elif event.kind == "burst_delete":
+                self._deletions += len(event.victims)
             else:
                 self._insertions += 1
             report = None
             if self.interval > 0 and self._steps % self.interval == 0:
                 report = self.measure_now(event.step)
             cost_report = None
+            cost_reports: Tuple[object, ...] = ()
             if event.kind == "delete":
                 # Healers with per-deletion communication accounting (the
                 # distributed simulator) append one report per repair; attach
@@ -260,6 +271,18 @@ class AttackSession:
                 reports = getattr(self.healer, "cost_reports", None)
                 if reports and reports[-1].deleted_node == event.node:
                     cost_report = reports[-1]
+            elif event.kind == "burst_delete":
+                # A burst appends one report per victim (in admission order,
+                # which may differ from sampling order when overlapping
+                # footprints serialize into waves); attach the whole tail.
+                reports = getattr(self.healer, "cost_reports", None)
+                tail = list(reports[-len(event.victims):]) if reports else []
+                if {r.deleted_node for r in tail} == set(event.victims):
+                    cost_reports = tuple(tail)
+                    for candidate in tail:
+                        if candidate.deleted_node == event.node:
+                            cost_report = candidate
+                            break
             yield StepEvent(
                 step=event.step,
                 kind=event.kind,
@@ -270,6 +293,8 @@ class AttackSession:
                 insertions=self._insertions,
                 report=report,
                 cost_report=cost_report,
+                victims=event.victims,
+                cost_reports=cost_reports,
             )
         self.finalize(start=start)
 

@@ -30,6 +30,7 @@ from .sweeps import (
     independent_repair_batches,
     repair_footprint,
     run_sweep,
+    select_disjoint_victims,
     sweep_graph_sizes,
     sweep_healers,
     sweep_large_n,
@@ -47,6 +48,7 @@ __all__ = [
     "independent_repair_batches",
     "repair_footprint",
     "run_sweep",
+    "select_disjoint_victims",
     "sweep_graph_sizes",
     "sweep_healers",
     "sweep_large_n",

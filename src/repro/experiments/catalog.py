@@ -22,6 +22,8 @@ import numpy as np
 
 from ..adversary.schedule import churn_schedule, deletion_only_schedule
 from ..adversary.strategies import MaxDegreeDeletion
+from ..core.ports import NodeKey
+from ..core.views import g_prime_view_of
 from ..analysis.bounds import lower_bound_stretch, stretch_bound
 from ..analysis.invariants import guarantee_report
 from ..analysis.stats import summarize
@@ -47,7 +49,7 @@ from ..distributed.simulator import DistributedForgivingGraph
 from ..engine import AttackSession
 from ..generators.graphs import make_graph, star_graph
 from .config import AttackConfig
-from .sweeps import sweep_graph_sizes, sweep_healers
+from .sweeps import select_disjoint_victims, sweep_graph_sizes, sweep_healers
 
 __all__ = [
     "SCALES",
@@ -64,6 +66,7 @@ __all__ = [
     "experiment_e11_fault_tolerance",
     "experiment_e12_recovery_cost",
     "experiment_e13_byzantine_containment",
+    "experiment_e14_concurrent_bursts",
     "all_experiments",
 ]
 
@@ -704,6 +707,78 @@ def experiment_e13_byzantine_containment(scale: str = "full") -> Section:
     return ("E13 — byzantine containment and accountable detection", rows, preamble)
 
 
+def experiment_e14_concurrent_bursts(scale: str = "full") -> Section:
+    """Concurrent epoch-tagged bursts: repair latency trends to max, not sum.
+
+    One burst of deletions with pairwise-disjoint repair footprints (picked
+    by :func:`~repro.experiments.sweeps.select_disjoint_victims`, away from
+    the hubs whose footprints blanket the graph) is healed three ways on
+    identical copies of the same graph: one repair at a time (the retained
+    reference path, bit-identical to sequential :meth:`delete` calls), with
+    admission capped at two concurrent repairs, and unbounded.  Because the
+    admitted repairs share one ``deliver_round`` stream, the burst's round
+    count trends towards the *maximum* of the individual repair latencies
+    instead of their sum — ``round_ratio`` is the measured fraction of the
+    sequential cost.  Anti-entropy rides the same fabric in the background;
+    on this lossless run every epoch's fixed-point probe must be empty
+    (``silent_fixed_point``), the protocol's silence made measurable.
+    """
+    params = _params(scale)
+    n = int(params["fault_graph_size"])
+    graph = make_graph("power_law", n, seed=14)
+    probe = DistributedForgivingGraph.from_graph(graph)
+    degree = g_prime_view_of(probe).degree
+    candidates = [
+        v
+        for v in sorted(probe.alive_nodes, key=lambda v: (-degree[v], NodeKey(v)))
+        if degree[v] >= 3
+    ]
+    # Hubs' footprints blanket a power-law graph; skipping the largest few
+    # leaves enough mutually disjoint repairs to make a real burst.
+    victims = select_disjoint_victims(probe, candidates[5:], limit=8)
+    if len(victims) < 2:
+        victims = select_disjoint_victims(probe, candidates, limit=8)
+    rows: List[Row] = []
+    sequential_rounds = 0
+    for label, concurrency in (("sequential", 1), ("cap-2", 2), ("unbounded", None)):
+        healer = DistributedForgivingGraph.from_graph(graph)
+        burst = healer.delete_batch(victims, concurrency=concurrency)
+        consistent = True
+        try:
+            healer.verify_consistency()
+        except Exception:
+            consistent = False
+        if concurrency == 1:
+            sequential_rounds = burst.rounds
+        silent = all(
+            r.recovery is not None and r.recovery.fixed_point_messages == 0
+            for r in burst.reports
+        )
+        rows.append(
+            {
+                "admission": label,
+                "burst_k": len(victims),
+                "waves": burst.waves,
+                "rounds": burst.rounds,
+                "round_ratio": round(burst.rounds / max(sequential_rounds, 1), 3),
+                "messages": sum(r.messages for r in burst.reports),
+                "silent_fixed_point": silent if concurrency != 1 else None,
+                "consistent_with_oracle": consistent,
+            }
+        )
+    preamble = (
+        "A burst of deletions with pairwise-disjoint repair footprints is healed "
+        "concurrently: every message carries its repair's victim as epoch tag, all "
+        "admitted repairs interleave in one delivery stream, and each epoch's "
+        "anti-entropy gossip rides the same fabric in the background.  The burst's "
+        "round count trends to the max of the individual repair latencies instead of "
+        "their sum (round_ratio vs the bit-identical sequential reference), and on "
+        "the lossless path every epoch's recovery goes provably silent: the "
+        "fixed-point probe emits zero messages."
+    )
+    return ("E14 — concurrent burst repair latency vs admission concurrency", rows, preamble)
+
+
 def all_experiments(scale: str = "full") -> List[Section]:
     """Run the whole catalog at the given scale and return the report sections."""
     return [
@@ -720,4 +795,5 @@ def all_experiments(scale: str = "full") -> List[Section]:
         experiment_e11_fault_tolerance(scale),
         experiment_e12_recovery_cost(scale),
         experiment_e13_byzantine_containment(scale),
+        experiment_e14_concurrent_bursts(scale),
     ]

@@ -41,6 +41,7 @@ __all__ = [
     "independent_repair_batches",
     "repair_footprint",
     "run_sweep",
+    "select_disjoint_victims",
     "sweep_graph_sizes",
     "sweep_healers",
     "sweep_large_n",
@@ -334,6 +335,26 @@ def independent_repair_batches(
             batches.append([victim])
             occupied.append(set(footprint))
     return batches
+
+
+def select_disjoint_victims(
+    healer,
+    candidates: Sequence[NodeId],
+    limit: Optional[int] = None,
+) -> List[NodeId]:
+    """First-fit a burst of pairwise-disjoint-footprint victims (read-only).
+
+    Walks ``candidates`` in order, keeping each victim whose
+    :func:`repair_footprint` is disjoint from everything already kept —
+    i.e. the first batch :func:`independent_repair_batches` would form —
+    optionally truncated to ``limit``.  This is how the concurrent-burst
+    experiments and the ``concurrent_repairs`` BENCH gate pick a burst
+    that ``delete_batch`` can admit in a single wave.
+    """
+    footprints = [(victim, repair_footprint(healer, victim)) for victim in candidates]
+    batches = independent_repair_batches(footprints)
+    burst = batches[0] if batches else []
+    return burst[:limit] if limit is not None else burst
 
 
 def sweep_large_n(

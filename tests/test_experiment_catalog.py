@@ -1,4 +1,4 @@
-"""Integration tests: the experiment catalog (E1–E13) at smoke scale.
+"""Integration tests: the experiment catalog (E1–E14) at smoke scale.
 
 These are the end-to-end checks that the claims recorded in EXPERIMENTS.md
 actually regenerate: every experiment runs, produces rows, and the rows
@@ -23,6 +23,7 @@ from repro.experiments.catalog import (
     experiment_e10_churn,
     experiment_e12_recovery_cost,
     experiment_e13_byzantine_containment,
+    experiment_e14_concurrent_bursts,
 )
 
 
@@ -147,10 +148,24 @@ class TestTheorem2AndComparisons:
             assert row["max_containment_radius"] >= 1
 
 
+class TestConcurrentBursts:
+    def test_e14_concurrent_admission_beats_sequential_and_goes_silent(self):
+        _, rows, _ = experiment_e14_concurrent_bursts("smoke")
+        by_admission = {row["admission"]: row for row in rows}
+        assert by_admission["sequential"]["round_ratio"] == 1.0
+        unbounded = by_admission["unbounded"]
+        assert unbounded["waves"] == 1  # the burst is genuinely disjoint
+        assert unbounded["round_ratio"] < 1.0
+        for row in rows:
+            assert row["consistent_with_oracle"]
+            if row["admission"] != "sequential":
+                assert row["silent_fixed_point"]
+
+
 class TestCatalogPlumbing:
-    def test_all_experiments_returns_thirteen_sections(self):
+    def test_all_experiments_returns_fourteen_sections(self):
         sections = all_experiments("smoke")
-        assert len(sections) == 13
+        assert len(sections) == 14
         titles = [section[0] for section in sections]
         assert all(title.startswith("E") for title in titles)
         assert all(section[1] for section in sections)  # every section has rows
