@@ -8,7 +8,7 @@ the Forgiving Graph and the naive healers, where they sit relative to the
 import pytest
 
 from repro.analysis import guarantee_report, lower_bound_stretch, stretch_bound
-from repro.baselines import make_healer
+from repro.baselines import HealerSpec
 from repro.generators import make_graph
 
 from conftest import run_once
@@ -18,7 +18,7 @@ from conftest import run_once
 @pytest.mark.parametrize("healer_name", ["forgiving_graph", "cycle_heal", "surrogate_heal"])
 def test_star_tradeoff_against_lower_bound(benchmark, n, healer_name):
     def workload():
-        healer = make_healer(healer_name, make_graph("star", n))
+        healer = HealerSpec(healer_name).build(make_graph("star", n))
         healer.delete(0)
         return guarantee_report(healer, max_sources=48, seed=0, healer_name=healer_name)
 

@@ -151,6 +151,7 @@ from repro.distributed import DistributedForgivingGraph, Network
 from repro.distributed.faults import (
     BYZANTINE_PRESETS,
     DELIVERY_PRESETS,
+    FaultSpec,
     fault_schedule,
 )
 from repro.distributed.messages import DeletionNotice
@@ -1249,6 +1250,91 @@ def bench_large_n(
     }
 
 
+def bench_service_churn(n: int, ops: int, seed: int = 11) -> Dict[str, object]:
+    """The long-lived healer service end to end: churn, crash, certified restore.
+
+    Runs a :class:`~repro.service.HealerDaemon` on a throwaway sqlite store,
+    drives a seeded two-client churn workload through the journalled
+    submit/pump path, and reads ops/sec and repair-latency percentiles from
+    the *live* ``GET /status`` endpoint — the same probe a production
+    monitor would hit.  The run is then abandoned with an unpumped journal
+    tail (the in-process analogue of ``kill -9`` mid-churn) and
+    :meth:`~repro.service.HealerDaemon.restore` must replay the last
+    checkpoint plus the journal and certify the recovered fabric:
+    reconverged, accountability audit clean, oracle-verified, and — since
+    the links are lossless — every fixed-point probe silent.
+    """
+    import random
+    import shutil
+    import tempfile
+    import urllib.request
+
+    from repro.service import HealerDaemon, ServiceConfig
+
+    tmp = Path(tempfile.mkdtemp(prefix="bench_service_"))
+    try:
+        config = ServiceConfig(
+            graph=GraphSpec("power_law", n),
+            seed=seed,
+            checkpoint_every=max(ops // 4, 8),
+            batch_window=4,
+        )
+        daemon = HealerDaemon.create(tmp / "run.db", config)
+        rng = random.Random(seed)
+        clients = [daemon.client("bench-a"), daemon.client("bench-b")]
+        next_id = 10_000
+        start = time.perf_counter()
+        for step in range(ops):
+            client = clients[step % len(clients)]
+            alive = sorted(daemon._projected_alive, key=repr)
+            if rng.random() < 0.3 or len(alive) <= 4:
+                client.insert(next_id, rng.sample(alive, min(3, len(alive))))
+                next_id += 1
+            else:
+                client.delete(rng.choice(alive))
+            # Pump in batches, but never the last few submissions: the
+            # abandoned tail is what makes the restore below a real crash.
+            if step % 8 == 7 and step < ops - 4:
+                daemon.pump()
+        wall_seconds = time.perf_counter() - start
+        server = daemon.serve_status(port=0)
+        with urllib.request.urlopen(server.url, timeout=10) as response:
+            live = json.loads(response.read())
+        backlog = int(live["backlog"])
+        daemon.close()  # crash: the journal tail is durable but unapplied
+        del daemon
+
+        restored, restart = HealerDaemon.restore(tmp / "run.db")
+        final = restored.status()
+        restored.close()
+        silent_fixed_point = final["recovery"]["fixed_point_noisy"] == 0
+        certified = bool(restart.converged and restart.audit_clean and restart.verified)
+        return {
+            "n": n,
+            "ops": ops,
+            "wall_seconds": round(wall_seconds, 4),
+            "ops_per_sec": live["ops_per_sec"],
+            "p50_ms": live["latency_ms"]["p50"],
+            "p99_ms": live["latency_ms"]["p99"],
+            "mean_wave_occupancy": live["waves"]["mean_occupancy"],
+            "checkpoints_written": live["checkpoints_written"],
+            "store_bytes": live["store_bytes"],
+            "crash_backlog_ops": backlog,
+            "restore": {
+                "checkpoint_seq": restart.checkpoint_seq,
+                "prefix_ops": restart.prefix_ops,
+                "suffix_ops": restart.suffix_ops,
+                "converged": restart.converged,
+                "audit_clean": restart.audit_clean,
+                "verified": restart.verified,
+            },
+            "silent_fixed_point": silent_fixed_point,
+            "ok": certified and silent_fixed_point and backlog > 0,
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 # --------------------------------------------------------------------------- #
 # report
 # --------------------------------------------------------------------------- #
@@ -1280,6 +1366,7 @@ def build_report(
         delivery_sizes = [150]
         concurrent_sizes = [80]
         large_n = {"speedup_n": 200, "memory_n": 150, "scale_total": 600, "shards": 3}
+        service = {"n": 40, "ops": 48}
     elif quick:
         sizes = [100, 1000]
         sweep_sizes = [400]
@@ -1290,6 +1377,7 @@ def build_report(
         delivery_sizes = [100, 1000]
         concurrent_sizes = [120]
         large_n = {"speedup_n": 1000, "memory_n": 500, "scale_total": 20_000, "shards": 2}
+        service = {"n": 48, "ops": 96}
     else:
         sizes = [100, 1000, 5000]
         sweep_sizes = [400, 1000]
@@ -1305,6 +1393,7 @@ def build_report(
             "scale_total": 100_000,
             "shards": 4,
         }
+        service = {"n": 64, "ops": 160}
     if large_n_nodes is not None:
         large_n["scale_total"] = large_n_nodes
     if large_n_shards is not None:
@@ -1438,6 +1527,18 @@ def build_report(
         f"{large_n_row['scale']['nodes_per_sec']} nodes/sec over "
         f"{large_n_row['scale']['shards']} shards"
     )
+    print(f"[service_churn] n={service['n']} ops={service['ops']} ...", flush=True)
+    service_row = bench_service_churn(**service)
+    print(
+        f"  {'ok' if service_row['ok'] else 'FAILED'}; "
+        f"{service_row['ops_per_sec']} ops/sec, "
+        f"p50={service_row['p50_ms']}ms p99={service_row['p99_ms']}ms; "
+        f"crash with {service_row['crash_backlog_ops']} journalled backlog ops -> "
+        f"restore converged={service_row['restore']['converged']} "
+        f"audit_clean={service_row['restore']['audit_clean']} "
+        f"verified={service_row['restore']['verified']}, fixed point "
+        f"{'silent' if service_row['silent_fixed_point'] else 'NOISY'}"
+    )
 
     if smoke:
         # CI guard: every fast path at least breaks even on a tiny workload.
@@ -1463,6 +1564,7 @@ def build_report(
                 and all(large_n_row["speedup"]["equivalent"].values())
                 and large_n_row["scale"]["all_connected"]
             ),
+            "service_churn": service_row["ok"],
         }
         targets = {"smoke_min_speedup": TARGET_SMOKE_SPEEDUP}
     else:
@@ -1503,6 +1605,7 @@ def build_report(
                 all(large_n_row["speedup"]["equivalent"].values())
                 and large_n_row["scale"]["all_connected"]
             ),
+            "service_churn": service_row["ok"],
         }
         targets = {
             "stretch_n1000_min_speedup": TARGET_STRETCH_SPEEDUP_N1000,
@@ -1519,7 +1622,7 @@ def build_report(
         }
 
     return {
-        "schema": "bench_perf/v8",
+        "schema": "bench_perf/v9",
         "generated_by": "scripts/perf_report.py" + (" --smoke" if smoke else ""),
         "scipy_backend": HAVE_SCIPY,
         "cpus": os.cpu_count(),
@@ -1534,6 +1637,7 @@ def build_report(
         "network_delivery": delivery_rows,
         "concurrent_repairs": concurrent_rows,
         "large_n": large_n_row,
+        "service_churn": service_row,
         "targets": targets,
         "targets_met": targets_met,
     }
@@ -1606,18 +1710,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     def parse_presets(
         value: str, flag: str, everything: List[str], registry: Dict[str, object]
     ) -> List[str]:
-        """Split a comma list of preset names, validating against a registry."""
-        if value.strip() == "all":
-            return list(everything)
-        if value.strip() == "none":
-            return []
-        presets = [p.strip() for p in value.split(",") if p.strip()]
-        unknown = [p for p in presets if p not in registry]
-        if unknown:
-            parser.error(
-                f"unknown {flag} preset(s) {unknown}; available: {sorted(registry)}"
+        """Split a comma list of preset names, validating against a registry.
+
+        Delegates to :meth:`FaultSpec.parse_list` — the one grammar shared
+        by these flags, ``AttackConfig.fault_preset`` and ``ServiceConfig``
+        — and turns its ``ValueError`` into an argparse error.
+        """
+        try:
+            return FaultSpec.parse_list(
+                value, flag=flag, registry=registry, everything=everything
             )
-        return presets
+        except ValueError as exc:
+            parser.error(str(exc))
 
     # The merge and recovery gates score against the oracle, so they accept
     # delivery presets only (quarantining a liar leaves a deliberate,

@@ -30,6 +30,7 @@ from .cycle_heal import CycleHealing
 from .forgiving_tree import ForgivingTreeHealing
 from .no_heal import NoHealing
 from .registry import available_healers, make_healer
+from .spec import DISTRIBUTED_HEALERS, HealerSpec
 from .surrogate_heal import SurrogateHealing
 from .unmerged_rt import UnmergedRTHealing
 
@@ -43,4 +44,6 @@ __all__ = [
     "UnmergedRTHealing",
     "available_healers",
     "make_healer",
+    "HealerSpec",
+    "DISTRIBUTED_HEALERS",
 ]

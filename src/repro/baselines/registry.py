@@ -7,11 +7,11 @@ benchmark tables onto healer classes.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, List
 
 import networkx as nx
 
-from ..core.errors import ConfigurationError
 from ..core.forgiving_graph import ForgivingGraph
 from ..distributed.simulator import DistributedForgivingGraph
 from .clique_heal import CliqueHealing
@@ -44,7 +44,14 @@ def available_healers() -> List[str]:
 
 
 def make_healer(name: str, graph: nx.Graph, **options):
-    """Instantiate the named healer on a copy of ``graph``.
+    """Instantiate the named healer on a copy of ``graph`` (deprecated shim).
+
+    The typed construction path is :class:`repro.baselines.HealerSpec`:
+    ``HealerSpec(name, options, fault=...).build(graph)``.  This shim keeps
+    the historical kwargs-forwarding surface alive for external callers —
+    it lifts a ``fault_schedule`` keyword into the spec's fault axis and
+    delegates, so both paths construct bit-identical healers (pinned by
+    ``tests/test_service.py``) — but new code should build a spec.
 
     ``"forgiving_graph"`` builds the paper's algorithm
     (:class:`repro.core.ForgivingGraph`); ``"distributed_forgiving_graph"``
@@ -53,15 +60,17 @@ def make_healer(name: str, graph: nx.Graph, **options):
     additionally yield Lemma 4 cost reports); every other name builds the
     corresponding baseline from :mod:`repro.baselines`.
 
-    Extra keyword ``options`` are forwarded to the healer's constructor
-    (e.g. ``fault_schedule=...`` for the distributed healer); a healer that
-    does not understand an option raises its natural ``TypeError`` rather
-    than ignoring it silently.
+    Extra keyword ``options`` are forwarded to the healer's constructor;
+    a healer that does not understand an option raises its natural
+    ``TypeError`` rather than ignoring it silently.
     """
-    try:
-        factory = _HEALERS[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown healer {name!r}; available: {', '.join(available_healers())}"
-        ) from None
-    return factory(graph.copy(), **options)
+    from .spec import HealerSpec
+
+    warnings.warn(
+        "make_healer(name, graph, **options) is deprecated; build a typed "
+        "HealerSpec(name, options, fault=...) and call .build(graph)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    fault = options.pop("fault_schedule", None)
+    return HealerSpec(name, options, fault=fault).build(graph)

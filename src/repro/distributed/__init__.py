@@ -72,6 +72,7 @@ from .faults import (
     FAULT_PRESETS,
     ByzantinePolicy,
     FaultSchedule,
+    FaultSpec,
     LinkFaultPolicy,
     fault_schedule,
 )
@@ -131,6 +132,7 @@ __all__ = [
     "DistributedForgivingGraph",
     "ReconvergenceReport",
     "FaultSchedule",
+    "FaultSpec",
     "LinkFaultPolicy",
     "ByzantinePolicy",
     "fault_schedule",

@@ -25,6 +25,11 @@ reconverge.  This module provides the per-link fault policies the
   smoke and the tests, plus the byzantine presets (``"byzantine"``,
   ``"byzantine-chaos"``) used by E13 and the ``byzantine_containment``
   perf gate.
+* :class:`FaultSpec` — the typed-config entry point unifying preset
+  strings, explicit :class:`FaultSchedule` objects and comma-separated
+  CLI flag values (:meth:`FaultSpec.parse` / :meth:`FaultSpec.parse_list`)
+  under one value the experiment configs, the sweeps, the perf-report
+  flags and the healer service all accept.
 
 Faults apply only to protocol traffic travelling through
 :meth:`Network.deliver_round` (delivery faults) or entering
@@ -39,7 +44,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -50,6 +55,7 @@ __all__ = [
     "LinkFaultPolicy",
     "ByzantinePolicy",
     "FaultSchedule",
+    "FaultSpec",
     "fault_schedule",
     "FAULT_PRESETS",
     "DELIVERY_PRESETS",
@@ -457,3 +463,148 @@ def fault_schedule(preset: str, seed: int = 0) -> Optional[FaultSchedule]:
         byzantine_fraction=spec.fraction,
         byzantine_policy=spec.policy,
     )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """The typed fault axis: one value every configuration surface accepts.
+
+    Historically the fault axis travelled as three different shapes —
+    preset strings in :class:`repro.experiments.config.AttackConfig`,
+    :class:`FaultSchedule` objects handed straight to healer constructors,
+    and comma-separated flag values in ``scripts/perf_report.py`` — with
+    validation scattered across each consumer.  ``FaultSpec`` is the single
+    entry point: :meth:`parse` normalizes ``None`` / preset string /
+    ``FaultSchedule`` / ``FaultSpec`` into one frozen value, :meth:`build`
+    materializes the seeded schedule on demand, and :meth:`parse_list`
+    owns the flag-splitting (``"all"`` / ``"none"`` / comma list) the
+    perf-report CLI uses.  Every rejection names the full preset
+    vocabulary, extending the :func:`fault_schedule` ValueError contract.
+
+    A spec built from a preset is declarative and JSON-serializable
+    (``{"preset": ..., "seed": ...}``); a spec wrapping an explicit
+    :class:`FaultSchedule` carries live RNG state and is therefore
+    rejected by :meth:`to_json` — the healer service persists its fault
+    axis, so :class:`repro.service.ServiceConfig` only accepts the
+    declarative form.
+    """
+
+    preset: str = "lossless"
+    #: Seed for the materialized schedule; ``None`` defers to the seed the
+    #: caller passes to :meth:`build` (usually the experiment seed).
+    seed: Optional[int] = None
+    #: Explicit pre-built schedule (overrides ``preset``/``seed``); carries
+    #: live RNG state, so such a spec is not JSON-serializable.
+    schedule: Optional[FaultSchedule] = None
+
+    def __post_init__(self) -> None:
+        if self.schedule is None and self.preset not in FAULT_PRESETS:
+            raise ValueError(
+                f"unknown fault preset {self.preset!r}; available: {sorted(FAULT_PRESETS)}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # parsing
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def parse(
+        cls,
+        value: Union[None, str, FaultSchedule, "FaultSpec"],
+        seed: Optional[int] = None,
+    ) -> "FaultSpec":
+        """Normalize any accepted fault-axis shape into one ``FaultSpec``.
+
+        ``None`` means lossless; a string names a preset (unknown names
+        raise a ``ValueError`` listing every preset); a ``FaultSchedule``
+        is wrapped as an explicit schedule; an existing ``FaultSpec``
+        passes through (re-seeded when it had no seed and ``seed`` is
+        given).  Any other type is a ``TypeError``.
+        """
+        if value is None:
+            return cls(preset="lossless", seed=seed)
+        if isinstance(value, FaultSpec):
+            if seed is not None and value.seed is None and value.schedule is None:
+                return dataclasses.replace(value, seed=seed)
+            return value
+        if isinstance(value, FaultSchedule):
+            return cls(preset=value.name, seed=value.seed, schedule=value)
+        if isinstance(value, str):
+            return cls(preset=value, seed=seed)
+        raise TypeError(
+            "fault axis must be None, a preset name, a FaultSchedule or a "
+            f"FaultSpec, got {type(value).__name__}"
+        )
+
+    @classmethod
+    def parse_list(
+        cls,
+        value: str,
+        *,
+        flag: str = "fault presets",
+        registry: Optional[Mapping[str, object]] = None,
+        everything: Optional[Sequence[str]] = None,
+    ) -> List[str]:
+        """Split a comma-separated flag value into validated preset names.
+
+        The shared grammar of the perf-report scheduling flags: ``"all"``
+        expands to ``everything`` (default: the registry's keys in
+        insertion order), ``"none"`` or an empty string means no presets,
+        anything else is a comma list validated against ``registry``
+        (default: :data:`FAULT_PRESETS`).  Unknown names raise a
+        ``ValueError`` that names the flag and every available preset.
+        """
+        vocabulary = FAULT_PRESETS if registry is None else registry
+        stripped = value.strip()
+        if stripped == "all":
+            return list(vocabulary if everything is None else everything)
+        if stripped == "none" or not stripped:
+            return []
+        presets = [p.strip() for p in value.split(",") if p.strip()]
+        unknown = [p for p in presets if p not in vocabulary]
+        if unknown:
+            raise ValueError(
+                f"unknown {flag} preset(s) {unknown}; available: {sorted(vocabulary)}"
+            )
+        return presets
+
+    # ------------------------------------------------------------------ #
+    # materialization
+    # ------------------------------------------------------------------ #
+    @property
+    def is_lossless(self) -> bool:
+        """True when :meth:`build` returns ``None`` (no fault machinery)."""
+        if self.schedule is not None:
+            return False
+        return self.preset == "lossless"
+
+    def build(self, seed: Optional[int] = None) -> Optional[FaultSchedule]:
+        """Materialize the seeded schedule (``None`` on the lossless axis).
+
+        The explicit ``schedule`` wins when present; otherwise the preset
+        is built with the spec's own seed, falling back to the caller's
+        ``seed`` (the usual experiment seed), falling back to ``0``.  A
+        preset spec builds a *fresh* schedule each call — RNG state is
+        never shared between consumers.
+        """
+        if self.schedule is not None:
+            return self.schedule
+        resolved = self.seed if self.seed is not None else (seed if seed is not None else 0)
+        return fault_schedule(self.preset, seed=resolved)
+
+    def to_json(self) -> Dict[str, object]:
+        """The declarative form (raises for explicit-schedule specs)."""
+        if self.schedule is not None:
+            raise ValueError(
+                "a FaultSpec wrapping an explicit FaultSchedule carries live "
+                "RNG state and cannot be serialized; use a preset spec"
+            )
+        return {"preset": self.preset, "seed": self.seed}
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, object]) -> "FaultSpec":
+        return cls(preset=str(payload["preset"]), seed=payload.get("seed"))  # type: ignore[arg-type]
+
+    def describe(self) -> str:
+        if self.schedule is not None:
+            return f"schedule:{self.schedule.name}"
+        return self.preset

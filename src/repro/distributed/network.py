@@ -226,6 +226,14 @@ class _DenseTopology:
             for link, keys in expected.items()
         }
 
+    def sources_view(self) -> Dict[frozenset, Set[Tuple]]:
+        node_of = self.interner.node_of
+        mask = (1 << _PACK) - 1
+        return {
+            frozenset((node_of(link >> _PACK), node_of(link & mask))): set(keys)
+            for link, keys in self.sources.items()
+        }
+
     # -- scaffolding -------------------------------------------------------
     def scaffold_add(self, u: NodeId, v: NodeId) -> None:
         self.scaffold_links.add(self._pack(self.interner.id_of(u), self.interner.id_of(v)))
@@ -327,6 +335,9 @@ class _DictTopology:
 
     def replace_sources(self, expected: Dict[frozenset, Set[Tuple]]) -> None:
         self.sources = {link: set(keys) for link, keys in expected.items()}
+
+    def sources_view(self) -> Dict[frozenset, Set[Tuple]]:
+        return {link: set(keys) for link, keys in self.sources.items()}
 
     # -- scaffolding -------------------------------------------------------
     def scaffold_add(self, u: NodeId, v: NodeId) -> None:
@@ -505,6 +516,35 @@ class Network:
         produces; the dense core re-keys it into packed ints on entry.
         """
         self._topology.replace_sources(expected)
+
+    def export_link_sources(self) -> Dict[frozenset, Set[Tuple]]:
+        """Snapshot the whole source table in the ``frozenset`` wire format.
+
+        The inverse of :meth:`replace_link_sources` — what the healer
+        service's checkpoint writer reads, so a restored network can rebuild
+        the healed graph's sourced links exactly.
+        """
+        return self._topology.sources_view()
+
+    def set_census(self, n_ever: int, ever_ids: Iterable[NodeId] = ()) -> None:
+        """Restore the addition-counted census after a checkpoint reload.
+
+        ``add_processor`` counts additions, so a network rebuilt from only
+        the *surviving* processors would under-count ``n_ever`` (message
+        sizing, and the ``verify_consistency`` cross-check against the
+        engine's ``nodes_ever``, both read it) and forget which identifiers
+        ever existed (``ever_had_processor`` distinguishes crashed peers
+        from protocol bugs).  The checkpoint loader sets both explicitly;
+        the word size is recomputed to match.
+        """
+        if n_ever < len(self.processors):
+            raise ValueError(
+                f"census {n_ever} is smaller than the {len(self.processors)} "
+                "live processors"
+            )
+        self.n_ever = n_ever
+        self._ever_ids.update(ever_ids)
+        self._word_bits = max(int(math.ceil(math.log2(max(self.n_ever, 2)))), 1)
 
     # ------------------------------------------------------------------ #
     # repair scaffolding

@@ -27,7 +27,7 @@ from ..core.views import g_prime_view_of
 from ..analysis.bounds import lower_bound_stretch, stretch_bound
 from ..analysis.invariants import guarantee_report
 from ..analysis.stats import summarize
-from ..baselines.registry import make_healer
+from ..baselines.spec import HealerSpec
 from ..core.forgiving_graph import ForgivingGraph
 from ..core.haft import (
     build_haft,
@@ -352,7 +352,7 @@ def experiment_e7_lower_bound(scale: str = "full") -> Section:
     for n in params["star_sizes"]:
         star = star_graph(n)
         for healer_name in ("forgiving_graph", "cycle_heal", "clique_heal", "surrogate_heal"):
-            healer = make_healer(healer_name, star)
+            healer = HealerSpec(healer_name).build(star)
             healer.delete(0)  # the hub
             report = guarantee_report(healer, healer_name=healer_name)
             alpha = max(report.degree_factor, 3.0)

@@ -8,12 +8,12 @@ seed) and regenerated with one call.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Union
 
 from ..adversary.strategies import available_deletion_strategies
 from ..baselines.registry import available_healers
 from ..core.errors import ConfigurationError
-from ..distributed.faults import FAULT_PRESETS
+from ..distributed.faults import FaultSchedule, FaultSpec
 from ..generators.graphs import GraphSpec, available_topologies
 
 __all__ = ["AttackConfig", "ExperimentConfig"]
@@ -26,11 +26,14 @@ class AttackConfig:
     ``delete_fraction`` expresses the attack length as a fraction of the
     initial node count; ``delete_probability`` mixes insertions in
     (``1.0`` = pure deletion attack).  ``fault_preset`` selects the network
-    conditions the repair protocol runs under (a named
-    :data:`repro.distributed.faults.FAULT_PRESETS` entry; meaningful only
-    for the message-passing healer, where dropped/delayed/reordered repair
-    messages force the reconvergence path) — the seeded schedule derives
-    from the experiment seed, so faulty runs stay deterministic.
+    conditions the repair protocol runs under — anything
+    :meth:`repro.distributed.faults.FaultSpec.parse` accepts: a named
+    :data:`repro.distributed.faults.FAULT_PRESETS` entry, a ``FaultSpec``
+    or an explicit ``FaultSchedule`` (meaningful only for the
+    message-passing healer, where dropped/delayed/reordered repair messages
+    force the reconvergence path).  The value is normalized into the
+    :attr:`fault_spec` attribute; preset-named axes derive their seeded
+    schedule from the experiment seed, so faulty runs stay deterministic.
     """
 
     strategy: str = "max_degree"
@@ -38,7 +41,7 @@ class AttackConfig:
     delete_probability: float = 1.0
     insertion_degree: int = 3
     min_survivors: int = 2
-    fault_preset: str = "lossless"
+    fault_preset: Union[str, FaultSpec, FaultSchedule] = "lossless"
 
     def __post_init__(self) -> None:
         if self.strategy not in available_deletion_strategies():
@@ -52,11 +55,15 @@ class AttackConfig:
             raise ConfigurationError("delete_probability must lie in [0, 1]")
         if self.insertion_degree < 1:
             raise ConfigurationError("insertion_degree must be at least 1")
-        if self.fault_preset not in FAULT_PRESETS:
-            raise ConfigurationError(
-                f"unknown fault preset {self.fault_preset!r}; "
-                f"available: {sorted(FAULT_PRESETS)}"
-            )
+        try:
+            spec = FaultSpec.parse(self.fault_preset)
+        except (ValueError, TypeError) as exc:
+            raise ConfigurationError(str(exc)) from None
+        # Normalize the field back to its string surface (reports, rows and
+        # the describe() output key on the preset name) and keep the typed
+        # spec alongside for consumers that materialize schedules.
+        object.__setattr__(self, "fault_preset", spec.describe())
+        object.__setattr__(self, "fault_spec", spec)
 
     def steps_for(self, n: int) -> int:
         """Number of adversarial moves for an initial graph of ``n`` nodes."""

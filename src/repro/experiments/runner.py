@@ -19,9 +19,7 @@ import networkx as nx
 from ..adversary.schedule import AttackSchedule
 from ..adversary.strategies import RandomInsertion, make_deletion_strategy
 from ..analysis.invariants import GuaranteeReport
-from ..baselines.registry import make_healer
-from ..core.errors import ConfigurationError
-from ..distributed.faults import fault_schedule
+from ..baselines.spec import HealerSpec
 from ..engine import AttackSession, SessionResult
 from .config import ExperimentConfig
 from .reporting import json_safe_value
@@ -122,24 +120,16 @@ def build_session(
     ``cross_check_every=k`` opts in to the cadence-gated oracle cross-check
     (the healer's ``verify_consistency`` at every ``k``-th measurement).
 
-    A non-lossless ``attack.fault_preset`` builds the healer with the
+    A non-lossless ``attack.fault_spec`` builds the healer with the
     corresponding seeded :class:`~repro.distributed.faults.FaultSchedule`
     (derived from the experiment seed, so runs stay reproducible); only the
-    message-passing healer has a network to injure, so any other healer
-    name is rejected.
+    message-passing healer has a network to injure, so the typed
+    :class:`~repro.baselines.HealerSpec` rejects any other healer name.
     """
     initial = graph if graph is not None else config.graph.build(seed=config.seed)
-    healer_options = {}
-    if config.attack.fault_preset != "lossless":
-        if healer_name != "distributed_forgiving_graph":
-            raise ConfigurationError(
-                f"fault preset {config.attack.fault_preset!r} requires the "
-                f"'distributed_forgiving_graph' healer, not {healer_name!r}"
-            )
-        healer_options["fault_schedule"] = fault_schedule(
-            config.attack.fault_preset, seed=config.seed
-        )
-    healer = make_healer(healer_name, initial, **healer_options)
+    healer = HealerSpec(healer_name, fault=config.attack.fault_spec).build(
+        initial, seed=config.seed
+    )
     schedule = build_schedule(config, initial.number_of_nodes())
     return AttackSession(
         healer,

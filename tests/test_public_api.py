@@ -23,6 +23,10 @@ PUBLIC_MODULES = [
     "repro.distributed.protocol",
     "repro.distributed.simulator",
     "repro.distributed.metrics",
+    "repro.distributed.faults",
+    "repro.service",
+    "repro.service.store",
+    "repro.service.metrics",
     "repro.baselines",
     "repro.adversary",
     "repro.generators",
@@ -51,6 +55,7 @@ def test_module_imports_and_has_docstring(module_name):
         "repro.analysis",
         "repro.engine",
         "repro.experiments",
+        "repro.service",
     ],
 )
 def test_all_exports_resolve(module_name):
