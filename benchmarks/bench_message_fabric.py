@@ -1,0 +1,101 @@
+"""Message-fabric benchmarks: pooled/packed delivery floods and shared-network churn.
+
+Times the PR 10 zero-allocation fabric against its retained PR 9 twin
+(``pooled=False, packed_batching=False, batched_accounting=False``) on the
+same steady-state flood the ``message_fabric`` BENCH gate measures: 32 ring
+processors, 12 same-link deletion notices per edge per round (a chunked
+report wave's stream shape), delivered through the packed carrier path.  A
+third item drives a delete-heavy churn over one shared ``Network`` — the
+``sweep_large_n(shared_network=True)`` scale path.  The authoritative gate
+numbers live in ``BENCH_perf.json`` (``scripts/perf_report.py``); this
+module keeps the fabric visible to ``pytest benchmarks/ --benchmark-only``.
+
+Every item here carries the ``perf`` marker (added by conftest) and stays
+out of the tier-1 run.
+"""
+
+import pytest
+
+from repro.distributed import DeletionNotice, Network
+from repro.experiments import AttackConfig
+from repro.experiments.sweeps import sweep_large_n
+
+from conftest import run_once
+
+WIDTH = 32
+BURST = 12
+ROUNDS = 600
+
+
+def flood(fabric: bool, rounds: int = ROUNDS) -> Network:
+    network = Network(strict_links=False)
+    network.pooled = fabric
+    network.packed_batching = fabric
+    network.batched_accounting = fabric
+    for p in range(WIDTH):
+        network.add_processor(p)
+    send = network.send
+    new = network.new
+    for _ in range(rounds):
+        for p in range(WIDTH):
+            receiver = (p + 1) % WIDTH
+            for _ in range(BURST):
+                send(new(DeletionNotice, p, receiver, -1))
+        network.deliver_round()
+    return network
+
+
+@pytest.mark.parametrize("fabric", [False, True], ids=["pr9-twin", "fabric"])
+def test_delivery_flood(benchmark, fabric):
+    """Steady-state same-link flood: pooled+packed+tallied vs the PR 9 twin."""
+    network = run_once(benchmark, flood, fabric)
+    benchmark.extra_info["width"] = WIDTH
+    benchmark.extra_info["burst"] = BURST
+    benchmark.extra_info["rounds"] = ROUNDS
+    benchmark.extra_info["messages"] = network.metrics.total_messages
+    assert network.metrics.total_messages == WIDTH * BURST * ROUNDS
+
+
+@pytest.mark.parametrize("packed", [False, True], ids=["unpacked", "packed"])
+def test_pooled_flood_packing_ablation(benchmark, packed):
+    """Pooling held fixed, packing toggled — isolates the carrier's share."""
+
+    def workload():
+        network = Network(strict_links=False)
+        network.packed_batching = packed
+        for p in range(WIDTH):
+            network.add_processor(p)
+        for _ in range(ROUNDS // 2):
+            for p in range(WIDTH):
+                receiver = (p + 1) % WIDTH
+                for _ in range(BURST):
+                    network.send(network.new(DeletionNotice, p, receiver, -1))
+            network.deliver_round()
+        return network
+
+    network = run_once(benchmark, workload)
+    benchmark.extra_info["packed"] = packed
+    benchmark.extra_info["messages"] = network.metrics.total_messages
+
+
+def test_shared_network_churn(benchmark):
+    """A delete-heavy run on ONE shared network (the large-n scale path)."""
+    rows = run_once(
+        benchmark,
+        sweep_large_n,
+        "bench-shared-network",
+        "erdos_renyi",
+        2_000,
+        1,
+        attack=AttackConfig(
+            strategy="random", delete_fraction=0.01, delete_probability=1.0
+        ),
+        seed=3,
+        shared_network=True,
+    )
+    row = rows[0]
+    benchmark.extra_info["n"] = row["n"]
+    benchmark.extra_info["deletions"] = row["deletions"]
+    benchmark.extra_info["nodes_per_sec"] = row["nodes_per_sec"]
+    assert row["connected"]
+    assert row["deletions"] == row["deletion_target"]

@@ -119,6 +119,20 @@ Workloads
     a trimmed ``receive_trace_limit``, reporting retained receive-transcript
     messages and payload bytes — the knob that shrinks the per-processor
     dispute window at large n.
+
+``message_fabric``
+    The zero-allocation message fabric (PR 10).  Four rows: *equivalence* —
+    the slotted + pooled + packed fabric against the PR 9 twin (pooling,
+    packed batching and tally accounting all off) on identical delete-heavy
+    attacks under every delivery preset plus the byzantine lie schedule,
+    gated on bit-identical per-deletion cost reports and healed link sets;
+    *allocations* — a live ``Message``-object census over a lossless
+    steady-state flood, asserting ~zero new objects per round once the
+    receive-trace deques have warmed the pool; *flood speedup* — the same
+    flood timed fabric-on vs the PR 9 path (metrics totals asserted equal
+    first); *shared scale* — ``sweep_large_n(shared_network=True)``: one
+    ``Network`` carrying the whole graph through ``delete_batch`` waves of
+    disjoint-footprint victim bursts, reporting end-to-end nodes/sec.
 """
 
 from __future__ import annotations
@@ -182,6 +196,12 @@ TARGET_CONCURRENT_ROUND_RATIO = 0.6
 #: Smoke mode (CI) only asserts "the fast path is not a regression"; the
 #: sub-1.0 floor absorbs scheduling noise on tiny-n timings (shared runners).
 TARGET_SMOKE_SPEEDUP = 0.7
+#: The pooled + packed message fabric must beat the PR 9 delivery path by
+#: this factor on the full-scale (n=5000) message flood.
+TARGET_FABRIC_SPEEDUP = 1.5
+#: Pooled steady state may allocate at most this many Message objects per
+#: delivered round (the gate's definition of "~zero").
+TARGET_FABRIC_ALLOCS_PER_ROUND = 0.5
 
 
 # --------------------------------------------------------------------------- #
@@ -915,6 +935,180 @@ def bench_network_delivery(n: int, seed: int = 20090214) -> Dict[str, object]:
     }
 
 
+def bench_message_fabric(
+    flood_n: int,
+    equivalence_n: int,
+    shared_total: int,
+    seed: int = 20090214,
+) -> Dict[str, object]:
+    """The zero-allocation message fabric gate (PR 10): four rows.
+
+    *Equivalence* — the pooled + packed + tally-accounted fabric and the
+    PR 9 twin (``pooled=False, packed_batching=False,
+    batched_accounting=False``) replay identical delete-heavy attacks under
+    every delivery preset plus the byzantine lie schedule; per-deletion cost
+    reports and the healed link sets must agree exactly (recycling a message
+    or folding several into one carrier may never change protocol
+    behaviour, bit for bit).  *Allocations* — a lossless steady-state flood
+    on the pooled path, measured by live ``Message``-object census after the
+    receive-trace deques warm up: the per-round allocation delta must be
+    ~zero (every instance the round needs comes back out of the pool).
+    *Flood speedup* — the same flood, fabric on vs the PR 9 twin, with
+    metrics totals asserted equal first.  *Shared scale* — one
+    ``sweep_large_n(shared_network=True)`` run: ``shared_total`` nodes on a
+    single ``Network`` churned through ``delete_batch`` waves, reporting
+    end-to-end nodes/sec, consistency and connectivity.
+    """
+    import gc
+
+    from repro.distributed.messages import Message
+
+    # -- equivalence: the fabric may never change behaviour ---------------- #
+    eq_graph = make_graph("power_law", equivalence_n, seed=seed)
+
+    def replay(preset: str, fabric: bool):
+        healer = DistributedForgivingGraph.from_graph(
+            eq_graph, fault_schedule=fault_schedule(preset, seed=seed)
+        )
+        network = healer.network
+        if not fabric:
+            network.pooled = False
+            network.packed_batching = False
+            network.batched_accounting = False
+        strategy = MaxDegreeDeletion()
+        for _ in range(eq_graph.number_of_nodes() // 2):
+            victim = strategy.choose_victim(healer)
+            if victim is None or healer.num_alive <= 3:
+                break
+            healer.delete(victim)
+        keys = [_cost_report_key(r) for r in healer.cost_reports]
+        links = frozenset(frozenset(link) for link in network.iter_links())
+        return keys, links
+
+    fabric_presets = sorted(DELIVERY_PRESETS) + ["byzantine"]
+    equivalent: Dict[str, bool] = {}
+    for preset in fabric_presets:
+        equivalent[preset] = replay(preset, True) == replay(preset, False)
+    if not all(equivalent.values()):
+        raise AssertionError(f"fabric and PR 9 twin diverge under {equivalent}")
+
+    # -- flood: pooled + packed + tallied vs the PR 9 twin ----------------- #
+    width = 32  # ring processors
+    # Same-link messages per round: a chunked report/digest wave sends its
+    # descriptors in MAX_ROOTS_PER_MESSAGE-deep streams down one scaffold
+    # edge, so a 12-message burst is the stream shape the carrier folds.
+    burst = 12
+    rounds = max(flood_n, 500)
+
+    def flood(fabric: bool):
+        network = Network(strict_links=False)
+        network.pooled = fabric
+        network.packed_batching = fabric
+        network.batched_accounting = fabric
+        for p in range(width):
+            network.add_processor(p)
+        send = network.send
+        new = network.new
+        start = time.perf_counter()
+        for _ in range(rounds):
+            for p in range(width):
+                receiver = (p + 1) % width
+                for _ in range(burst):
+                    send(new(DeletionNotice, p, receiver, -1))
+            network.deliver_round()
+        return time.perf_counter() - start, network
+
+    _, reference = flood(False)  # warm-up + metrics capture
+    _, fabric_net = flood(True)
+    for field in ("total_messages", "total_bits", "total_dropped", "total_rounds"):
+        if getattr(fabric_net.metrics, field) != getattr(reference.metrics, field):
+            raise AssertionError(f"flood metrics diverge on {field} at n={flood_n}")
+    reference_seconds = min(flood(False)[0] for _ in range(2))
+    fabric_seconds = min(flood(True)[0] for _ in range(2))
+
+    # -- allocations: live Message census over a pooled steady state ------- #
+    def message_census() -> int:
+        gc.collect()
+        return sum(1 for obj in gc.get_objects() if isinstance(obj, Message))
+
+    alloc_net = Network(strict_links=False)
+    for p in range(width):
+        alloc_net.add_processor(p)
+
+    def alloc_rounds(count: int) -> None:
+        for _ in range(count):
+            for p in range(width):
+                receiver = (p + 1) % width
+                for _ in range(burst):
+                    alloc_net.send(
+                        alloc_net.new(
+                            DeletionNotice, sender=p, receiver=receiver, deleted=-1
+                        )
+                    )
+            alloc_net.deliver_round()
+
+    # Warm-up must outlast the deepest receive-trace deque (eviction is what
+    # feeds the pool), then the census delta over the measured window is the
+    # steady-state allocation rate.
+    from repro.distributed.processor import Processor
+
+    warmup = Processor.RECEIVE_TRACE_LIMIT // burst + 8
+    measure_rounds = 100
+    alloc_rounds(warmup)
+    before = message_census()
+    alloc_rounds(measure_rounds)
+    after = message_census()
+    delta = after - before
+    per_round = delta / measure_rounds
+    if per_round > 0.5:
+        raise AssertionError(
+            f"pooled steady state allocates {per_round:.2f} Message objects/round"
+        )
+
+    # -- shared scale: one network, delete_batch waves --------------------- #
+    start = time.perf_counter()
+    shared_rows = sweep_large_n(
+        "bench-shared-network",
+        "erdos_renyi",
+        shared_total,
+        1,
+        attack=AttackConfig(
+            strategy="random", delete_fraction=0.005, delete_probability=1.0
+        ),
+        seed=seed % 1_000,
+        shared_network=True,
+    )
+    shared_row = dict(shared_rows[0])
+    shared_row["bench_seconds"] = round(time.perf_counter() - start, 4)
+
+    return {
+        "equivalence": equivalent,
+        "allocations": {
+            "width": width,
+            "burst": burst,
+            "warmup_rounds": warmup,
+            "measure_rounds": measure_rounds,
+            "message_objects_delta": delta,
+            "per_round": round(per_round, 4),
+        },
+        "flood": {
+            "n": flood_n,
+            "rounds": rounds,
+            "width": width,
+            "burst": burst,
+            "messages": fabric_net.metrics.total_messages,
+            "reference_seconds": round(reference_seconds, 4),
+            "fabric_seconds": round(fabric_seconds, 4),
+            "speedup": (
+                round(reference_seconds / fabric_seconds, 2)
+                if fabric_seconds
+                else float("inf")
+            ),
+        },
+        "shared_scale": shared_row,
+    }
+
+
 #: Mixed-traffic rows the ``concurrent_repairs`` gate can add on top of its
 #: always-on core checks: the chaos delivery preset and the byzantine lie
 #: schedule, each over a concurrent burst ("all" in ``--concurrent-schedule``).
@@ -1366,6 +1560,7 @@ def build_report(
         delivery_sizes = [150]
         concurrent_sizes = [80]
         large_n = {"speedup_n": 200, "memory_n": 150, "scale_total": 600, "shards": 3}
+        fabric = {"flood_n": 150, "equivalence_n": 60, "shared_total": 600}
         service = {"n": 40, "ops": 48}
     elif quick:
         sizes = [100, 1000]
@@ -1377,6 +1572,7 @@ def build_report(
         delivery_sizes = [100, 1000]
         concurrent_sizes = [120]
         large_n = {"speedup_n": 1000, "memory_n": 500, "scale_total": 20_000, "shards": 2}
+        fabric = {"flood_n": 1000, "equivalence_n": 100, "shared_total": 5_000}
         service = {"n": 48, "ops": 96}
     else:
         sizes = [100, 1000, 5000]
@@ -1393,6 +1589,7 @@ def build_report(
             "scale_total": 100_000,
             "shards": 4,
         }
+        fabric = {"flood_n": 5000, "equivalence_n": 150, "shared_total": 100_000}
         service = {"n": 64, "ops": 160}
     if large_n_nodes is not None:
         large_n["scale_total"] = large_n_nodes
@@ -1527,6 +1724,21 @@ def build_report(
         f"{large_n_row['scale']['nodes_per_sec']} nodes/sec over "
         f"{large_n_row['scale']['shards']} shards"
     )
+    print(
+        f"[message_fabric] flood_n={fabric['flood_n']} "
+        f"shared={fabric['shared_total']} ...",
+        flush=True,
+    )
+    fabric_row = bench_message_fabric(**fabric)
+    print(
+        f"  flood {fabric_row['flood']['reference_seconds']}s -> "
+        f"{fabric_row['flood']['fabric_seconds']}s "
+        f"({fabric_row['flood']['speedup']}x); "
+        f"{fabric_row['allocations']['per_round']} allocs/round; "
+        f"shared {fabric_row['shared_scale']['nodes_per_sec']} nodes/sec "
+        f"over {fabric_row['shared_scale']['deletions']} deletions "
+        f"(connected={fabric_row['shared_scale']['connected']})"
+    )
     print(f"[service_churn] n={service['n']} ops={service['ops']} ...", flush=True)
     service_row = bench_service_churn(**service)
     print(
@@ -1564,9 +1776,19 @@ def build_report(
                 and all(large_n_row["speedup"]["equivalent"].values())
                 and large_n_row["scale"]["all_connected"]
             ),
+            "message_fabric_smoke": (
+                fabric_row["flood"]["speedup"] >= TARGET_SMOKE_SPEEDUP
+                and all(fabric_row["equivalence"].values())
+                and fabric_row["allocations"]["per_round"]
+                <= TARGET_FABRIC_ALLOCS_PER_ROUND
+                and fabric_row["shared_scale"]["connected"]
+            ),
             "service_churn": service_row["ok"],
         }
-        targets = {"smoke_min_speedup": TARGET_SMOKE_SPEEDUP}
+        targets = {
+            "smoke_min_speedup": TARGET_SMOKE_SPEEDUP,
+            "fabric_max_allocs_per_round": TARGET_FABRIC_ALLOCS_PER_ROUND,
+        }
     else:
         stretch_1k = next(r for r in stretch_rows if r["n"] == 1000)
         # The at-scale targets apply where the optimized cost actually
@@ -1605,6 +1827,19 @@ def build_report(
                 all(large_n_row["speedup"]["equivalent"].values())
                 and large_n_row["scale"]["all_connected"]
             ),
+            "message_fabric_speedup": (
+                fabric_row["flood"]["speedup"] >= TARGET_FABRIC_SPEEDUP
+            ),
+            "message_fabric_equivalence": all(fabric_row["equivalence"].values()),
+            "message_fabric_allocations": (
+                fabric_row["allocations"]["per_round"]
+                <= TARGET_FABRIC_ALLOCS_PER_ROUND
+            ),
+            "message_fabric_shared_scale": bool(
+                fabric_row["shared_scale"]["connected"]
+                and fabric_row["shared_scale"]["deletions"]
+                >= fabric_row["shared_scale"]["deletion_target"]
+            ),
             "service_churn": service_row["ok"],
         }
         targets = {
@@ -1619,10 +1854,12 @@ def build_report(
             "network_delivery_min_speedup": TARGET_SMOKE_SPEEDUP,
             "concurrent_max_round_ratio": TARGET_CONCURRENT_ROUND_RATIO,
             "large_n_min_speedup": TARGET_LARGE_N_SPEEDUP,
+            "fabric_min_speedup": TARGET_FABRIC_SPEEDUP,
+            "fabric_max_allocs_per_round": TARGET_FABRIC_ALLOCS_PER_ROUND,
         }
 
     return {
-        "schema": "bench_perf/v9",
+        "schema": "bench_perf/v10",
         "generated_by": "scripts/perf_report.py" + (" --smoke" if smoke else ""),
         "scipy_backend": HAVE_SCIPY,
         "cpus": os.cpu_count(),
@@ -1637,6 +1874,7 @@ def build_report(
         "network_delivery": delivery_rows,
         "concurrent_repairs": concurrent_rows,
         "large_n": large_n_row,
+        "message_fabric": fabric_row,
         "service_churn": service_row,
         "targets": targets,
         "targets_met": targets_met,

@@ -47,6 +47,19 @@ Byzantine accountability (PR 6) adds cheap integrity tags:
 Both tags cost O(1) words (folded into the existing per-descriptor word
 counts) and are computed lazily, so the lossless fast path pays nothing
 when nobody verifies.
+
+Zero-allocation fabric (PR 10): every message class is a hand-rolled
+``__slots__`` layout — no per-instance ``__dict__``, the lazy seal cache
+lives in the dedicated ``_seal`` slot, and ``kind`` / ``sealed`` /
+``packable`` stay class attributes so the delivery hot loop pays attribute
+loads, not method calls.  Because construction is a plain ``__init__``,
+the per-:class:`~repro.distributed.network.Network` message pool can
+recycle an instance by re-running its constructor (every slot is reset,
+including the seal cache and the oracle tags).  High-volume kinds
+additionally declare ``_payload_fields`` so :class:`PackedPayloads` — the
+struct-of-arrays carrier that coalesces same-link chunks of one round into
+a single in-flight object — can pack and unpack them generically with the
+exact per-part word accounting Lemma 4's ledgers need.
 """
 
 from __future__ import annotations
@@ -55,7 +68,7 @@ import itertools
 import math
 import zlib
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..core.ports import NodeId, Port
 
@@ -71,12 +84,19 @@ __all__ = [
     "HelperAssignment",
     "Digest",
     "DigestRequest",
+    "PackedPayloads",
     "PortDigest",
     "words_to_bits",
     "payload_checksum",
     "SEALED_KINDS",
 ]
 
+#: Fallback id source for messages constructed outside any network (unit
+#: tests, out-of-band notices).  Messages that travel through a
+#: :class:`~repro.distributed.network.Network` are re-stamped from that
+#: network's own counter (and again on every pool reuse), so in-network ids
+#: are deterministic per run regardless of how many networks the process
+#: ran earlier.
 _message_counter = itertools.count(1)
 
 
@@ -111,34 +131,56 @@ def words_to_bits(words: int, n_ever: int) -> int:
     return words * word_bits
 
 
-@dataclass
 class Message:
-    """Base class for protocol messages travelling between processors."""
+    """Base class for protocol messages travelling between processors.
 
-    sender: NodeId
-    receiver: NodeId
+    A hand-rolled ``__slots__`` class (not a dataclass): the message layer
+    is the hot allocation site of every repair, so instances carry no
+    ``__dict__`` and every per-instance datum sits in a fixed slot.  The
+    constructor doubles as the pool-reset hook — re-running ``__init__`` on
+    a recycled instance restores every slot (seal cache, oracle tags, pin)
+    to the freshly-constructed state.
+    """
 
-    #: Payload size in identifier words (subclasses override as needed).
-    payload_words: int = field(default=2, init=False)
+    __slots__ = (
+        "sender",
+        "receiver",
+        "payload_words",
+        "message_id",
+        "byz_origin",
+        "_seal",
+        "pinned",
+    )
 
     #: Short name of the message type (used in traces and metrics).  A plain
-    #: class attribute — stamped per subclass below — instead of the seed-era
-    #: per-access property: delivery reads ``kind`` several times per
-    #: message (counters, dispatch, seals), so the hot loop pays one
-    #: attribute load, not a method call.  Unannotated on purpose, so the
-    #: dataclass machinery never mistakes it for a field.
+    #: class attribute — stamped per subclass below — delivery reads
+    #: ``kind`` several times per message (counters, dispatch, seals), so
+    #: the hot loop pays one attribute load, not a method call.
     kind = "Message"
     #: True when this message type carries a payload seal that receivers
     #: verify (``kind in SEALED_KINDS``, precomputed per class so the
     #: receive gate is one attribute check for the unsealed majority).
     sealed = False
+    #: True for the high-volume kinds :class:`PackedPayloads` may coalesce.
+    packable = False
+    #: Epoch tag default: repair-protocol messages shadow this with their
+    #: ``deleted`` slot, so ``message.deleted`` is a plain attribute read
+    #: everywhere (no ``getattr`` default on the delivery path).
+    deleted = None
+    #: Logical message count — 1 for every plain message; the packed
+    #: carrier shadows it with its per-instance part count so in-flight
+    #: ledgers keep counting logical messages, not carriers.
+    count = 1
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
         cls.kind = cls.__name__
         cls.sealed = cls.__name__ in SEALED_KINDS
 
-    def __post_init__(self) -> None:
+    def __init__(self, sender: NodeId, receiver: NodeId) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.payload_words = 2
         self.message_id = next(_message_counter)
         #: Oracle-side provenance tag: set to the liar's NodeId when the
         #: fault layer (or a byzantine processor's forging hook) corrupted
@@ -146,6 +188,17 @@ class Message:
         #: feeds the :class:`~repro.distributed.accountability.InjectionLog`
         #: ground truth that scores detection.
         self.byz_origin: Optional[NodeId] = None
+        self._seal: Optional[int] = None
+        #: True when some ledger retained this instance beyond delivery
+        #: (accusation evidence, cross-witness table) — the pool must never
+        #: recycle a pinned message.
+        self.pinned = False
+
+    def __repr__(self) -> str:  # debugging/traces only — never on the hot path
+        return (
+            f"{self.kind}(sender={self.sender!r}, receiver={self.receiver!r}, "
+            f"id={self.message_id})"
+        )
 
     def size_bits(self, n_ever: int) -> int:
         """Size of this message in bits when identifiers need ``log2 n`` bits."""
@@ -168,10 +221,10 @@ class Message:
         *before* mutating payload fields, modelling an adversary that can
         corrupt a payload but cannot forge the original author's MAC.
         """
-        cached = self.__dict__.get("_seal")
+        cached = self._seal
         if cached is None:
             cached = payload_checksum(self.kind, self._seal_fields())
-            self.__dict__["_seal"] = cached
+            self._seal = cached
         return cached
 
     def seal_valid(self) -> bool:
@@ -182,7 +235,7 @@ class Message:
         the seal first), so it verifies for free; the honest fast path pays
         no hashing at all.
         """
-        cached = self.__dict__.get("_seal")
+        cached = self._seal
         if cached is None:
             return True
         return cached == payload_checksum(self.kind, self._seal_fields())
@@ -194,43 +247,126 @@ class Message:
         fresh payload under its own valid MAC — undetectable by seal
         checks, caught instead by cross-witness contradiction.
         """
-        self.__dict__["_seal"] = payload_checksum(self.kind, self._seal_fields())
+        self._seal = payload_checksum(self.kind, self._seal_fields())
 
 
-@dataclass
 class DeletionNotice(Message):
     """Failure notification: ``deleted`` has vanished (delivered to each neighbour)."""
 
-    deleted: NodeId = None
+    __slots__ = ("deleted",)
+    packable = True
+    _payload_fields = ("deleted",)
+
+    def __init__(self, sender: NodeId, receiver: NodeId, deleted: NodeId = None) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.payload_words = 2
+        self.message_id = next(_message_counter)
+        self.byz_origin = None
+        self._seal = None
+        self.pinned = False
+        self.deleted = deleted
+
+    def reset(self, sender: NodeId, receiver: NodeId, deleted: NodeId = None) -> None:
+        # Pooled re-init: ``payload_words`` is a class constant and the id
+        # is re-stamped by the network, so neither is touched here.
+        self.sender = sender
+        self.receiver = receiver
+        self.byz_origin = None
+        self._seal = None
+        self.pinned = False
+        self.deleted = deleted
 
 
-@dataclass
 class InsertionNotice(Message):
     """A freshly inserted node announces itself to one of its chosen neighbours."""
 
-    inserted: NodeId = None
+    __slots__ = ("inserted",)
+
+    def __init__(self, sender: NodeId, receiver: NodeId, inserted: NodeId = None) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.payload_words = 2
+        self.message_id = next(_message_counter)
+        self.byz_origin = None
+        self._seal = None
+        self.pinned = False
+        self.inserted = inserted
 
 
-@dataclass
 class AnchorLink(Message):
     """Anchors of affected fragments link into the binary tree ``BT_v``."""
 
-    deleted: NodeId = None
-    #: Port identifying the fragment this anchor speaks for.
-    anchor_port: Optional[Port] = None
+    __slots__ = ("deleted", "anchor_port")
+
+    def __init__(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        deleted: NodeId = None,
+        anchor_port: Optional[Port] = None,
+    ) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.payload_words = 2
+        self.message_id = next(_message_counter)
+        self.byz_origin = None
+        self._seal = None
+        self.pinned = False
+        self.deleted = deleted
+        #: Port identifying the fragment this anchor speaks for.
+        self.anchor_port = anchor_port
 
 
-@dataclass
 class Probe(Message):
     """``FindPrRoots`` probe walking down the right spine of a fragment."""
 
-    deleted: NodeId = None
-    #: Port of the virtual node currently being probed.
-    target_port: Optional[Port] = None
-    #: Hop count so far (for tracing; the paper's probes carry child counts).
-    hops: int = 0
-    #: Which affected RT's spine this probe walks (plan-relative index).
-    rt_index: int = 0
+    __slots__ = ("deleted", "target_port", "hops", "rt_index")
+    packable = True
+    _payload_fields = ("deleted", "target_port", "hops", "rt_index")
+
+    def __init__(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        deleted: NodeId = None,
+        target_port: Optional[Port] = None,
+        hops: int = 0,
+        rt_index: int = 0,
+    ) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.payload_words = 2
+        self.message_id = next(_message_counter)
+        self.byz_origin = None
+        self._seal = None
+        self.pinned = False
+        self.deleted = deleted
+        #: Port of the virtual node currently being probed.
+        self.target_port = target_port
+        #: Hop count so far (for tracing; the paper's probes carry child counts).
+        self.hops = hops
+        #: Which affected RT's spine this probe walks (plan-relative index).
+        self.rt_index = rt_index
+
+    def reset(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        deleted: NodeId = None,
+        target_port: Optional[Port] = None,
+        hops: int = 0,
+        rt_index: int = 0,
+    ) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.byz_origin = None
+        self._seal = None
+        self.pinned = False
+        self.deleted = deleted
+        self.target_port = target_port
+        self.hops = hops
+        self.rt_index = rt_index
 
 
 #: Identifier words per serialized primary-root descriptor (root port,
@@ -244,7 +380,6 @@ ROOT_DESCRIPTOR_WORDS = 4
 MAX_ROOTS_PER_MESSAGE = 12
 
 
-@dataclass
 class PrimaryRootReport(Message):
     """Primary-root descriptors flowing back up a probe path to the anchor.
 
@@ -254,53 +389,92 @@ class PrimaryRootReport(Message):
     survived the trip.
     """
 
-    deleted: NodeId = None
-    roots: Tuple[object, ...] = ()
-    #: Which affected RT's spine this report travels on (plan-relative index).
-    rt_index: int = 0
+    __slots__ = ("deleted", "roots", "rt_index")
 
-    def __post_init__(self) -> None:
-        super().__post_init__()
-        self.payload_words = 2 + ROOT_DESCRIPTOR_WORDS * len(self.roots)
+    def __init__(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        deleted: NodeId = None,
+        roots: Tuple[object, ...] = (),
+        rt_index: int = 0,
+    ) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.payload_words = 2 + ROOT_DESCRIPTOR_WORDS * len(roots)
+        self.message_id = next(_message_counter)
+        self.byz_origin = None
+        self._seal = None
+        self.pinned = False
+        self.deleted = deleted
+        self.roots = roots
+        #: Which affected RT's spine this report travels on (plan-relative index).
+        self.rt_index = rt_index
 
     def _seal_fields(self) -> Tuple[object, ...]:
         return (self.deleted, self.roots, self.rt_index)
 
 
-@dataclass
 class PrimaryRootList(Message):
     """An anchor ships its primary-root descriptors to its ``BT_v`` parent."""
 
-    deleted: NodeId = None
-    roots: Tuple[object, ...] = ()
+    __slots__ = ("deleted", "roots")
 
-    def __post_init__(self) -> None:
-        super().__post_init__()
+    def __init__(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        deleted: NodeId = None,
+        roots: Tuple[object, ...] = (),
+    ) -> None:
+        self.sender = sender
+        self.receiver = receiver
         # A few descriptor words per primary root plus a header.
-        self.payload_words = 2 + ROOT_DESCRIPTOR_WORDS * len(self.roots)
+        self.payload_words = 2 + ROOT_DESCRIPTOR_WORDS * len(roots)
+        self.message_id = next(_message_counter)
+        self.byz_origin = None
+        self._seal = None
+        self.pinned = False
+        self.deleted = deleted
+        self.roots = roots
 
     def _seal_fields(self) -> Tuple[object, ...]:
         return (self.deleted, self.roots)
 
 
-@dataclass
 class ParentUpdate(Message):
     """Tell a processor the new RT parent of one of its real or helper nodes."""
 
-    deleted: NodeId = None
-    #: Port of the node (leaf or helper) whose parent changed.
-    child_port: Optional[Port] = None
-    #: Port of the new parent helper node.
-    parent_port: Optional[Port] = None
-    #: True when the update concerns the processor's helper node rather than its leaf.
-    child_is_helper: bool = False
-    #: Merge-outcome epoch (see :class:`HelperAssignment`).
-    epoch: int = 0
+    __slots__ = ("deleted", "child_port", "parent_port", "child_is_helper", "epoch")
 
-    def __post_init__(self) -> None:
-        super().__post_init__()
+    def __init__(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        deleted: NodeId = None,
+        child_port: Optional[Port] = None,
+        parent_port: Optional[Port] = None,
+        child_is_helper: bool = False,
+        epoch: int = 0,
+    ) -> None:
+        self.sender = sender
+        self.receiver = receiver
         # deleted + child port + parent port + flag + epoch, one word each.
         self.payload_words = 5
+        self.message_id = next(_message_counter)
+        self.byz_origin = None
+        self._seal = None
+        self.pinned = False
+        self.deleted = deleted
+        #: Port of the node (leaf or helper) whose parent changed.
+        self.child_port = child_port
+        #: Port of the new parent helper node.
+        self.parent_port = parent_port
+        #: True when the update concerns the processor's helper node rather
+        #: than its leaf.
+        self.child_is_helper = child_is_helper
+        #: Merge-outcome epoch (see :class:`HelperAssignment`).
+        self.epoch = epoch
 
     def _seal_fields(self) -> Tuple[object, ...]:
         return (
@@ -312,7 +486,6 @@ class ParentUpdate(Message):
         )
 
 
-@dataclass
 class HelperAssignment(Message):
     """Instruct a processor to instantiate / rewire the helper node of one of its ports.
 
@@ -326,25 +499,57 @@ class HelperAssignment(Message):
     overwrite a corrective update).
     """
 
-    deleted: NodeId = None
-    helper_port: Optional[Port] = None
-    parent_port: Optional[Port] = None
-    left_port: Optional[Port] = None
-    right_port: Optional[Port] = None
-    #: False when the helper should be dropped ("marked red") instead of created.
-    create: bool = True
-    #: Representative leaf port of the helper's subtree (Table 1 state).
-    representative_port: Optional[Port] = None
-    #: Cached subtree height / leaf count (Table 1 state).
-    height: int = 0
-    num_leaves: int = 0
-    epoch: int = 0
+    __slots__ = (
+        "deleted",
+        "helper_port",
+        "parent_port",
+        "left_port",
+        "right_port",
+        "create",
+        "representative_port",
+        "height",
+        "num_leaves",
+        "epoch",
+    )
 
-    def __post_init__(self) -> None:
-        super().__post_init__()
+    def __init__(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        deleted: NodeId = None,
+        helper_port: Optional[Port] = None,
+        parent_port: Optional[Port] = None,
+        left_port: Optional[Port] = None,
+        right_port: Optional[Port] = None,
+        create: bool = True,
+        representative_port: Optional[Port] = None,
+        height: int = 0,
+        num_leaves: int = 0,
+        epoch: int = 0,
+    ) -> None:
+        self.sender = sender
+        self.receiver = receiver
         # deleted + 5 ports + height + leaf count + epoch + create flag,
         # one O(log n)-bit word each.
         self.payload_words = 10
+        self.message_id = next(_message_counter)
+        self.byz_origin = None
+        self._seal = None
+        self.pinned = False
+        self.deleted = deleted
+        self.helper_port = helper_port
+        self.parent_port = parent_port
+        self.left_port = left_port
+        self.right_port = right_port
+        #: False when the helper should be dropped ("marked red") instead
+        #: of created.
+        self.create = create
+        #: Representative leaf port of the helper's subtree (Table 1 state).
+        self.representative_port = representative_port
+        #: Cached subtree height / leaf count (Table 1 state).
+        self.height = height
+        self.num_leaves = num_leaves
+        self.epoch = epoch
 
     def _seal_fields(self) -> Tuple[object, ...]:
         return (
@@ -432,7 +637,6 @@ RECORD_DESCRIPTOR_WORDS = 7
 MAX_PORTS_PER_REQUEST = 16
 
 
-@dataclass
 class Digest(Message):
     """One participant's compact repair-state digest (anti-entropy gossip).
 
@@ -459,23 +663,40 @@ class Digest(Message):
     the repair's own list messages, so every digest stays ``O(log n)`` bits.
     """
 
-    deleted: NodeId = None
-    #: Which affected RT's spine this digest describes (None otherwise).
-    rt_index: Optional[int] = None
-    probed: bool = True
-    stripped: bool = True
-    #: True when this digest echoes a received chunk back to its sender.
-    ack: bool = False
-    pieces: Tuple[object, ...] = ()
-    records: Tuple[PortDigest, ...] = ()
+    __slots__ = ("deleted", "rt_index", "probed", "stripped", "ack", "pieces", "records")
+    packable = True
+    _payload_fields = ("deleted", "rt_index", "probed", "stripped", "ack", "pieces", "records")
 
-    def __post_init__(self) -> None:
-        super().__post_init__()
+    def __init__(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        deleted: NodeId = None,
+        rt_index: Optional[int] = None,
+        probed: bool = True,
+        stripped: bool = True,
+        ack: bool = False,
+        pieces: Tuple[object, ...] = (),
+        records: Tuple[PortDigest, ...] = (),
+    ) -> None:
+        self.sender = sender
+        self.receiver = receiver
         self.payload_words = (
-            3
-            + ROOT_DESCRIPTOR_WORDS * len(self.pieces)
-            + RECORD_DESCRIPTOR_WORDS * len(self.records)
+            3 + ROOT_DESCRIPTOR_WORDS * len(pieces) + RECORD_DESCRIPTOR_WORDS * len(records)
         )
+        self.message_id = next(_message_counter)
+        self.byz_origin = None
+        self._seal = None
+        self.pinned = False
+        self.deleted = deleted
+        #: Which affected RT's spine this digest describes (None otherwise).
+        self.rt_index = rt_index
+        self.probed = probed
+        self.stripped = stripped
+        #: True when this digest echoes a received chunk back to its sender.
+        self.ack = ack
+        self.pieces = pieces
+        self.records = records
 
     def _seal_fields(self) -> Tuple[object, ...]:
         return (
@@ -489,7 +710,6 @@ class Digest(Message):
         )
 
 
-@dataclass
 class DigestRequest(Message):
     """The merge leader pulls record digests for ports it instructed.
 
@@ -499,9 +719,181 @@ class DigestRequest(Message):
     port it actually owns.
     """
 
-    deleted: NodeId = None
-    ports: Tuple[Port, ...] = ()
+    __slots__ = ("deleted", "ports")
+    packable = True
+    _payload_fields = ("deleted", "ports")
 
-    def __post_init__(self) -> None:
-        super().__post_init__()
-        self.payload_words = 2 + len(self.ports)
+    def __init__(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        deleted: NodeId = None,
+        ports: Tuple[Port, ...] = (),
+    ) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.payload_words = 2 + len(ports)
+        self.message_id = next(_message_counter)
+        self.byz_origin = None
+        self._seal = None
+        self.pinned = False
+        self.deleted = deleted
+        self.ports = ports
+
+
+# --------------------------------------------------------------------------- #
+# packed payload batching (PR 10)
+# --------------------------------------------------------------------------- #
+class PackedPayloads(Message):
+    """Struct-of-arrays carrier coalescing same-link chunks of one round.
+
+    When several messages of one *packable* kind travel between the same
+    ``(sender, receiver)`` pair — consecutive digest/ack chunks, probe
+    forwards, fanned-out deletion notices — the network folds them into one
+    carrier: the payload fields live in parallel columns (one list per
+    field), and the per-part word counts, lazy seal caches and oracle
+    provenance tags ride in their own columns.  ``payload_words`` is the
+    exact sum of the parts' words and ``count`` the number of logical
+    messages, so Lemma 4 ledgers, per-epoch window attribution and
+    in-flight accounting are bit-identical to the unbatched twin.  The
+    carrier has two lanes: on a pooled network it stashes (:meth:`stash`) the
+    sent instances themselves (retention is free — delivery feeds them
+    straight to the handlers and they return to the pool through trace
+    eviction); on an unpooled network it absorbs (:meth:`absorb`) payloads into
+    the columns and delivery rebuilds each part via :meth:`unpack_part`.
+    Either way seals and byzantine verification see exactly the messages
+    the sender authored.
+
+    Folding only ever merges *adjacent* outbox entries, so delivery order
+    is preserved by construction; the network refuses to pack at all when
+    the fault schedule can drop/delay/reorder (each logical message must
+    then consume the fault RNG individually to stay replay-identical).
+    """
+
+    __slots__ = (
+        "part_cls",
+        "deleted",
+        "count",
+        "parts",
+        "columns",
+        "part_words",
+        "part_seals",
+        "part_byz",
+        "part_ids",
+        "tally_entry",
+    )
+
+    def __init__(self, sender: NodeId = None, receiver: NodeId = None) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.payload_words = 0
+        self.message_id = next(_message_counter)
+        self.byz_origin = None
+        self._seal = None
+        self.pinned = False
+        self.deleted = None
+        self.count = 0
+        self.part_cls = None
+        #: The live ``[count, words_sum, words_max]`` tally cell this
+        #: carrier's stream bills into — cached here so folding a part is
+        #: three list ops, no tuple key or dict probe.  A tally flush
+        #: detaches the cell (the network walks its outbox and clears
+        #: these), after which the next fold re-resolves it.
+        self.tally_entry = None
+        # Recycled carriers keep their lists (cleared here / in
+        # ``open_columns``) so steady-state packing allocates no fresh
+        # lists per round; the column bookkeeping is only touched when the
+        # absorb lane actually engages.
+        try:
+            self.parts.clear()
+        except AttributeError:
+            self.parts: List[Message] = []
+            self.columns: Tuple[List, ...] = ()
+            self.part_words: List[int] = []
+            self.part_seals: List[Optional[int]] = []
+            self.part_byz: List[Optional[NodeId]] = []
+            self.part_ids: List[int] = []
+
+    def begin(self, part_cls: type) -> None:
+        """Declare the part class (both lanes fold on ``part_cls`` identity)."""
+        self.part_cls = part_cls
+
+    def open_columns(self) -> None:
+        """Point the columns at ``part_cls``'s payload layout (absorb lane)."""
+        names = self.part_cls._payload_fields
+        columns = self.columns
+        if len(columns) != len(names):
+            self.columns = tuple([] for _ in names)
+        else:
+            for column in columns:
+                column.clear()
+        self.part_words.clear()
+        self.part_seals.clear()
+        self.part_byz.clear()
+        self.part_ids.clear()
+
+    def stash(self, message: Message) -> None:
+        """Append one part *by instance* — the pooled network's fast lane.
+
+        When the network pools messages, retaining the sent instance is
+        free (it returns to the pool through the receiver's trace eviction
+        like every delivered message), so the carrier rides the instances
+        themselves and delivery dispatches them with zero per-field
+        copying.  ``payload_words`` stays the exact sum either way — the
+        Lemma 4 ledgers cannot tell the lanes apart.
+        """
+        self.parts.append(message)
+        self.payload_words += message.payload_words
+        self.count += 1
+        self.deleted = message.deleted
+
+    def absorb(self, message: Message) -> None:
+        """Append one part's payload (and its bookkeeping) to the columns."""
+        for column, name in zip(self.columns, self.part_cls._payload_fields):
+            column.append(getattr(message, name))
+        words = message.payload_words
+        self.part_words.append(words)
+        self.part_seals.append(message._seal)
+        self.part_byz.append(message.byz_origin)
+        self.part_ids.append(message.message_id)
+        self.payload_words += words
+        self.count += 1
+        self.deleted = message.deleted
+
+    def unpack_part(self, index: int, instance: Message) -> Message:
+        """Refill ``instance`` with part ``index``, initialising *every* slot.
+
+        ``instance`` may be a bare ``cls.__new__(cls)`` shell or a pooled
+        veteran — either way all base slots and all payload slots are
+        written (packable classes declare every payload slot in
+        ``_payload_fields``), so delivery never pays an ``__init__``.
+        """
+        for column, name in zip(self.columns, self.part_cls._payload_fields):
+            setattr(instance, name, column[index])
+        instance.sender = self.sender
+        instance.receiver = self.receiver
+        instance.pinned = False
+        instance.payload_words = self.part_words[index]
+        instance._seal = self.part_seals[index]
+        instance.byz_origin = self.part_byz[index]
+        instance.message_id = self.part_ids[index]
+        return instance
+
+
+def _install_resets() -> None:
+    """Give every message class a ``reset`` for pooled re-initialisation.
+
+    Classes that don't define a dedicated one (hot packable kinds skip the
+    fallback-id draw and constant fields) fall back to ``__init__`` — the
+    two are behaviourally identical because the network re-stamps
+    ``message_id`` on every send anyway.
+    """
+    stack = [Message]
+    while stack:
+        cls = stack.pop()
+        stack.extend(cls.__subclasses__())
+        if "reset" not in cls.__dict__:
+            cls.reset = cls.__init__
+
+
+_install_resets()

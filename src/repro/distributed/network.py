@@ -75,7 +75,7 @@ from ..core.errors import ProtocolError, UnknownNodeError
 from ..core.ports import Interner, NodeId, NodeKey
 from .accountability import AccountabilityTranscript, InjectionLog
 from .faults import FaultSchedule
-from .messages import Message
+from .messages import Message, PackedPayloads
 from .metrics import MetricsWindow, NetworkMetrics
 from .processor import Processor
 
@@ -384,8 +384,42 @@ class Network:
         #: :meth:`send`) — the equivalence baseline the batched fast path is
         #: benchmarked against (``network_delivery`` in BENCH_perf.json).
         self.batched_delivery = True
+        #: When True (default), :meth:`send` folds per-message accounting
+        #: into a per-round tally that :attr:`metrics` flushes in one batched
+        #: pass — bit-identical counters, one dict walk per distinct
+        #: ``(sender, kind, epoch)`` cell per round instead of ten dict
+        #: updates per message.  ``False`` restores the retained per-send
+        #: :meth:`NetworkMetrics.record_message` path (the PR 9 twin the
+        #: ``message_fabric`` benchmark compares against).
+        self.batched_accounting = True
+        #: When True (default), :meth:`send` recycles delivered message
+        #: instances through a per-class free list and draws new sends from
+        #: it (:meth:`new` / :meth:`release`), so a steady-state flood
+        #: allocates ~zero message objects per round.  ``False`` is the
+        #: retained-reference twin: every message is a fresh allocation and
+        #: nothing is ever recycled, so traces keep exact object identity.
+        self.pooled = True
+        #: When True (default), consecutive same-link messages of one
+        #: packable kind coalesce into a :class:`PackedPayloads` carrier
+        #: (struct-of-arrays payload columns, exact summed ``size_bits``).
+        #: Automatically inert whenever the fault schedule can drop, delay
+        #: or reorder — each logical message must then consume the fault
+        #: RNG individually to stay replay-identical with the twin.
+        self.packed_batching = True
+        #: Per-class free lists of recycled message instances.
+        self._pool: Dict[type, List[Message]] = {}
+        #: Per-network message id counter: every message entering this
+        #: network (pool reuse included) is re-stamped from it, so ids are
+        #: deterministic per run no matter how many networks the process
+        #: ran before this one (the module-global fallback counter only
+        #: serves messages that never touch a network).
+        self._message_seq = 0
+        #: Round-local send tally: ``(sender, kind, epoch) -> [count,
+        #: words_sum, words_max]``, flushed into :attr:`metrics` in one
+        #: batched pass per round (or at any external metrics read).
+        self._tally: Dict[Tuple[NodeId, str, object], List[int]] = {}
         self._round = 0
-        self.metrics = NetworkMetrics()
+        self._metrics = NetworkMetrics()
         #: When True, sending a message between unlinked processors raises.
         self.strict_links = strict_links
         #: Optional fault injection applied at delivery time.
@@ -423,6 +457,109 @@ class Network:
         return self._topology.interner
 
     # ------------------------------------------------------------------ #
+    # metrics (batched per-round tally)
+    # ------------------------------------------------------------------ #
+    @property
+    def metrics(self) -> NetworkMetrics:
+        """The network's counters, with any pending send tally flushed first.
+
+        Every reader — tests, cost reports, window open/close calls — goes
+        through this property, so deferred accounting is externally
+        invisible: the instant anyone looks, the ledger is exact.
+        """
+        if self._tally:
+            self._flush_tally()
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, value: NetworkMetrics) -> None:
+        self._tally.clear()
+        for message in self._outbox:
+            if type(message) is PackedPayloads:
+                message.tally_entry = None
+        self._metrics = value
+
+    def _flush_tally(self) -> None:
+        """Batch-apply the round's send tally (bit-identical to per-send)."""
+        word_bits = self._word_bits
+        record = self._metrics.record_message_batch
+        for (sender, kind, epoch), (count, words, words_max) in self._tally.items():
+            record(
+                sender=sender,
+                kind=kind,
+                count=count,
+                bits=words * word_bits,
+                max_bits=words_max * word_bits,
+                epoch=epoch,
+            )
+        self._tally.clear()
+        # Open carriers cache a pointer into the tally we just cleared —
+        # detach them so the next fold re-resolves a live cell.
+        for message in self._outbox:
+            if type(message) is PackedPayloads:
+                message.tally_entry = None
+
+    # ------------------------------------------------------------------ #
+    # message pool
+    # ------------------------------------------------------------------ #
+    def new(self, cls: type, *args, **fields) -> Message:
+        """Construct a message of ``cls``, recycling a pooled instance if any.
+
+        Re-running ``__init__`` on a recycled instance resets every slot
+        (payload, seal cache, oracle tags), and the per-network id counter
+        re-stamps it, so a reused message is indistinguishable from a fresh
+        one.  With pooling off this is a plain constructor call — the
+        retained-reference twin.  Positional arguments are forwarded to
+        ``__init__`` verbatim (hot call sites skip the kwargs dict).
+
+        The per-network id stamp happens in :meth:`send` (every message
+        constructed here travels through it, or — for fold carriers — is
+        stamped at the fold site), so construction pays no stamp of its
+        own.
+        """
+        if self.pooled:
+            free = self._pool.get(cls)
+            if free:
+                message = free.pop()
+                message.reset(*args, **fields)
+                return message
+        return cls(*args, **fields)
+
+    def stamp(self, message: Message) -> Message:
+        """Assign the next per-network id — for messages delivered out of
+        band (never passing :meth:`send`, which stamps everything else)."""
+        self._message_seq += 1
+        message.message_id = self._message_seq
+        return message
+
+    def blank(self, cls: type) -> Message:
+        """A bare instance for ``unpack_part`` to fill — no ``__init__`` paid.
+
+        Carrier delivery rebuilds parts through this: a pooled veteran when
+        one is free, otherwise an uninitialised ``__new__`` shell.  Only
+        valid for packable classes, whose ``unpack_part`` writes every slot.
+        """
+        if self.pooled:
+            free = self._pool.get(cls)
+            if free:
+                return free.pop()
+        return cls.__new__(cls)
+
+    def release(self, message: Message) -> None:
+        """Return a message to the pool (no-op when unpooled or pinned).
+
+        Pinned instances — accusation evidence, cross-witnessed copies —
+        are never recycled: their payloads must stay readable forever.
+        """
+        if not self.pooled or message.pinned:
+            return
+        cls = type(message)
+        free = self._pool.get(cls)
+        if free is None:
+            free = self._pool[cls] = []
+        free.append(message)
+
+    # ------------------------------------------------------------------ #
     # topology management
     # ------------------------------------------------------------------ #
     def add_processor(self, node: NodeId) -> Processor:
@@ -439,6 +576,9 @@ class Network:
             self._topology.ensure_node(node)
             self._ever_ids.add(node)
             self.n_ever += 1
+            if self._tally:
+                # Pending sends were sized under the old word width.
+                self._flush_tally()
             self._word_bits = max(
                 int(math.ceil(math.log2(max(self.n_ever, 2)))), 1
             )
@@ -544,6 +684,8 @@ class Network:
             )
         self.n_ever = n_ever
         self._ever_ids.update(ever_ids)
+        if self._tally:
+            self._flush_tally()
         self._word_bits = max(int(math.ceil(math.log2(max(self.n_ever, 2)))), 1)
 
     # ------------------------------------------------------------------ #
@@ -632,18 +774,112 @@ class Network:
         entitled to wire its own temporary edges (Algorithm A.3), and the
         scaffold teardown reclaims them.
         """
-        if message.sender not in self.processors:
-            raise ProtocolError(f"sender {message.sender!r} does not exist")
-        if message.receiver not in self.processors:
-            raise ProtocolError(f"receiver {message.receiver!r} does not exist")
-        if message.sender != message.receiver and not self.are_linked(
-            message.sender, message.receiver
-        ):
+        sender = message.sender
+        receiver = message.receiver
+        # Fold fast path: when the tail of the outbox already carries this
+        # exact (sender, receiver, class, epoch) stream — either as a
+        # carrier or as the stream's first plain part — the existence/link
+        # checks were performed when that first part was sent (nothing can
+        # unlink the pair between two sends of one round), so this part
+        # pays only corruption, stamping, tallying and the fold itself.
+        outbox = self._outbox
+        if message.packable and self.packed_batching and outbox:
+            last = outbox[-1]
+            fold = 0
+            if (
+                last.sender == sender
+                and last.receiver == receiver
+                and last.deleted == message.deleted
+                and self.batched_accounting
+                and self.batched_delivery
+            ):
+                cls = type(message)
+                last_cls = type(last)
+                if last_cls is PackedPayloads:
+                    if last.part_cls is cls:
+                        fold = 1
+                elif last_cls is cls:
+                    # Opening a carrier needs what the slow-path fold gate
+                    # checks: delivery faults must bill each part its own
+                    # RNG draw, so they disable packing entirely.
+                    schedule = self.fault_schedule
+                    if schedule is None or not schedule.has_delivery_faults:
+                        fold = 2
+            if fold:
+                schedule = self.fault_schedule
+                if schedule is not None:
+                    if (
+                        message.byz_origin is None
+                        and schedule.has_byzantine
+                        and sender != receiver
+                        and schedule.is_byzantine(sender)
+                    ):
+                        schedule.corrupt_in_place(message)
+                    if message.byz_origin is not None:
+                        self.injection_log.note_sent(message.byz_origin, self._round)
+                self._message_seq += 1
+                message.message_id = self._message_seq
+                words = message.payload_words
+                if fold == 1:
+                    entry = last.tally_entry
+                    if entry is None:
+                        key = (sender, message.kind, message.deleted)
+                        entry = self._tally.get(key)
+                        if entry is None:
+                            entry = self._tally[key] = [0, 0, 0]
+                        last.tally_entry = entry
+                    entry[0] += 1
+                    entry[1] += words
+                    if words > entry[2]:
+                        entry[2] = words
+                    if last.parts:
+                        # stash() inlined (epoch already matched above).
+                        last.parts.append(message)
+                        last.payload_words += words
+                        last.count += 1
+                    else:
+                        last.absorb(message)
+                        self.release(message)
+                else:
+                    key = (sender, message.kind, message.deleted)
+                    entry = self._tally.get(key)
+                    if entry is None:
+                        entry = self._tally[key] = [1, words, words]
+                    else:
+                        entry[0] += 1
+                        entry[1] += words
+                        if words > entry[2]:
+                            entry[2] = words
+                    carrier = self.new(
+                        PackedPayloads, sender=sender, receiver=receiver
+                    )
+                    self._message_seq += 1
+                    carrier.message_id = self._message_seq
+                    carrier.tally_entry = entry
+                    carrier.begin(cls)
+                    if self.pooled:
+                        # Pooled fast lane: ride the instances themselves.
+                        carrier.stash(last)
+                        carrier.stash(message)
+                    else:
+                        carrier.open_columns()
+                        carrier.absorb(last)
+                        carrier.absorb(message)
+                        self.release(last)
+                        self.release(message)
+                    outbox[-1] = carrier
+                return
+        processors = self.processors
+        if sender not in processors:
+            raise ProtocolError(f"sender {sender!r} does not exist")
+        if receiver not in processors:
+            raise ProtocolError(f"receiver {receiver!r} does not exist")
+        if sender != receiver and not self.are_linked(sender, receiver):
             if self._scaffold is not None:
-                self.scaffold_link(message.sender, message.receiver)
+                self.scaffold_link(sender, receiver)
             elif self.strict_links:
                 raise ProtocolError(
-                    f"{message.kind} from {message.sender!r} to {message.receiver!r} "
+                    f"{message.kind} from {sender!r} to {receiver!r} "
                     "would travel between unlinked processors"
                 )
         schedule = self.fault_schedule
@@ -651,8 +887,8 @@ class Network:
             schedule is not None
             and message.byz_origin is None
             and schedule.has_byzantine
-            and message.sender != message.receiver
-            and schedule.is_byzantine(message.sender)
+            and sender != receiver
+            and schedule.is_byzantine(sender)
         ):
             # Payload corruption happens per outgoing copy, so one logical
             # instruction fanned out to several recipients can carry a
@@ -660,24 +896,88 @@ class Network:
             schedule.corrupt_in_place(message)
         if message.byz_origin is not None:
             self.injection_log.note_sent(message.byz_origin, self._round)
-        self._outbox.append(message)
-        # ``payload_words * _word_bits`` equals ``message.size_bits(n_ever)``
-        # exactly (same formula, log cached per topology change instead of
-        # recomputed per message); the batched-vs-reference equivalence
-        # checks compare the resulting bit counts verbatim.
-        # Epoch attribution: every repair-protocol message carries the
-        # ``deleted`` victim it serves, which keys the per-epoch windows the
-        # concurrent batch driver opens (no-op outside ``delete_batch``).
-        self.metrics.record_message(
-            sender=message.sender,
-            kind=message.kind,
-            bits=(
-                message.payload_words * self._word_bits
-                if self.batched_delivery
-                else message.size_bits(max(self.n_ever, 2))
-            ),
-            epoch=getattr(message, "deleted", None),
-        )
+        # Per-network id stamp (re-stamps pool reuses and direct constructs
+        # alike) — in-network ids are deterministic per run, independent of
+        # the process's module-global fallback counter.
+        self._message_seq += 1
+        message.message_id = self._message_seq
+        # Accounting.  ``payload_words * _word_bits`` equals
+        # ``message.size_bits(n_ever)`` exactly (same formula, log cached per
+        # topology change instead of recomputed per message); the
+        # batched-vs-reference equivalence checks compare the resulting bit
+        # counts verbatim.  Epoch attribution: every repair-protocol message
+        # carries the ``deleted`` victim it serves, which keys the per-epoch
+        # windows the concurrent batch driver opens (no-op outside
+        # ``delete_batch``).  On the fast path the per-message counter walk
+        # is folded into a round tally flushed in one batched pass.
+        if self.batched_delivery and self.batched_accounting:
+            key = (sender, message.kind, message.deleted)
+            words = message.payload_words
+            entry = self._tally.get(key)
+            if entry is None:
+                self._tally[key] = [1, words, words]
+            else:
+                entry[0] += 1
+                entry[1] += words
+                if words > entry[2]:
+                    entry[2] = words
+        else:
+            if self._tally:
+                self._flush_tally()
+            self._metrics.record_message(
+                sender=sender,
+                kind=message.kind,
+                bits=(
+                    message.payload_words * self._word_bits
+                    if self.batched_delivery
+                    else message.size_bits(max(self.n_ever, 2))
+                ),
+                epoch=message.deleted,
+            )
+        # Packed payload batching: consecutive same-link messages of one
+        # packable kind (and epoch) fold into a struct-of-arrays carrier.
+        # Adjacency makes folding order-preserving by construction; delivery
+        # faults disable it so every logical message consumes the fault RNG
+        # individually (the pure-byzantine presets ride reliable links, so
+        # lies pack fine — corruption already happened above, per part).
+        outbox = self._outbox
+        if (
+            message.packable
+            and self.packed_batching
+            and self.batched_delivery
+            and (schedule is None or not schedule.has_delivery_faults)
+            and outbox
+        ):
+            last = outbox[-1]
+            if last.sender == sender and last.receiver == receiver:
+                cls = type(message)
+                last_cls = type(last)
+                if last_cls is PackedPayloads:
+                    if last.part_cls is cls and last.deleted == message.deleted:
+                        if last.parts:
+                            last.stash(message)
+                        else:
+                            last.absorb(message)
+                            self.release(message)
+                        return
+                elif last_cls is cls and last.deleted == message.deleted:
+                    carrier = self.new(PackedPayloads, sender=sender, receiver=receiver)
+                    self._message_seq += 1
+                    carrier.message_id = self._message_seq
+                    carrier.begin(cls)
+                    if self.pooled:
+                        # Pooled fast lane: ride the instances themselves.
+                        carrier.stash(last)
+                        carrier.stash(message)
+                    else:
+                        carrier.open_columns()
+                        carrier.absorb(last)
+                        carrier.absorb(message)
+                        self.release(last)
+                        self.release(message)
+                    outbox[-1] = carrier
+                    return
+        outbox.append(message)
 
     def deliver_round(self) -> int:
         """Advance one synchronous round; returns how many messages were delivered.
@@ -704,7 +1004,10 @@ class Network:
         if not self.batched_delivery:
             return self.deliver_round_reference()
         self._round += 1
-        self.metrics.record_rounds(1)
+        if self._tally:
+            self._flush_tally()
+        metrics = self._metrics
+        metrics.record_rounds(1)
         batch, spare = self._outbox, self._spare_outbox
         spare.clear()  # last round's batch (kept until now so a mid-round
         self._outbox = spare  # exception can never lead to redelivery)
@@ -717,7 +1020,9 @@ class Network:
             # a delay is delivered as-is when it comes due, so its fate stays
             # within the policy's 1..max_delay contract.  Survivors are
             # compacted into the batch's own prefix — no second list — and
-            # the sender/receiver column fills in the same pass.
+            # the sender/receiver column fills in the same pass.  (Carriers
+            # only exist on fault-free schedules, so each judged entry here
+            # is one logical message.)
             kept = 0
             for message in batch:
                 sender = message.sender
@@ -725,7 +1030,8 @@ class Network:
                 if sender != receiver:
                     fate = schedule.judge(sender, receiver)
                     if fate < 0:
-                        self.metrics.record_dropped(epoch=getattr(message, "deleted", None))
+                        metrics.record_dropped(epoch=message.deleted)
+                        self.release(message)
                         continue
                     if fate > 0:
                         self._delayed.append((self._round + fate, message))
@@ -751,7 +1057,17 @@ class Network:
         for message in batch:
             processor = processors.get(message.receiver)
             if processor is None:
-                continue  # receiver died mid-round; the paper assumes one attack per round
+                # Receiver died mid-round; the paper assumes one attack per
+                # round.  The undeliverable instance goes back to the pool.
+                self.release(message)
+                continue
+            if type(message) is PackedPayloads:
+                # Inlined for the hot loop; receive_packed sends its own
+                # responses part-by-part (see its docstring for why).
+                delivered += message.count
+                processor.receive_packed(message)
+                self.release(message)
+                continue
             if message.byz_origin is not None:
                 self.injection_log.note_delivered(message.byz_origin, message.receiver)
             responses = processor.receive(message)
@@ -817,15 +1133,24 @@ class Network:
         away is as lost as one the network dropped, and the cost rows
         should say so.
         """
-        count = len(self._outbox) + len(self._delayed)
+        count = 0
+        for message in self._outbox:
+            count += message.count
+        for _, message in self._delayed:
+            count += message.count
         if count:
-            if self.metrics.epoch_windows:
+            metrics = self.metrics  # flushes the send-side tally first
+            if metrics.epoch_windows:
                 for message in self._outbox:
-                    self.metrics.record_dropped(epoch=getattr(message, "deleted", None))
+                    metrics.record_dropped(message.count, epoch=message.deleted)
                 for _, message in self._delayed:
-                    self.metrics.record_dropped(epoch=getattr(message, "deleted", None))
+                    metrics.record_dropped(message.count, epoch=message.deleted)
             else:
-                self.metrics.record_dropped(count)
+                metrics.record_dropped(count)
+        for message in self._outbox:
+            self.release(message)
+        for _, message in self._delayed:
+            self.release(message)
         self._outbox.clear()
         self._delayed.clear()
         return count
@@ -840,11 +1165,11 @@ class Network:
         """
         count = 0
         for message in self._outbox:
-            if getattr(message, "deleted", None) == victim:
-                count += 1
+            if message.deleted == victim:
+                count += message.count
         for _, message in self._delayed:
-            if getattr(message, "deleted", None) == victim:
-                count += 1
+            if message.deleted == victim:
+                count += message.count
         return count
 
     # ------------------------------------------------------------------ #
@@ -867,11 +1192,14 @@ class Network:
         """
         if self.transcript is None:
             return False
+        evidence = tuple(evidence)
+        for message in evidence:
+            message.pinned = True  # transcript holds it forever; never recycle
         self.transcript.record(
             accused=accused,
             reporter=reporter,
             reason=reason,
-            evidence=tuple(evidence),
+            evidence=evidence,
             round=self._round,
         )
         self.quarantine(accused)
@@ -921,10 +1249,12 @@ class Network:
 
     @property
     def pending_messages(self) -> int:
-        """Messages queued for the next round."""
-        return len(self._outbox)
+        """Logical messages queued for the next round (carrier parts counted)."""
+        return sum(message.count for message in self._outbox)
 
     @property
     def in_flight(self) -> int:
-        """Messages queued for the next round plus fault-delayed ones."""
-        return len(self._outbox) + len(self._delayed)
+        """Logical messages queued for the next round plus fault-delayed ones."""
+        return sum(message.count for message in self._outbox) + sum(
+            message.count for _, message in self._delayed
+        )

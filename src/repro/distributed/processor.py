@@ -598,7 +598,19 @@ class Processor:
         so this gate can never fire on delivery faults alone.
         """
         kind = message.kind
-        self.received.append(message)
+        trace = self.received
+        if trace.maxlen and len(trace) == trace.maxlen:
+            # The trace is full, so appending evicts its oldest entry — the
+            # one moment we know nothing else can reach that instance.
+            # Recycling here is what makes the pooled steady state
+            # allocation-free once every trace deque has warmed up.
+            evicted = trace[0]
+            trace.append(message)
+            network = self.network
+            if network is not None:
+                network.release(evicted)
+        else:
+            trace.append(message)
         counts = self.received_by_kind
         counts[kind] = counts.get(kind, 0) + 1
         # Seal gate ordered cheapest-first: ``sealed`` is a per-class flag
@@ -642,7 +654,122 @@ class Processor:
                 return "record-checksum"
         return None
 
+    def receive_packed(self, carrier) -> None:
+        """Batched twin of :meth:`receive` for one ``PackedPayloads`` carrier.
+
+        Per-part work identical to the unbatched path — every part lands in
+        the receive trace (evicting into the pool when full), byzantine
+        deliveries are scored, sealed parts are verified and accused on a
+        flaw, and the handler runs per part with its responses sent before
+        the next part is verified.  Sending per part (rather than returning
+        the collected responses) is a correctness requirement, not a style
+        choice: an accusation quarantines the sender immediately, so a
+        response addressed back to a liar must leave while the liar still
+        exists — exactly when the unbatched delivery loop sends it — or a
+        *later* lie in the same stream would turn the send into a
+        ``ProtocolError``.  What the batching hoists out of the loop is the
+        per-message dispatch overhead: kind counting, handler resolution and
+        the seal gate's transcript lookups happen once per carrier, which is
+        exactly why folded floods beat the one-object-per-message path.
+        """
+        network = self.network
+        cls = carrier.part_cls
+        kind = cls.kind
+        count = carrier.count
+        counts = self.received_by_kind
+        counts[kind] = counts.get(kind, 0) + count
+        pcls = type(self)
+        handler = _HANDLER_CACHE.get((pcls, kind), _UNRESOLVED)
+        if handler is _UNRESOLVED:
+            handler = getattr(pcls, f"_on_{kind}", None)
+            _HANDLER_CACHE[(pcls, kind)] = handler
+        guarded = (
+            cls.sealed
+            and carrier.sender != self.node_id
+            and network.transcript is not None
+        )
+        note_delivered = network.injection_log.note_delivered
+        release = network.release
+        # Evictions of this carrier's own kind return straight to its free
+        # list (the steady-state common case); mixed-kind or pinned
+        # stragglers take the full release() path.
+        free = network._pool.setdefault(cls, []) if network.pooled else None
+        trace = self.received
+        maxlen = trace.maxlen
+        if carrier.parts:
+            parts = carrier.parts  # stashed lane: the sent instances themselves
+        else:
+            blank = network.blank
+            unpack = carrier.unpack_part
+            parts = [unpack(index, blank(cls)) for index in range(count)]
+        # Pass 1 — byzantine scoring (only a byzantine schedule can tag
+        # parts, so the common case skips the whole pass).
+        schedule = network.fault_schedule
+        if schedule is not None and schedule.has_byzantine:
+            node_id = self.node_id
+            for part in parts:
+                if part.byz_origin is not None:
+                    note_delivered(part.byz_origin, node_id)
+        # Pass 2 — the receive trace, with the fullness test hoisted: the
+        # deque either has room for the whole carrier (extend) or is full
+        # (steady state: every append evicts trace[0] into the pool).
+        start = count
+        if maxlen is None:
+            trace.extend(parts)
+        elif len(trace) == maxlen:
+            start = 0
+        else:
+            room = maxlen - len(trace)
+            if room >= count:
+                trace.extend(parts)
+            else:
+                trace.extend(parts[:room])  # transition round only
+                start = room
+        if start < count:
+            for index in range(start, count):
+                part = parts[index]
+                evicted = trace[0]
+                trace.append(part)
+                if free is not None and type(evicted) is cls:
+                    if not evicted.pinned:
+                        free.append(evicted)
+                else:
+                    release(evicted)
+        # Pass 3 — verification and the handler, in part order, each part's
+        # responses sent before the next part runs (the unbatched loop's
+        # receive-then-send cadence, see the docstring).
+        send = network.send
+        if guarded:
+            for part in parts:
+                flaw = self._verify(part)
+                if flaw is not None:
+                    network.accuse(
+                        accused=part.sender,
+                        reporter=self.node_id,
+                        reason=flaw,
+                        evidence=(part,),
+                    )
+                    continue
+                if handler is not None:
+                    responses = handler(self, part)
+                    if responses:
+                        for response in responses:
+                            send(response)
+        elif handler is not None:
+            for part in parts:
+                responses = handler(self, part)
+                if responses:
+                    for response in responses:
+                        send(response)
+
     # -- repair-flow helpers -----------------------------------------------
+    def _new(self, cls: type, **fields) -> Message:
+        """Construct an outgoing message, drawing from the network's pool."""
+        network = self.network
+        if network is not None:
+            return network.new(cls, **fields)
+        return cls(**fields)
+
     def _emit(self, message: Message, out: List[Message]) -> None:
         """Queue a message, applying self-addressed ones locally for free.
 
@@ -662,6 +789,7 @@ class Processor:
             and not network.has_processor(message.receiver)
             and network.ever_had_processor(message.receiver)
         ):
+            network.release(message)
             return
         out.append(message)
 
@@ -676,7 +804,8 @@ class Processor:
         out: List[Message] = []
         for chunk in _chunks(payload, MAX_ROOTS_PER_MESSAGE) or [()]:
             self._emit(
-                PrimaryRootReport(
+                self._new(
+                    PrimaryRootReport,
                     sender=self.node_id,
                     receiver=role.prev_hop,
                     deleted=context.victim,
@@ -692,7 +821,8 @@ class Processor:
         out: List[Message] = []
         for chunk in _chunks(summaries, MAX_ROOTS_PER_MESSAGE) or [()]:
             self._emit(
-                PrimaryRootList(
+                self._new(
+                    PrimaryRootList,
                     sender=self.node_id,
                     receiver=context.bt_parent,
                     deleted=context.victim,
@@ -717,7 +847,8 @@ class Processor:
         for port in list(context.instructed):
             if port not in current_ports:
                 self._emit(
-                    HelperAssignment(
+                    self._new(
+                        HelperAssignment,
                         sender=self.node_id,
                         receiver=port.processor,
                         deleted=context.victim,
@@ -730,7 +861,8 @@ class Processor:
         for helper in outcome.helpers:
             context.instructed[helper.port] = None
             self._emit(
-                HelperAssignment(
+                self._new(
+                    HelperAssignment,
                     sender=self.node_id,
                     receiver=helper.port.processor,
                     deleted=context.victim,
@@ -748,7 +880,8 @@ class Processor:
             )
         for child_port, child_is_leaf, parent_port in outcome.parent_updates:
             self._emit(
-                ParentUpdate(
+                self._new(
+                    ParentUpdate,
                     sender=self.node_id,
                     receiver=child_port.processor,
                     deleted=context.victim,
@@ -802,7 +935,8 @@ class Processor:
             if role.next_hop is not None and not role.probe_forwarded:
                 role.probe_forwarded = True
                 self._emit(
-                    Probe(
+                    self._new(
+                        Probe,
                         sender=self.node_id,
                         receiver=role.next_hop,
                         deleted=context.victim,
@@ -851,6 +985,10 @@ class Processor:
             key = (summary.root_port, summary.root_is_leaf)
             prior = context.witnessed.get(key)
             if prior is None:
+                if message is not None:
+                    # Retained as potential accusation evidence — the pool
+                    # must never recycle it out from under the witness table.
+                    message.pinned = True
                 context.witnessed[key] = (summary, message)
                 admitted.append(summary)
             elif prior[0] == summary:
@@ -899,7 +1037,8 @@ class Processor:
         out: List[Message] = []
         for chunk in _chunks(fresh, MAX_ROOTS_PER_MESSAGE):
             self._emit(
-                PrimaryRootReport(
+                self._new(
+                    PrimaryRootReport,
                     sender=self.node_id,
                     receiver=role.prev_hop,
                     deleted=context.victim,
@@ -1042,7 +1181,8 @@ class Processor:
                 continue
             for chunk in _chunks(pending, MAX_ROOTS_PER_MESSAGE) or [()]:
                 self._emit(
-                    Digest(
+                    self._new(
+                        Digest,
                         sender=self.node_id,
                         receiver=role.prev_hop,
                         deleted=victim,
@@ -1057,7 +1197,8 @@ class Processor:
             pending = [s for s in context.gathered if s not in context.pieces_confirmed]
             for chunk in _chunks(pending, MAX_ROOTS_PER_MESSAGE):
                 self._emit(
-                    Digest(
+                    self._new(
+                        Digest,
                         sender=self.node_id,
                         receiver=context.bt_parent,
                         deleted=victim,
@@ -1074,7 +1215,8 @@ class Processor:
             for owner, ports in targets.items():
                 for chunk in _chunks(list(ports), MAX_PORTS_PER_REQUEST):
                     self._emit(
-                        DigestRequest(
+                        self._new(
+                            DigestRequest,
                             sender=self.node_id,
                             receiver=owner,
                             deleted=victim,
@@ -1131,7 +1273,8 @@ class Processor:
         # ``replace`` re-runs ``__post_init__``: the forged descriptor gets a
         # *valid* checksum over the lie, and the fresh message a valid seal.
         forged = dataclasses.replace(original, num_leaves=original.num_leaves + 1)
-        message = Digest(
+        message = self._new(
+            Digest,
             sender=self.node_id,
             receiver=receiver,
             deleted=context.victim,
@@ -1246,7 +1389,8 @@ class Processor:
                 # (the original travelled through here too), and probe
                 # receipt is idempotent: it strips and nothing else twice.
                 self._emit(
-                    Probe(
+                    self._new(
+                        Probe,
                         sender=self.node_id,
                         receiver=message.sender,
                         deleted=context.victim,
@@ -1264,7 +1408,8 @@ class Processor:
             # an unprobed empty digest is acked too (the resent probe may
             # yet be lost — the ack only confirms the *pieces* arrived).
             self._emit(
-                Digest(
+                self._new(
+                    Digest,
                     sender=self.node_id,
                     receiver=message.sender,
                     deleted=message.deleted,
@@ -1287,7 +1432,8 @@ class Processor:
         out: List[Message] = []
         if entries:
             self._emit(
-                Digest(
+                self._new(
+                    Digest,
                     sender=self.node_id,
                     receiver=message.sender,
                     deleted=message.deleted,
@@ -1393,7 +1539,8 @@ class Processor:
                     port_ok = False
                     context.instructed[helper.port] = None
                     self._emit(
-                        HelperAssignment(
+                        self._new(
+                            HelperAssignment,
                             sender=self.node_id,
                             receiver=record.port.processor,
                             deleted=victim,
@@ -1413,7 +1560,8 @@ class Processor:
                 # Applied under a superseded (partial) outcome: retract it.
                 port_ok = False
                 self._emit(
-                    HelperAssignment(
+                    self._new(
+                        HelperAssignment,
                         sender=self.node_id,
                         receiver=record.port.processor,
                         deleted=victim,
@@ -1439,7 +1587,8 @@ class Processor:
                 if actual != parent:
                     port_ok = False
                     self._emit(
-                        ParentUpdate(
+                        self._new(
+                            ParentUpdate,
                             sender=self.node_id,
                             receiver=record.port.processor,
                             deleted=victim,

@@ -327,7 +327,14 @@ def seed_repair(network: Network, plan: RepairPlan) -> List[NodeId]:
     for neighbor in plan.neighbors:
         if network.has_processor(neighbor):
             network.processors[neighbor].receive(
-                DeletionNotice(sender=neighbor, receiver=neighbor, deleted=victim)
+                network.stamp(
+                    network.new(
+                        DeletionNotice,
+                        sender=neighbor,
+                        receiver=neighbor,
+                        deleted=victim,
+                    )
+                )
             )
 
     # Phase 1 seeding — BT_v formation and the first probe hops.
@@ -335,7 +342,9 @@ def seed_repair(network: Network, plan: RepairPlan) -> List[NodeId]:
         if network.has_processor(parent) and network.has_processor(child):
             network.scaffold_link(parent, child)
             network.send(
-                AnchorLink(sender=child, receiver=parent, deleted=victim, anchor_port=None)
+                network.new(
+                    AnchorLink, sender=child, receiver=parent, deleted=victim, anchor_port=None
+                )
             )
     for rt_index, path in enumerate(plan.probe_paths):
         live = [p for p in path if network.has_processor(p)]
@@ -352,7 +361,8 @@ def seed_repair(network: Network, plan: RepairPlan) -> List[NodeId]:
             anchor_processor.apply_strip(context)
         if len(live) > 1:
             network.send(
-                Probe(
+                network.new(
+                    Probe,
                     sender=anchor,
                     receiver=live[1],
                     deleted=victim,

@@ -391,7 +391,7 @@ class DistributedForgivingGraph:
             processor.ensure_edge(neighbor)
             self.network.processors[neighbor].ensure_edge(node)
             self.network.send(
-                InsertionNotice(sender=node, receiver=neighbor, inserted=node)
+                self.network.new(InsertionNotice, sender=node, receiver=neighbor, inserted=node)
             )
         if attach_to:
             self.network.deliver_round()

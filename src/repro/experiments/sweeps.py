@@ -370,6 +370,9 @@ def sweep_large_n(
     max_workers: Optional[int] = None,
     jsonl_path: Optional[Union[str, Path]] = None,
     resume: bool = False,
+    shared_network: bool = False,
+    burst_width: int = 32,
+    candidate_pool: int = 256,
 ) -> List[Row]:
     """Shard one large-n churn run into independent sub-networks and fan out.
 
@@ -387,7 +390,30 @@ def sweep_large_n(
     Returns one row per shard; aggregate throughput (the BENCH ``large_n``
     nodes/sec) is ``total_nodes / max(seconds)`` under a parallel pool and
     ``total_nodes / sum(seconds)`` serially.
+
+    With ``shared_network=True`` the sharding is dropped entirely: the whole
+    ``total_nodes`` graph is built as *one* :class:`DistributedForgivingGraph`
+    and churned in-process through ``delete_batch`` waves — each burst is a
+    pairwise-disjoint-footprint victim set (:func:`select_disjoint_victims`
+    over a seeded random ``candidate_pool`` of degree >= 2 survivors, at most
+    ``burst_width`` victims per burst), so every wave's repairs share one
+    ``deliver_round`` stream on one message fabric instead of per-shard
+    sub-networks.  ``shards``/``max_workers``/``resume`` are ignored in this
+    mode; the return value is a single summary row (deletions, waves, rounds,
+    ``nodes_per_sec``, consistency and connectivity verdicts).
     """
+    if shared_network:
+        return _sweep_large_n_shared(
+            name,
+            topology,
+            total_nodes,
+            attack=attack,
+            seed=seed,
+            graph_params=graph_params,
+            jsonl_path=jsonl_path,
+            burst_width=burst_width,
+            candidate_pool=candidate_pool,
+        )
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
     if total_nodes < shards * 4:
@@ -417,3 +443,102 @@ def sweep_large_n(
         for index in range(shards)
     ]
     return run_sweep(tasks, max_workers=max_workers, jsonl_path=jsonl_path, resume=resume)
+
+
+def _sweep_large_n_shared(
+    name: str,
+    topology: str,
+    total_nodes: int,
+    *,
+    attack: Optional[AttackConfig],
+    seed: int,
+    graph_params: Optional[Dict[str, float]],
+    jsonl_path: Optional[Union[str, Path]],
+    burst_width: int,
+    candidate_pool: int,
+) -> List[Row]:
+    """One-network large-n churn: disjoint victim bursts through batch waves.
+
+    The in-process complement of the sharded path: instead of splitting the
+    node space, the entire graph lives on a single :class:`Network` (one
+    message pool, one outbox, one metrics ledger) and the burst driver
+    repeatedly feeds ``delete_batch`` a first-fit disjoint-footprint victim
+    set until the attack's deletion budget is spent.  Deterministic given
+    ``seed``: candidate sampling, victim selection and every repair replay
+    identically across runs.
+    """
+    import random
+    import time as _time
+
+    import networkx as nx
+
+    from ..distributed.simulator import DistributedForgivingGraph
+
+    if total_nodes < 8:
+        raise ValueError(f"total_nodes={total_nodes} too small for a shared-network run")
+    attack = attack if attack is not None else AttackConfig(
+        strategy="random", delete_fraction=0.01, delete_probability=1.0
+    )
+    graph = GraphSpec(
+        topology=topology, n=total_nodes, params=dict(graph_params or {})
+    ).build(seed)
+    build_start = _time.perf_counter()
+    sim = DistributedForgivingGraph.from_graph(graph)
+    build_seconds = _time.perf_counter() - build_start
+    rng = random.Random(seed * 1_000_003 + 17)
+    target = max(1, int(total_nodes * attack.delete_fraction))
+    min_survivors = max(int(getattr(attack, "min_survivors", 2)), 2)
+    deleted = 0
+    waves = 0
+    rounds = 0
+    dry_bursts = 0
+    churn_start = _time.perf_counter()
+    while deleted < target and sim.num_alive > min_survivors and dry_bursts < 5:
+        alive = sorted(sim.alive_nodes)
+        pool = rng.sample(alive, min(candidate_pool, len(alive)))
+        view = sim.actual_view()
+        candidates = [node for node in pool if view.degree(node) >= 2]
+        burst = select_disjoint_victims(
+            sim, candidates, limit=min(burst_width, target - deleted)
+        )
+        if not burst:
+            dry_bursts += 1
+            continue
+        dry_bursts = 0
+        report = sim.delete_batch(burst)
+        deleted += len(burst)
+        waves += report.waves
+        rounds += report.rounds
+    churn_seconds = _time.perf_counter() - churn_start
+    sim.verify_consistency()
+    healed = sim.actual_view()
+    connected = healed.number_of_nodes() == 0 or nx.is_connected(healed)
+    total_seconds = build_seconds + churn_seconds
+    row: Row = {
+        "name": name,
+        "topology": topology,
+        "healer": "distributed_forgiving_graph",
+        "n": total_nodes,
+        "seed": seed,
+        "shared_network": True,
+        "deletions": deleted,
+        "deletion_target": target,
+        "waves": waves,
+        "rounds": rounds,
+        "final_alive": sim.num_alive,
+        "connected": bool(connected),
+        "build_seconds": round(build_seconds, 4),
+        "churn_seconds": round(churn_seconds, 4),
+        "seconds": round(total_seconds, 4),
+        "nodes_per_sec": round(total_nodes / total_seconds, 1) if total_seconds else 0.0,
+        "deletions_per_sec": (
+            round(deleted / churn_seconds, 2) if churn_seconds else 0.0
+        ),
+    }
+    if jsonl_path is not None:
+        reporter = JsonlReporter(jsonl_path, resume=False)
+        try:
+            reporter.write(row, task_key=f"{name}|shared|n={total_nodes}|seed={seed}")
+        finally:
+            reporter.close()
+    return [row]
